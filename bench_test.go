@@ -1,0 +1,400 @@
+// Benchmarks regenerating every table and figure of the paper, plus
+// ablations of the design choices DESIGN.md calls out. The measurement
+// campaigns (the expensive part) run once per `go test -bench` session
+// and are shared; each benchmark then times the per-artifact analysis and
+// logs the rendered output for EXPERIMENTS.md.
+//
+// Scale: 64 sites × 3 probes (one per CloudLab vantage). The full
+// paper-scale run (325 sites) is available via cmd/h3cdn-measure and
+// cmd/h3cdn-report; EXPERIMENTS.md records its results.
+package h3cdn_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"h3cdn"
+	"h3cdn/internal/browser"
+	"h3cdn/internal/vantage"
+	"h3cdn/internal/webgen"
+)
+
+const (
+	benchPages  = 64
+	benchProbes = 1 // per vantage; three vantages => three probes
+)
+
+var (
+	benchOnce sync.Once
+	benchStd  *h3cdn.Dataset
+	benchCons *h3cdn.Dataset
+	benchFig9 []h3cdn.Fig9Series
+	benchErr  error
+)
+
+func benchConfig() h3cdn.CampaignConfig {
+	return h3cdn.CampaignConfig{
+		Seed:             2022,
+		CorpusConfig:     h3cdn.CorpusConfig{NumPages: benchPages},
+		Vantages:         vantage.Points(),
+		ProbesPerVantage: benchProbes,
+	}
+}
+
+func datasets(b *testing.B) (*h3cdn.Dataset, *h3cdn.Dataset) {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := benchConfig()
+		benchStd, benchErr = h3cdn.Run(cfg)
+		if benchErr != nil {
+			return
+		}
+		cfg.Consecutive = true
+		benchCons, benchErr = h3cdn.Run(cfg)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchStd, benchCons
+}
+
+// BenchmarkTable1ProviderRegistry regenerates Table I.
+func BenchmarkTable1ProviderRegistry(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = h3cdn.RenderTable1(h3cdn.Table1())
+	}
+	b.Log("\n" + out)
+}
+
+// BenchmarkTable2AdoptionByVersion regenerates Table II.
+func BenchmarkTable2AdoptionByVersion(b *testing.B) {
+	std, _ := datasets(b)
+	b.ResetTimer()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = h3cdn.RenderTable2(h3cdn.ComputeTable2(std))
+	}
+	b.Log("\n" + out)
+}
+
+// BenchmarkFigure2ProviderAdoption regenerates Fig. 2.
+func BenchmarkFigure2ProviderAdoption(b *testing.B) {
+	std, _ := datasets(b)
+	b.ResetTimer()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = h3cdn.RenderFigure2(h3cdn.ComputeFigure2(std))
+	}
+	b.Log("\n" + out)
+}
+
+// BenchmarkFigure3CDNShareCCDF regenerates Fig. 3.
+func BenchmarkFigure3CDNShareCCDF(b *testing.B) {
+	std, _ := datasets(b)
+	b.ResetTimer()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = h3cdn.RenderFigure3(h3cdn.ComputeFigure3(std))
+	}
+	b.Log("\n" + out)
+}
+
+// BenchmarkFigure4aProviderPresence regenerates Fig. 4(a) (and 4(b), the
+// same computation).
+func BenchmarkFigure4aProviderPresence(b *testing.B) {
+	std, _ := datasets(b)
+	b.ResetTimer()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = h3cdn.RenderFigure4(h3cdn.ComputeFigure4(std))
+	}
+	b.Log("\n" + out)
+}
+
+// BenchmarkFigure4bProviderCount regenerates Fig. 4(b)'s histogram.
+func BenchmarkFigure4bProviderCount(b *testing.B) {
+	std, _ := datasets(b)
+	b.ResetTimer()
+	var total int
+	for i := 0; i < b.N; i++ {
+		f := h3cdn.ComputeFigure4(std)
+		total = 0
+		for _, n := range f.PagesWithK {
+			total += n
+		}
+	}
+	b.Logf("pages histogrammed: %d", total)
+}
+
+// BenchmarkFigure5ResourcesPerProvider regenerates Fig. 5.
+func BenchmarkFigure5ResourcesPerProvider(b *testing.B) {
+	std, _ := datasets(b)
+	b.ResetTimer()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = h3cdn.RenderFigure5(h3cdn.ComputeFigure5(std))
+	}
+	b.Log("\n" + out)
+}
+
+// BenchmarkFigure6aPLTReductionByGroup regenerates Fig. 6(a).
+func BenchmarkFigure6aPLTReductionByGroup(b *testing.B) {
+	std, _ := datasets(b)
+	b.ResetTimer()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = h3cdn.RenderFigure6a(h3cdn.ComputeFigure6a(std))
+	}
+	b.Log("\n" + out)
+}
+
+// BenchmarkFigure6bPhaseReductionCDF regenerates Fig. 6(b).
+func BenchmarkFigure6bPhaseReductionCDF(b *testing.B) {
+	std, _ := datasets(b)
+	b.ResetTimer()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = h3cdn.RenderFigure6b(h3cdn.ComputeFigure6b(std))
+	}
+	b.Log("\n" + out)
+}
+
+// BenchmarkFigure7aReusedConnections regenerates Fig. 7(a).
+func BenchmarkFigure7aReusedConnections(b *testing.B) {
+	std, _ := datasets(b)
+	b.ResetTimer()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = h3cdn.RenderFigure7(h3cdn.ComputeFigure7ab(std), h3cdn.ComputeFigure7c(std))
+	}
+	b.Log("\n" + out)
+}
+
+// BenchmarkFigure7bReuseDifference regenerates Fig. 7(b)'s series.
+func BenchmarkFigure7bReuseDifference(b *testing.B) {
+	std, _ := datasets(b)
+	b.ResetTimer()
+	var maxDiff float64
+	for i := 0; i < b.N; i++ {
+		groups := h3cdn.ComputeFigure7ab(std)
+		maxDiff = groups[3].Difference
+	}
+	b.Logf("High-group reuse difference: %.1f", maxDiff)
+}
+
+// BenchmarkFigure7cReuseVsPLT regenerates Fig. 7(c).
+func BenchmarkFigure7cReuseVsPLT(b *testing.B) {
+	std, _ := datasets(b)
+	b.ResetTimer()
+	var buckets [4]h3cdn.Fig7cBucket
+	for i := 0; i < b.N; i++ {
+		buckets = h3cdn.ComputeFigure7c(std)
+	}
+	b.Logf("Q1 %.1fms .. Q4 %.1fms", buckets[0].PLTReductionMs, buckets[3].PLTReductionMs)
+}
+
+// BenchmarkFigure8aProvidersVsPLT regenerates Fig. 8(a,b).
+func BenchmarkFigure8aProvidersVsPLT(b *testing.B) {
+	_, cons := datasets(b)
+	b.ResetTimer()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = h3cdn.RenderFigure8(h3cdn.ComputeFigure8(cons))
+	}
+	b.Log("\n" + out)
+}
+
+// BenchmarkFigure8bResumedConnections regenerates Fig. 8(b)'s series.
+func BenchmarkFigure8bResumedConnections(b *testing.B) {
+	_, cons := datasets(b)
+	b.ResetTimer()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		points := h3cdn.ComputeFigure8(cons)
+		last = points[len(points)-1].ResumedConns
+	}
+	b.Logf("resumed conns at max provider bucket: %.1f", last)
+}
+
+// BenchmarkTable3SharingCaseStudy regenerates Table III.
+func BenchmarkTable3SharingCaseStudy(b *testing.B) {
+	_, cons := datasets(b)
+	b.ResetTimer()
+	var out string
+	for i := 0; i < b.N; i++ {
+		t3, err := h3cdn.ComputeTable3(cons)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = h3cdn.RenderTable3(t3)
+	}
+	b.Log("\n" + out)
+}
+
+// BenchmarkFigure9LossMultiplexing regenerates Fig. 9 (three loss-sweep
+// campaigns; by far the most expensive benchmark).
+func BenchmarkFigure9LossMultiplexing(b *testing.B) {
+	benchFig9Once(b)
+	b.ResetTimer()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = h3cdn.RenderFigure9(benchFig9)
+	}
+	b.Log("\n" + out)
+}
+
+var fig9Once sync.Once
+
+func benchFig9Once(b *testing.B) {
+	b.Helper()
+	fig9Once.Do(func() {
+		benchFig9, benchErr = h3cdn.RunFigure9(benchConfig())
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+}
+
+// --- Ablations (DESIGN.md §4.5) ---
+
+// ablationCampaign runs a small campaign with a mutated configuration and
+// returns the median per-site PLT reduction in milliseconds.
+func ablationCampaign(b *testing.B, mutate func(*h3cdn.CampaignConfig)) float64 {
+	b.Helper()
+	cfg := h3cdn.CampaignConfig{
+		Seed:             2022,
+		CorpusConfig:     h3cdn.CorpusConfig{NumPages: 32, MeanResources: 70},
+		Vantages:         vantage.Points()[:1],
+		ProbesPerVantage: 3,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	ds, err := h3cdn.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sms := h3cdn.ComputeSiteMetrics(ds)
+	reds := make([]float64, 0, len(sms))
+	for i := range sms {
+		reds = append(reds, float64(sms[i].PLTReduction().Microseconds())/1000)
+	}
+	return median(reds)
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[len(s)/2]
+}
+
+// BenchmarkAblationH1Baseline compares HTTP/1.1-only browsing against H2:
+// the pre-multiplexing baseline the paper's background assumes.
+func BenchmarkAblationH1Baseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := h3cdn.CampaignConfig{
+			Seed:             2022,
+			CorpusConfig:     h3cdn.CorpusConfig{NumPages: 16, MeanResources: 70},
+			Vantages:         vantage.Points()[:1],
+			ProbesPerVantage: 1,
+			Modes:            []h3cdn.Mode{h3cdn.ModeH1, h3cdn.ModeH2},
+		}
+		ds, err := h3cdn.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var h1, h2 float64
+		for _, p := range ds.Logs[browser.ModeH1].Pages {
+			h1 += float64(p.PLT.Milliseconds())
+		}
+		for _, p := range ds.Logs[browser.ModeH2].Pages {
+			h2 += float64(p.PLT.Milliseconds())
+		}
+		b.Logf("mean PLT: h1=%.0fms h2=%.0fms (H2 multiplexing gain %.0fms)",
+			h1/16, h2/16, (h1-h2)/16)
+	}
+}
+
+// BenchmarkAblationZeroRTT contrasts consecutive-visit reductions with
+// and without QUIC 0-RTT — isolating §VI-D's resumption mechanism.
+func BenchmarkAblationZeroRTT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		with := ablationCampaign(b, func(c *h3cdn.CampaignConfig) { c.Consecutive = true })
+		b.Logf("consecutive median PLT reduction with 0-RTT: %.1fms", with)
+		standard := ablationCampaign(b, nil)
+		b.Logf("standard-protocol median PLT reduction (no resumption): %.1fms", standard)
+	}
+}
+
+// BenchmarkAblationLosslessNetwork removes the ambient loss: H3's edge
+// shrinks to the handshake savings alone.
+func BenchmarkAblationLosslessNetwork(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lossless := ablationCampaign(b, func(c *h3cdn.CampaignConfig) { c.LossRate = -1 })
+		baseline := ablationCampaign(b, nil)
+		b.Logf("median PLT reduction: lossless=%.1fms baseline-loss=%.1fms", lossless, baseline)
+	}
+}
+
+// BenchmarkCorpusGeneration times the synthetic corpus generator.
+func BenchmarkCorpusGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		webgen.Generate(webgen.Config{Seed: uint64(i), NumPages: 325})
+	}
+}
+
+// BenchmarkSingleVisit times one full simulated page load (H3 mode).
+func BenchmarkSingleVisit(b *testing.B) {
+	corpus := h3cdn.GenerateCorpus(h3cdn.CorpusConfig{Seed: 7, NumPages: 4, MeanResources: 111})
+	u, err := h3cdn.NewUniverse(h3cdn.UniverseConfig{Seed: 1, Corpus: corpus})
+	if err != nil {
+		b.Fatal(err)
+	}
+	br := u.NewBrowser(h3cdn.BrowserConfig{Mode: h3cdn.ModeH3, EnableZeroRTT: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := u.RunVisit(br, &corpus.Pages[i%4]); err != nil {
+			b.Fatal(err)
+		}
+		br.ClearSessions()
+	}
+}
+
+// BenchmarkAblationTLS12 quantifies the background claim of §II-A: the
+// H2 + TLS 1.2 suite pays three round trips before the first request,
+// versus two with TLS 1.3 — visible directly in page PLT.
+func BenchmarkAblationTLS12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		corpus := h3cdn.GenerateCorpus(h3cdn.CorpusConfig{Seed: 5, NumPages: 8, MeanResources: 60})
+		meanPLT := func(tls12 bool) time.Duration {
+			u, err := h3cdn.NewUniverse(h3cdn.UniverseConfig{Seed: 5, Corpus: corpus, LossRate: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			br := u.NewBrowser(h3cdn.BrowserConfig{Mode: h3cdn.ModeH2, TLS12: tls12})
+			var sum time.Duration
+			for p := range corpus.Pages {
+				log, err := u.RunVisit(br, &corpus.Pages[p])
+				if err != nil {
+					b.Fatal(err)
+				}
+				sum += log.PLT
+				br.ClearSessions()
+			}
+			return sum / time.Duration(len(corpus.Pages))
+		}
+		legacy, modern := meanPLT(true), meanPLT(false)
+		b.Logf("mean PLT: H2+TLS1.2=%v H2+TLS1.3=%v (saving %v)",
+			legacy.Round(time.Millisecond), modern.Round(time.Millisecond),
+			(legacy - modern).Round(time.Millisecond))
+	}
+}

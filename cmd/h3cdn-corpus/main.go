@@ -1,0 +1,86 @@
+// Command h3cdn-corpus generates and inspects the synthetic webpage
+// corpus standing in for the paper's 325 Alexa-Top landing pages.
+//
+// Usage:
+//
+//	h3cdn-corpus [-pages N] [-seed S] [-dump]
+//
+// Without -dump, prints summary statistics (the generator-side view of
+// Figs. 3-5); with -dump, writes the full corpus as JSON.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"h3cdn/internal/webgen"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		seed  = flag.Uint64("seed", 2022, "corpus seed")
+		pages = flag.Int("pages", 325, "number of websites")
+		dump  = flag.Bool("dump", false, "dump full corpus JSON")
+	)
+	flag.Parse()
+
+	corpus := webgen.Generate(webgen.Config{Seed: *seed, NumPages: *pages})
+	if *dump {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(corpus); err != nil {
+			fmt.Fprintf(os.Stderr, "h3cdn-corpus: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	st := corpus.Stats()
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "pages\t%d\n", st.Pages)
+	fmt.Fprintf(w, "resources\t%d (%.1f per page)\n", st.TotalResources,
+		float64(st.TotalResources)/float64(st.Pages))
+	fmt.Fprintf(w, "CDN fraction\t%.3f (paper: 0.67)\n", st.CDNFraction)
+	fmt.Fprintf(w, "pages >50%% CDN\t%.3f (paper: ~0.75)\n", st.PagesOverHalfCDN)
+	fmt.Fprintf(w, "pages with >=2 providers\t%.3f (paper: 0.948)\n", st.AtLeastTwoProviders)
+	fmt.Fprintf(w, "CDN resources <20KB\t%.3f (paper: ~0.75)\n", st.SmallResources)
+	fmt.Fprintf(w, "hostnames with H3\t%.3f\n", st.H3Hostnames)
+	_ = w.Flush()
+
+	fmt.Println("\nprovider presence (Fig. 4a):")
+	type pp struct {
+		name string
+		p    float64
+	}
+	var rows []pp
+	for name, p := range st.ProviderPresence {
+		rows = append(rows, pp{name, p})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].p > rows[j].p })
+	w = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %s\t%.3f\n", r.name, r.p)
+	}
+	_ = w.Flush()
+
+	fmt.Println("\npages by provider count (Fig. 4b):")
+	var ks []int
+	for k := range st.PagesWithKProviders {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	w = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	for _, k := range ks {
+		fmt.Fprintf(w, "  %d\t%d\n", k, st.PagesWithKProviders[k])
+	}
+	_ = w.Flush()
+	return 0
+}

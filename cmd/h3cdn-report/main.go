@@ -1,0 +1,216 @@
+// Command h3cdn-report regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	h3cdn-report [-exp all|t1|t2|t3|f2|f3|f4|f5|f6a|f6b|f7|f8|f9] [flags]
+//
+// Most experiments run their own campaigns at the configured scale;
+// alternatively point -dataset / -consecutive-dataset at files written by
+// h3cdn-measure to reuse existing measurements. Figure 9 always runs its
+// loss-sweep campaigns.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"h3cdn/internal/core"
+	"h3cdn/internal/vantage"
+	"h3cdn/internal/webgen"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+type reporter struct {
+	cfg      core.CampaignConfig
+	dsPath   string
+	consPath string
+
+	std  *core.Dataset
+	cons *core.Dataset
+	fig9 []core.Fig9Series
+}
+
+func run() int {
+	var (
+		exp      = flag.String("exp", "all", "experiment id (t1,t2,t3,f2,f3,f4,f5,f6a,f6b,f7,f8,f9,all)")
+		seed     = flag.Uint64("seed", 2022, "campaign seed")
+		pages    = flag.Int("pages", 325, "number of websites")
+		probes   = flag.Int("probes", 1, "probes per vantage point")
+		dsPath   = flag.String("dataset", "", "standard-protocol dataset JSON (from h3cdn-measure)")
+		consPath = flag.String("consecutive-dataset", "", "consecutive-protocol dataset JSON")
+		plotDir  = flag.String("plot", "", "also export raw figure series as TSV into this directory")
+	)
+	flag.Parse()
+
+	r := &reporter{
+		cfg: core.CampaignConfig{
+			Seed:             *seed,
+			CorpusConfig:     webgen.Config{NumPages: *pages},
+			Vantages:         vantage.Points(),
+			ProbesPerVantage: *probes,
+		},
+		dsPath:   *dsPath,
+		consPath: *consPath,
+	}
+
+	ids := strings.Split(*exp, ",")
+	if *exp == "all" {
+		ids = []string{"t1", "t2", "f2", "f3", "f4", "f5", "f6a", "f6b", "f7", "f8", "t3", "f9"}
+	}
+	for _, id := range ids {
+		if err := r.report(strings.TrimSpace(id)); err != nil {
+			fmt.Fprintf(os.Stderr, "h3cdn-report: %s: %v\n", id, err)
+			return 1
+		}
+	}
+	if *plotDir != "" {
+		if err := core.WritePlotData(*plotDir, r.std, r.cons, r.fig9); err != nil {
+			fmt.Fprintf(os.Stderr, "h3cdn-report: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "h3cdn-report: plot data written to %s\n", *plotDir)
+	}
+	return 0
+}
+
+func (r *reporter) standard() (*core.Dataset, error) {
+	if r.std != nil {
+		return r.std, nil
+	}
+	if r.dsPath != "" {
+		f, err := os.Open(r.dsPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r.std, err = core.LoadDataset(f)
+		return r.std, err
+	}
+	var err error
+	r.std, err = r.campaign(false)
+	return r.std, err
+}
+
+func (r *reporter) consecutive() (*core.Dataset, error) {
+	if r.cons != nil {
+		return r.cons, nil
+	}
+	if r.consPath != "" {
+		f, err := os.Open(r.consPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r.cons, err = core.LoadDataset(f)
+		return r.cons, err
+	}
+	var err error
+	r.cons, err = r.campaign(true)
+	return r.cons, err
+}
+
+func (r *reporter) campaign(consecutive bool) (*core.Dataset, error) {
+	cfg := r.cfg
+	cfg.Consecutive = consecutive
+	kind := "standard"
+	if consecutive {
+		kind = "consecutive"
+	}
+	fmt.Fprintf(os.Stderr, "h3cdn-report: running %s campaign (%d pages, %d probes/vantage)...\n",
+		kind, cfg.CorpusConfig.NumPages, cfg.ProbesPerVantage)
+	start := time.Now()
+	ds, err := core.RunCampaign(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "h3cdn-report: %s campaign done in %v\n", kind, time.Since(start).Round(time.Second))
+	return ds, nil
+}
+
+func (r *reporter) report(id string) error {
+	switch id {
+	case "t1":
+		fmt.Println(core.RenderTable1(core.Table1()))
+	case "t2":
+		ds, err := r.standard()
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.RenderTable2(core.ComputeTable2(ds)))
+	case "f2":
+		ds, err := r.standard()
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.RenderFigure2(core.ComputeFigure2(ds)))
+	case "f3":
+		ds, err := r.standard()
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.RenderFigure3(core.ComputeFigure3(ds)))
+	case "f4":
+		ds, err := r.standard()
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.RenderFigure4(core.ComputeFigure4(ds)))
+	case "f5":
+		ds, err := r.standard()
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.RenderFigure5(core.ComputeFigure5(ds)))
+	case "f6a":
+		ds, err := r.standard()
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.RenderFigure6a(core.ComputeFigure6a(ds)))
+	case "f6b":
+		ds, err := r.standard()
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.RenderFigure6b(core.ComputeFigure6b(ds)))
+	case "f7":
+		ds, err := r.standard()
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.RenderFigure7(core.ComputeFigure7ab(ds), core.ComputeFigure7c(ds)))
+	case "f8":
+		ds, err := r.consecutive()
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.RenderFigure8(core.ComputeFigure8(ds)))
+	case "t3":
+		ds, err := r.consecutive()
+		if err != nil {
+			return err
+		}
+		t3, err := core.ComputeTable3(ds)
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.RenderTable3(t3))
+	case "f9":
+		fmt.Fprintln(os.Stderr, "h3cdn-report: running Figure 9 loss sweep (3 campaigns)...")
+		series, err := core.RunFigure9(r.cfg)
+		if err != nil {
+			return err
+		}
+		r.fig9 = series
+		fmt.Println(core.RenderFigure9(series))
+	default:
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+	return nil
+}

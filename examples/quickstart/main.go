@@ -1,0 +1,73 @@
+// Quickstart: build a small simulated Internet, load one page over
+// HTTP/2 and over HTTP/3, and print the HAR-style timing breakdown.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"h3cdn"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "quickstart: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// A 12-site corpus; we will visit the first page only.
+	corpus := h3cdn.GenerateCorpus(h3cdn.CorpusConfig{Seed: 7, NumPages: 12, MeanResources: 60})
+	page := &corpus.Pages[0]
+	fmt.Printf("visiting %s: %d resources, %d CDN, providers %v\n\n",
+		page.Site, len(page.Resources), page.CDNResourceCount(), page.Providers())
+
+	for _, mode := range []h3cdn.Mode{h3cdn.ModeH2, h3cdn.ModeH3} {
+		log, err := visit(corpus, page, mode)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("=== %s browsing ===\n", mode)
+		fmt.Printf("PLT: %v  reused conns: %d  resumed conns: %d\n",
+			log.PLT.Round(time.Millisecond), log.ReusedConns, log.ResumedConns)
+
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "host\tproto\tconnect\twait\treceive\treused")
+		for i, e := range log.Entries {
+			if i >= 8 {
+				fmt.Fprintf(w, "... and %d more entries\n", len(log.Entries)-8)
+				break
+			}
+			fmt.Fprintf(w, "%s\t%s\t%v\t%v\t%v\t%v\n",
+				e.Host, e.Protocol,
+				e.Connect.Round(time.Millisecond), e.Wait.Round(time.Millisecond),
+				e.Receive.Round(time.Millisecond), e.ReusedConn)
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// visit builds a fresh universe, warms it (edge caches + Alt-Svc), then
+// measures one visit — the paper's §III-B protocol for a single page.
+func visit(corpus *h3cdn.Corpus, page *h3cdn.Page, mode h3cdn.Mode) (*h3cdn.PageLog, error) {
+	u, err := h3cdn.NewUniverse(h3cdn.UniverseConfig{Seed: 1, Corpus: corpus})
+	if err != nil {
+		return nil, err
+	}
+	b := u.NewBrowser(h3cdn.BrowserConfig{Mode: mode, EnableZeroRTT: true})
+
+	if _, err := u.RunVisit(b, page); err != nil { // warm-up visit
+		return nil, err
+	}
+	b.ClearSessions()
+	return u.RunVisit(b, page) // measured visit
+}

@@ -1,0 +1,3 @@
+module h3cdn
+
+go 1.22

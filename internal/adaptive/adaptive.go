@@ -1,0 +1,187 @@
+// Package adaptive implements the protocol-selection tool the paper's
+// implications section calls for (§VII, researchers): "an adaptive
+// protocol selection tool that adjusts flexibly based on different
+// conditions", in the spirit of FlexHTTP [43]. A Selector learns, per
+// host, which HTTP version delivers lower first-byte latency and steers
+// subsequent requests there, with epsilon-greedy exploration so it keeps
+// tracking changing network conditions.
+package adaptive
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Protocol is the arm being selected. It mirrors httpsim's protocols
+// without importing it (the selector is transport-agnostic).
+type Protocol uint8
+
+const (
+	// H2 is the TCP-based arm.
+	H2 Protocol = iota + 1
+	// H3 is the QUIC-based arm.
+	H3
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case H2:
+		return "h2"
+	case H3:
+		return "h3"
+	default:
+		return "?"
+	}
+}
+
+// Config tunes the selector.
+type Config struct {
+	// Epsilon is the exploration probability. Default 0.10.
+	Epsilon float64
+	// Alpha is the EWMA smoothing factor for latency estimates.
+	// Default 0.3.
+	Alpha float64
+	// MinSamples is how many observations each arm needs before
+	// exploitation starts; until then arms alternate. Default 2.
+	MinSamples int
+	// Rng drives exploration; required for deterministic simulations.
+	Rng *rand.Rand
+}
+
+func (c Config) withDefaults() Config {
+	if c.Epsilon == 0 {
+		c.Epsilon = 0.10
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.3
+	}
+	if c.MinSamples == 0 {
+		c.MinSamples = 2
+	}
+	return c
+}
+
+type arm struct {
+	samples int
+	ewma    float64 // milliseconds
+}
+
+func (a *arm) observe(ms float64, alpha float64) {
+	if a.samples == 0 {
+		a.ewma = ms
+	} else {
+		a.ewma = alpha*ms + (1-alpha)*a.ewma
+	}
+	a.samples++
+}
+
+type hostState struct {
+	h2, h3 arm
+	next   Protocol // round-robin pointer during warm-up
+}
+
+// Selector learns per-host protocol preferences from latency feedback.
+type Selector struct {
+	cfg   Config
+	hosts map[string]*hostState
+
+	chosen  map[Protocol]int64
+	rewards int64
+}
+
+// NewSelector creates a selector. Rng may be nil (then exploration uses
+// a fixed cycle, still deterministic).
+func NewSelector(cfg Config) *Selector {
+	return &Selector{
+		cfg:    cfg.withDefaults(),
+		hosts:  make(map[string]*hostState),
+		chosen: make(map[Protocol]int64),
+	}
+}
+
+func (s *Selector) state(host string) *hostState {
+	st, ok := s.hosts[host]
+	if !ok {
+		st = &hostState{next: H3}
+		s.hosts[host] = st
+	}
+	return st
+}
+
+// Choose picks the protocol for the next request to host. h3Available
+// reports whether the H3 arm is usable at all (otherwise H2 is returned
+// unconditionally).
+func (s *Selector) Choose(host string, h3Available bool) Protocol {
+	if !h3Available {
+		s.chosen[H2]++
+		return H2
+	}
+	st := s.state(host)
+	choice := s.decide(st)
+	s.chosen[choice]++
+	return choice
+}
+
+func (s *Selector) decide(st *hostState) Protocol {
+	// Warm-up: alternate until both arms have MinSamples.
+	if st.h2.samples < s.cfg.MinSamples || st.h3.samples < s.cfg.MinSamples {
+		p := st.next
+		if st.next == H3 {
+			st.next = H2
+		} else {
+			st.next = H3
+		}
+		return p
+	}
+	// Exploration.
+	if s.cfg.Rng != nil && s.cfg.Rng.Float64() < s.cfg.Epsilon {
+		if s.cfg.Rng.Intn(2) == 0 {
+			return H2
+		}
+		return H3
+	}
+	// Exploitation: lower smoothed first-byte latency wins.
+	if st.h3.ewma <= st.h2.ewma {
+		return H3
+	}
+	return H2
+}
+
+// Record feeds back an observed latency for a request served over proto.
+func (s *Selector) Record(host string, proto Protocol, latency time.Duration) {
+	st := s.state(host)
+	ms := float64(latency) / float64(time.Millisecond)
+	s.rewards++
+	switch proto {
+	case H2:
+		st.h2.observe(ms, s.cfg.Alpha)
+	case H3:
+		st.h3.observe(ms, s.cfg.Alpha)
+	}
+}
+
+// Preference returns the currently preferred protocol for host and the
+// smoothed latency estimates (ok=false before both arms have samples).
+func (s *Selector) Preference(host string) (p Protocol, h2ms, h3ms float64, ok bool) {
+	st, exists := s.hosts[host]
+	if !exists || st.h2.samples == 0 || st.h3.samples == 0 {
+		return 0, 0, 0, false
+	}
+	p = H2
+	if st.h3.ewma <= st.h2.ewma {
+		p = H3
+	}
+	return p, st.h2.ewma, st.h3.ewma, true
+}
+
+// Stats reports how many times each arm was chosen and total feedback.
+func (s *Selector) Stats() (h2Chosen, h3Chosen, feedback int64) {
+	return s.chosen[H2], s.chosen[H3], s.rewards
+}
+
+// Reset forgets all learned state (e.g. on network change).
+func (s *Selector) Reset() {
+	s.hosts = make(map[string]*hostState)
+	s.chosen = make(map[Protocol]int64)
+	s.rewards = 0
+}

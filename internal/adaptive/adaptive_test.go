@@ -1,0 +1,142 @@
+package adaptive
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func newTestSelector() *Selector {
+	return NewSelector(Config{Rng: rand.New(rand.NewSource(7))}) //nolint:gosec
+}
+
+func feed(s *Selector, host string, p Protocol, ms float64, n int) {
+	for i := 0; i < n; i++ {
+		s.Record(host, p, time.Duration(ms)*time.Millisecond)
+	}
+}
+
+func TestWarmupAlternates(t *testing.T) {
+	s := newTestSelector()
+	got := map[Protocol]int{}
+	for i := 0; i < 4; i++ {
+		p := s.Choose("a", true)
+		got[p]++
+		s.Record("a", p, 10*time.Millisecond)
+	}
+	if got[H2] != 2 || got[H3] != 2 {
+		t.Fatalf("warm-up split = %v, want 2/2", got)
+	}
+}
+
+func TestConvergesToFasterArm(t *testing.T) {
+	s := newTestSelector()
+	feed(s, "a", H2, 40, 5)
+	feed(s, "a", H3, 90, 5)
+	h2Wins := 0
+	const n = 200
+	for i := 0; i < n; i++ {
+		if s.Choose("a", true) == H2 {
+			h2Wins++
+		}
+	}
+	// Exploitation picks H2; only epsilon exploration deviates.
+	if h2Wins < n*8/10 {
+		t.Fatalf("picked slower arm too often: H2 %d/%d", h2Wins, n)
+	}
+
+	// Flip the condition: H3 becomes much faster; EWMA must adapt.
+	feed(s, "a", H3, 5, 10)
+	feed(s, "a", H2, 80, 10)
+	h3Wins := 0
+	for i := 0; i < n; i++ {
+		if s.Choose("a", true) == H3 {
+			h3Wins++
+		}
+	}
+	if h3Wins < n*8/10 {
+		t.Fatalf("did not adapt to H3 becoming faster: H3 %d/%d", h3Wins, n)
+	}
+}
+
+func TestH3UnavailableForcesH2(t *testing.T) {
+	s := newTestSelector()
+	feed(s, "a", H3, 1, 10) // even with a great H3 history...
+	for i := 0; i < 10; i++ {
+		if s.Choose("a", false) != H2 {
+			t.Fatal("chose H3 despite unavailability")
+		}
+	}
+}
+
+func TestPerHostIndependence(t *testing.T) {
+	s := newTestSelector()
+	feed(s, "fast-h3", H3, 10, 5)
+	feed(s, "fast-h3", H2, 90, 5)
+	feed(s, "fast-h2", H3, 90, 5)
+	feed(s, "fast-h2", H2, 10, 5)
+	p1, _, _, ok1 := s.Preference("fast-h3")
+	p2, _, _, ok2 := s.Preference("fast-h2")
+	if !ok1 || !ok2 {
+		t.Fatal("preferences not established")
+	}
+	if p1 != H3 || p2 != H2 {
+		t.Fatalf("preferences = %v / %v, want h3 / h2", p1, p2)
+	}
+}
+
+func TestPreferenceRequiresBothArms(t *testing.T) {
+	s := newTestSelector()
+	feed(s, "a", H2, 10, 3)
+	if _, _, _, ok := s.Preference("a"); ok {
+		t.Fatal("preference reported with one-armed data")
+	}
+	if _, _, _, ok := s.Preference("never-seen"); ok {
+		t.Fatal("preference reported for unknown host")
+	}
+}
+
+func TestStatsAndReset(t *testing.T) {
+	s := newTestSelector()
+	s.Choose("a", true)
+	s.Choose("a", false)
+	s.Record("a", H2, time.Millisecond)
+	h2, h3, fb := s.Stats()
+	if h2+h3 != 2 || fb != 1 {
+		t.Fatalf("stats = %d/%d/%d", h2, h3, fb)
+	}
+	s.Reset()
+	h2, h3, fb = s.Stats()
+	if h2+h3+fb != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestEWMAFirstSampleExact(t *testing.T) {
+	var a arm
+	a.observe(42, 0.3)
+	if a.ewma != 42 {
+		t.Fatalf("first sample ewma = %v", a.ewma)
+	}
+	a.observe(0, 0.5)
+	if a.ewma != 21 {
+		t.Fatalf("second sample ewma = %v", a.ewma)
+	}
+}
+
+func TestProtocolStrings(t *testing.T) {
+	if H2.String() != "h2" || H3.String() != "h3" || Protocol(9).String() != "?" {
+		t.Fatal("protocol strings wrong")
+	}
+}
+
+func TestNilRngDeterministic(t *testing.T) {
+	s := NewSelector(Config{})
+	feed(s, "a", H2, 10, 5)
+	feed(s, "a", H3, 50, 5)
+	for i := 0; i < 50; i++ {
+		if s.Choose("a", true) != H2 {
+			t.Fatal("nil-rng selector explored unexpectedly")
+		}
+	}
+}

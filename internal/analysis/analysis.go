@@ -1,0 +1,188 @@
+// Package analysis provides the statistical tools the paper's evaluation
+// uses: empirical CDF/CCDF curves, quantile-based grouping (Fig. 6a's
+// Low/Medium-Low/Medium-High/High quartiles), k-means clustering for the
+// §VI-D case study, and least-squares line fitting for Fig. 9's slopes.
+package analysis
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrNoData is returned by routines that need at least one observation.
+var ErrNoData = errors.New("analysis: no data")
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Median returns the 50th percentile (0 for empty input).
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Quantile returns the q-th quantile (linear interpolation), q in [0,1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Stddev returns the population standard deviation.
+func Stddev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Point is one (x, y) sample of a distribution curve.
+type Point struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// CDF returns the empirical cumulative distribution as sorted points
+// (x = value, y = P(X ≤ x)).
+func CDF(xs []float64) []Point {
+	if len(xs) == 0 {
+		return nil
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	out := make([]Point, 0, len(s))
+	n := float64(len(s))
+	for i, x := range s {
+		// Collapse duplicates to the last occurrence.
+		if i+1 < len(s) && s[i+1] == x {
+			continue
+		}
+		out = append(out, Point{X: x, Y: float64(i+1) / n})
+	}
+	return out
+}
+
+// CCDF returns the complementary CDF (y = P(X > x)).
+func CCDF(xs []float64) []Point {
+	cdf := CDF(xs)
+	out := make([]Point, len(cdf))
+	for i, p := range cdf {
+		out[i] = Point{X: p.X, Y: 1 - p.Y}
+	}
+	return out
+}
+
+// InterpolateY evaluates a CDF/CCDF curve at x (step interpolation,
+// returning the y of the greatest point with X ≤ x; defaults to the
+// first point's y when x precedes the curve).
+func InterpolateY(curve []Point, x float64) float64 {
+	if len(curve) == 0 {
+		return 0
+	}
+	y := curve[0].Y
+	if x < curve[0].X {
+		// Before the first sample: CDF is 0, CCDF is 1.
+		if curve[0].Y <= 0.5 {
+			return 0
+		}
+		return 1
+	}
+	for _, p := range curve {
+		if p.X > x {
+			break
+		}
+		y = p.Y
+	}
+	return y
+}
+
+// QuartileGroups splits indices into four equal-size groups by ascending
+// key: Low, Medium-Low, Medium-High, High (Fig. 6a's construction).
+// Ties are broken by original index for determinism.
+func QuartileGroups(keys []float64) [4][]int {
+	idx := make([]int, len(keys))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	var groups [4][]int
+	n := len(idx)
+	for g := 0; g < 4; g++ {
+		lo := g * n / 4
+		hi := (g + 1) * n / 4
+		groups[g] = append([]int(nil), idx[lo:hi]...)
+	}
+	return groups
+}
+
+// GroupNames labels QuartileGroups' output.
+func GroupNames() [4]string {
+	return [4]string{"Low", "Medium-Low", "Medium-High", "High"}
+}
+
+// LinearFit computes the least-squares line y = a + b·x, returning
+// (intercept, slope). It requires at least two distinct x values.
+func LinearFit(xs, ys []float64) (a, b float64, err error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, 0, ErrNoData
+	}
+	mx, my := Mean(xs), Mean(ys)
+	num, den := 0.0, 0.0
+	for i := range xs {
+		num += (xs[i] - mx) * (ys[i] - my)
+		den += (xs[i] - mx) * (xs[i] - mx)
+	}
+	if den == 0 {
+		return 0, 0, ErrNoData
+	}
+	b = num / den
+	a = my - b*mx
+	return a, b, nil
+}
+
+// Pearson returns the correlation coefficient of two equal-length series.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var num, dx, dy float64
+	for i := range xs {
+		num += (xs[i] - mx) * (ys[i] - my)
+		dx += (xs[i] - mx) * (xs[i] - mx)
+		dy += (ys[i] - my) * (ys[i] - my)
+	}
+	if dx == 0 || dy == 0 {
+		return 0
+	}
+	return num / math.Sqrt(dx*dy)
+}

@@ -1,0 +1,508 @@
+// Package browser implements the simulated page loader: it resolves each
+// resource's hostname to a server, pools connections per protocol the way
+// Chrome does (six HTTP/1.1 connections per host; one HTTP/2 and one
+// HTTP/3 connection per hostname, with optional H2 coalescing by edge),
+// learns H3 support via Alt-Svc (preconnecting QUIC in the background),
+// loads resources in staged discovery waves, carries TLS-ticket and
+// QUIC-token session caches across page visits, and emits HAR-like logs
+// with the blocked/connect/wait/receive phases the paper analyzes.
+package browser
+
+import (
+	"sort"
+	"time"
+
+	"h3cdn/internal/adaptive"
+	"h3cdn/internal/har"
+	"h3cdn/internal/httpsim"
+	"h3cdn/internal/quicsim"
+	"h3cdn/internal/simnet"
+	"h3cdn/internal/tlssim"
+	"h3cdn/internal/webgen"
+)
+
+// Mode selects the browsing protocol policy, mirroring the paper's two
+// Chrome instances (§III-B) plus an HTTP/1.1-only ablation.
+type Mode uint8
+
+const (
+	// ModeH2 disables QUIC: every request uses HTTP/2 (or H1 where
+	// configured).
+	ModeH2 Mode = iota + 1
+	// ModeH3 prefers HTTP/3 for hosts that support it (Alt-Svc known
+	// from the warm-up visit), falling back to HTTP/2.
+	ModeH3
+	// ModeH1 forces HTTP/1.1 everywhere (baseline ablation).
+	ModeH1
+	// ModeAdaptive selects H2 or H3 per host from observed first-byte
+	// latencies via an adaptive.Selector (the §VII extension).
+	ModeAdaptive
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeH2:
+		return "h2"
+	case ModeH3:
+		return "h3"
+	case ModeH1:
+		return "http/1.1"
+	case ModeAdaptive:
+		return "adaptive"
+	default:
+		return "?"
+	}
+}
+
+// Endpoint is the resolver's answer for one hostname.
+type Endpoint struct {
+	// Addr is the serving host on the simulated network (a CDN edge or
+	// an origin server).
+	Addr simnet.Addr
+	// SupportsH3 reports H3 availability at that hostname.
+	SupportsH3 bool
+	// H3Preloaded marks hosts whose H3 support the browser knows ahead
+	// of any response (Chrome's built-in QUIC hints for Google
+	// properties); others require per-visit Alt-Svc discovery.
+	H3Preloaded bool
+	// H1Only marks servers stuck on HTTP/1.x (no H2, no H3).
+	H1Only bool
+}
+
+// Resolver maps hostnames to endpoints (warm DNS: zero lookup cost,
+// matching the paper's repeat-visit protocol).
+type Resolver func(host string) (Endpoint, bool)
+
+// Config tunes the browser.
+type Config struct {
+	// Mode is the protocol policy.
+	Mode Mode
+	// Resolver is required.
+	Resolver Resolver
+	// MaxH1ConnsPerHost caps parallel H1 connections. Default 6.
+	MaxH1ConnsPerHost int
+	// CoalesceH2 pools H2 connections by edge address instead of
+	// hostname (connection coalescing under a provider-wide
+	// certificate). Chrome rarely achieves this in practice, so the
+	// default pools per hostname.
+	CoalesceH2 bool
+	// TLSTickets / QUICTokens are the session caches. When nil the
+	// browser creates private ones (cleared with ClearSessions).
+	TLSTickets *tlssim.TicketStore
+	QUICTokens *quicsim.TokenStore
+	// EnableEarlyData / EnableZeroRTT allow 0-RTT on resumed
+	// connections.
+	EnableEarlyData bool
+	EnableZeroRTT   bool
+	// HandshakeCPU models client crypto compute time.
+	HandshakeCPU time.Duration
+	// Selector drives ModeAdaptive; required in that mode.
+	Selector *adaptive.Selector
+	// TLS12 forces the legacy 2-round-trip TLS handshake for H1/H2
+	// connections — the paper's 3-RTT "H2 + TLS/1.2" baseline suite
+	// (ablation knob; default is TLS 1.3).
+	TLS12 bool
+}
+
+// Browser loads pages from one probe host.
+type Browser struct {
+	host  *simnet.Host
+	sched *simnet.Scheduler
+	cfg   Config
+
+	tickets *tlssim.TicketStore
+	tokens  *quicsim.TokenStore
+	altSvc  map[string]bool // hosts whose H3 support has been discovered
+
+	conns map[string]*pooledConn   // h2/h3 pools
+	h1    map[string][]*pooledConn // h1 pools per address
+
+	stats Stats
+}
+
+// Stats counts browser-level activity across visits.
+type Stats struct {
+	ConnsOpened   int64
+	H3Conns       int64
+	H2Conns       int64
+	H1Conns       int64
+	ResumedConns  int64
+	Requests      int64
+	FailedEntries int64
+}
+
+type pooledConn struct {
+	conn   httpsim.ClientConn
+	used   int           // requests assigned so far
+	dialAt time.Duration // when the dial was initiated
+}
+
+// New creates a browser on the probe host.
+func New(host *simnet.Host, cfg Config) *Browser {
+	if cfg.MaxH1ConnsPerHost == 0 {
+		cfg.MaxH1ConnsPerHost = 6
+	}
+	b := &Browser{
+		host:    host,
+		sched:   host.Scheduler(),
+		cfg:     cfg,
+		tickets: cfg.TLSTickets,
+		tokens:  cfg.QUICTokens,
+		conns:   make(map[string]*pooledConn),
+		h1:      make(map[string][]*pooledConn),
+		altSvc:  make(map[string]bool),
+	}
+	if b.tickets == nil {
+		b.tickets = tlssim.NewTicketStore()
+	}
+	if b.tokens == nil {
+		b.tokens = quicsim.NewTokenStore()
+	}
+	return b
+}
+
+// Stats returns a snapshot of browser counters.
+func (b *Browser) Stats() Stats { return b.stats }
+
+// ClearSessions drops TLS tickets and QUIC tokens (the paper's standard
+// between-page cleanup; consecutive-visit mode skips this). The Alt-Svc
+// cache survives: Chrome stores learned H3 support in its network
+// properties, which per-visit cache clearing does not touch — so the
+// warm-up visit teaches the measured visit which hosts speak H3.
+func (b *Browser) ClearSessions() {
+	b.tickets.Clear()
+	b.tokens.Clear()
+}
+
+// ClearAltSvc additionally forgets learned H3 support (full cold start).
+func (b *Browser) ClearAltSvc() {
+	b.altSvc = make(map[string]bool)
+}
+
+// CloseAll terminates all pooled connections (end of a page visit) in
+// deterministic key order so packet emission is reproducible.
+func (b *Browser) CloseAll() {
+	keys := make([]string, 0, len(b.conns))
+	for k := range b.conns {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b.conns[k].conn.Close()
+	}
+	b.conns = make(map[string]*pooledConn)
+
+	hosts := make([]string, 0, len(b.h1))
+	for k := range b.h1 {
+		hosts = append(hosts, k)
+	}
+	sort.Strings(hosts)
+	for _, k := range hosts {
+		for _, pc := range b.h1[k] {
+			pc.conn.Close()
+		}
+	}
+	b.h1 = make(map[string][]*pooledConn)
+}
+
+// Visit loads a page with progressive discovery, approximating a browser
+// render pipeline: the document first, then head resources (scripts and
+// stylesheets), then body media (images and fonts), then everything else.
+// Each wave starts when the previous one completes. onDone receives the
+// completed HAR page log; PLT is the time from visit start until the last
+// entry finishes — the onLoad analogue.
+func (b *Browser) Visit(page *webgen.Page, onDone func(*har.PageLog)) {
+	start := b.sched.Now()
+	log := &har.PageLog{
+		Site:     page.Site,
+		Protocol: b.cfg.Mode.String(),
+		Entries:  make([]har.Entry, len(page.Resources)),
+	}
+	if len(page.Resources) == 0 {
+		onDone(log)
+		return
+	}
+
+	waves := discoveryWaves(page)
+	totalLeft := len(page.Resources)
+	var lastDone time.Duration
+	entryDone := func() {
+		totalLeft--
+		if t := b.sched.Now(); t > lastDone {
+			lastDone = t
+		}
+		if totalLeft == 0 {
+			log.PLT = lastDone - start
+			log.Recount()
+			onDone(log)
+		}
+	}
+
+	// A wave unlocks the next once most of it (80%) has completed:
+	// browsers overlap discovery stages, so one straggling resource
+	// does not gate everything behind it. PLT still waits for all.
+	var startWave func(w int)
+	startWave = func(w int) {
+		if w >= len(waves) {
+			return
+		}
+		idxs := waves[w]
+		if len(idxs) == 0 {
+			startWave(w + 1)
+			return
+		}
+		unlockAt := (len(idxs)*4 + 4) / 5 // ceil(0.8n)
+		completed := 0
+		unlocked := false
+		done := func() {
+			completed++
+			if !unlocked && completed >= unlockAt {
+				unlocked = true
+				startWave(w + 1)
+			}
+			entryDone()
+		}
+		for _, i := range idxs {
+			b.fetch(&page.Resources[i], &log.Entries[i], done)
+		}
+	}
+	startWave(0)
+}
+
+// discoveryWaves orders resource indices into discovery stages: document;
+// scripts+stylesheets; images+fonts; other.
+func discoveryWaves(page *webgen.Page) [4][]int {
+	var waves [4][]int
+	waves[0] = []int{0}
+	for i := 1; i < len(page.Resources); i++ {
+		switch page.Resources[i].Type {
+		case webgen.Script, webgen.Stylesheet:
+			waves[1] = append(waves[1], i)
+		case webgen.Image, webgen.Font:
+			waves[2] = append(waves[2], i)
+		default:
+			waves[3] = append(waves[3], i)
+		}
+	}
+	return waves
+}
+
+// fetch issues one resource request and fills the HAR entry.
+func (b *Browser) fetch(res *webgen.Resource, entry *har.Entry, done func()) {
+	entry.URL = res.URL()
+	entry.Host = res.Host
+	entry.Path = res.Path
+	entry.Started = b.sched.Now()
+	b.stats.Requests++
+
+	ep, ok := b.cfg.Resolver(res.Host)
+	if !ok {
+		entry.Failed = true
+		entry.Error = "no route to host"
+		b.stats.FailedEntries++
+		done()
+		return
+	}
+
+	pc, creator := b.connFor(res.Host, ep, res.H3Eligible)
+	creator = creator || pc.used == 0 // first user of a preconnected conn
+	pc.used++
+	entry.Protocol = pc.conn.Protocol().String()
+	entry.ReusedConn = !creator
+	h3Discoverable := b.wantsH3() && ep.SupportsH3 && !ep.H1Only
+
+	var sentAt, firstByte time.Duration
+	finished := false
+	finish := func() {
+		if finished {
+			return
+		}
+		finished = true
+		done()
+	}
+	pc.conn.Do(&httpsim.Request{
+		Host:   res.Host,
+		Path:   res.Path,
+		Header: map[string]string{"accept": "*/*", "user-agent": "simbrowser/1.0"},
+	}, httpsim.RequestEvents{
+		OnSent: func() { sentAt = b.sched.Now() },
+		OnHeaders: func(m httpsim.ResponseMeta) {
+			firstByte = b.sched.Now()
+			entry.Status = m.Status
+			entry.BodySize = m.BodySize
+			entry.Header = m.Header
+			if b.cfg.Mode == ModeAdaptive && b.cfg.Selector != nil && !entry.Failed {
+				proto := adaptive.H2
+				if entry.Protocol == "h3" {
+					proto = adaptive.H3
+				}
+				if entry.Protocol != "http/1.1" {
+					b.cfg.Selector.Record(res.Host, proto, firstByte-entry.Started)
+				}
+			}
+			if h3Discoverable && !b.altSvc[res.Host] {
+				// Alt-Svc: the response advertises H3. Chrome
+				// establishes the QUIC connection in the
+				// background so later requests use it without
+				// paying the handshake inline.
+				b.altSvc[res.Host] = true
+				b.preconnectH3(res.Host, ep)
+			}
+		},
+		OnComplete: func() {
+			now := b.sched.Now()
+			if creator {
+				// Connect charges only the handshake portion this
+				// request actually waited for; a background
+				// preconnect that finished earlier costs zero.
+				hsEnd := pc.dialAt + pc.conn.HandshakeDuration()
+				if hsEnd > entry.Started {
+					entry.Connect = hsEnd - entry.Started
+				}
+				entry.ResumedConn = pc.conn.Resumed()
+				if entry.ResumedConn {
+					b.stats.ResumedConns++
+				}
+			}
+			entry.Blocked = sentAt - entry.Started - entry.Connect
+			if entry.Blocked < 0 {
+				entry.Blocked = 0
+			}
+			entry.Wait = firstByte - sentAt
+			entry.Receive = now - firstByte
+			finish()
+		},
+		OnError: func(err error) {
+			entry.Failed = true
+			entry.Error = err.Error()
+			b.stats.FailedEntries++
+			finish()
+		},
+	})
+}
+
+// wantsH3 reports whether this browsing mode ever uses HTTP/3.
+func (b *Browser) wantsH3() bool {
+	return b.cfg.Mode == ModeH3 || b.cfg.Mode == ModeAdaptive
+}
+
+// preconnectH3 opens the host's H3 connection in the background (upon
+// Alt-Svc discovery) so subsequent requests find it pooled.
+func (b *Browser) preconnectH3(host string, ep Endpoint) {
+	if !b.wantsH3() {
+		return
+	}
+	key := "h3|" + host
+	if _, ok := b.conns[key]; ok {
+		return
+	}
+	b.conns[key] = b.dialH3(host, ep)
+}
+
+func (b *Browser) dialH3(host string, ep Endpoint) *pooledConn {
+	pc := &pooledConn{
+		dialAt: b.sched.Now(),
+		conn: httpsim.DialH3(b.host, ep.Addr, httpsim.QUICPort, host, httpsim.H3DialConfig{
+			Tokens:        b.tokens,
+			EnableZeroRTT: b.cfg.EnableZeroRTT,
+			HandshakeCPU:  b.cfg.HandshakeCPU,
+			// Userspace QUIC retransmits lost handshakes from a
+			// cached RTT estimate (Chromium kInitialRtt), far
+			// sooner than kernel TCP's fixed 1s SYN timer.
+			QUIC: quicsim.Config{PTOInit: 150 * time.Millisecond},
+		}),
+	}
+	b.stats.ConnsOpened++
+	b.stats.H3Conns++
+	return pc
+}
+
+// connFor returns the pooled connection serving host, creating one if
+// needed; creator reports whether this request triggered the dial.
+// h3Eligible is the per-resource rollout flag: an H3-capable host's
+// uncovered resources still travel over HTTP/2, splitting the host's
+// traffic across two connections (§VI-C's deployment density).
+func (b *Browser) connFor(host string, ep Endpoint, h3Eligible bool) (*pooledConn, bool) {
+	// H3 additionally requires the browser to know about it: preloaded
+	// hints or Alt-Svc learned from a prior response (the warm-up visit
+	// in the paper's protocol).
+	h3Known := ep.H3Preloaded || b.altSvc[host]
+	h3Possible := ep.SupportsH3 && !ep.H1Only && h3Known && h3Eligible
+	useH3 := b.cfg.Mode == ModeH3 && h3Possible
+	if b.cfg.Mode == ModeAdaptive && b.cfg.Selector != nil {
+		useH3 = b.cfg.Selector.Choose(host, h3Possible) == adaptive.H3
+	}
+	switch {
+	case ep.H1Only:
+		return b.h1ConnFor(host, ep)
+	case useH3:
+		key := "h3|" + host
+		if pc, ok := b.conns[key]; ok {
+			return pc, false
+		}
+		pc := b.dialH3(host, ep)
+		b.conns[key] = pc
+		return pc, true
+
+	case b.cfg.Mode == ModeH1:
+		return b.h1ConnFor(host, ep)
+
+	default:
+		key := "h2|" + host
+		if b.cfg.CoalesceH2 {
+			key = "h2|" + string(ep.Addr)
+		}
+		if pc, ok := b.conns[key]; ok {
+			return pc, false
+		}
+		pc := &pooledConn{
+			dialAt: b.sched.Now(),
+			conn:   httpsim.DialH2(b.host, ep.Addr, httpsim.TCPPort, host, b.dialCfg()),
+		}
+		b.conns[key] = pc
+		b.stats.ConnsOpened++
+		b.stats.H2Conns++
+		return pc, true
+	}
+}
+
+func (b *Browser) dialCfg() httpsim.DialConfig {
+	cfg := httpsim.DialConfig{
+		TLSTickets:      b.tickets,
+		EnableEarlyData: b.cfg.EnableEarlyData,
+		HandshakeCPU:    b.cfg.HandshakeCPU,
+	}
+	if b.cfg.TLS12 {
+		cfg.TLSVersion = tlssim.TLS12
+	}
+	return cfg
+}
+
+// h1ConnFor picks an idle H1 connection for the host, opening new ones up
+// to the per-host cap, then queueing on the least-loaded.
+func (b *Browser) h1ConnFor(host string, ep Endpoint) (*pooledConn, bool) {
+	key := host
+	list := b.h1[key]
+	for _, pc := range list {
+		if pc.conn.InFlight() == 0 {
+			return pc, false
+		}
+	}
+	if len(list) < b.cfg.MaxH1ConnsPerHost {
+		pc := &pooledConn{
+			dialAt: b.sched.Now(),
+			conn:   httpsim.DialH1(b.host, ep.Addr, httpsim.TCPPort, host, b.dialCfg()),
+		}
+		b.h1[key] = append(b.h1[key], pc)
+		b.stats.ConnsOpened++
+		b.stats.H1Conns++
+		return pc, true
+	}
+	best := list[0]
+	for _, pc := range list[1:] {
+		if pc.conn.InFlight() < best.conn.InFlight() {
+			best = pc
+		}
+	}
+	return best, false
+}

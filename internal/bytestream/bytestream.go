@@ -1,0 +1,39 @@
+// Package bytestream defines the asynchronous ordered byte-stream
+// abstraction shared by the simulated transport stack: tcpsim.Conn
+// produces one, tlssim.Conn wraps one and is one, and the HTTP/1.1 and
+// HTTP/2 layers consume one. All methods are callback-oriented because
+// the simulation is single-threaded under virtual time.
+package bytestream
+
+// Stream is an ordered, reliable byte stream with asynchronous delivery.
+//
+// Implementations invoke the data callback with in-order payload chunks
+// and the close callback exactly once when the stream ends (err == nil for
+// a clean peer close, non-nil for an abort or transport failure).
+type Stream interface {
+	// Write queues p for transmission. The implementation owns p after
+	// the call returns; callers must not reuse the backing array.
+	Write(p []byte)
+	// SetDataFunc registers the in-order delivery callback.
+	SetDataFunc(fn func(p []byte))
+	// SetCloseFunc registers the end-of-stream callback.
+	SetCloseFunc(fn func(err error))
+	// Close sends any queued data and then ends the stream cleanly.
+	Close()
+	// Abort tears the stream down immediately without notifying the
+	// peer, releasing all timers. No callbacks fire after Abort.
+	Abort()
+}
+
+// Throttled is optionally implemented by streams exposing send-buffer
+// backpressure, letting producers (e.g. an HTTP/2 server pumping response
+// bodies) avoid committing unbounded data ahead of later, smaller
+// messages.
+type Throttled interface {
+	// UnsentBytes reports bytes accepted by Write but not yet
+	// transmitted on the wire.
+	UnsentBytes() int
+	// SetDrainFunc registers fn, invoked whenever UnsentBytes falls to
+	// or below threshold after transmission progress.
+	SetDrainFunc(threshold int, fn func())
+}

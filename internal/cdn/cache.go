@@ -1,0 +1,70 @@
+package cdn
+
+import "container/list"
+
+// LRUCache is a bounded least-recently-used cache keyed by string. It
+// models a CDN edge's content cache: hits answer locally, misses trigger
+// an origin fetch.
+type LRUCache struct {
+	capacity int
+	order    *list.List // front = most recent
+	items    map[string]*list.Element
+
+	hits, misses int64
+}
+
+type lruEntry struct {
+	key string
+}
+
+// NewLRUCache returns a cache bounded to capacity entries (min 1).
+func NewLRUCache(capacity int) *LRUCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LRUCache{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[string]*list.Element, capacity),
+	}
+}
+
+// Contains checks membership and refreshes recency on hit.
+func (c *LRUCache) Contains(key string) bool {
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return false
+	}
+	c.order.MoveToFront(el)
+	c.hits++
+	return true
+}
+
+// Add inserts key, evicting the least recently used entry if full.
+func (c *LRUCache) Add(key string) {
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		return
+	}
+	if c.order.Len() >= c.capacity {
+		back := c.order.Back()
+		if back != nil {
+			c.order.Remove(back)
+			delete(c.items, back.Value.(*lruEntry).key)
+		}
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key})
+}
+
+// Len reports the number of cached entries.
+func (c *LRUCache) Len() int { return c.order.Len() }
+
+// HitRate reports hits/(hits+misses) since creation (0 when unused).
+func (c *LRUCache) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}

@@ -1,0 +1,275 @@
+package cdn
+
+import (
+	"math"
+	"strconv"
+	"testing"
+	"time"
+
+	"h3cdn/internal/httpsim"
+	"h3cdn/internal/seqrand"
+	"h3cdn/internal/simnet"
+)
+
+func TestRegistryCalibration(t *testing.T) {
+	reg := Registry()
+	shareSum := 0.0
+	for _, p := range reg {
+		if p.MarketShare <= 0 || p.MarketShare > 1 {
+			t.Fatalf("%s: share %v out of range", p.Name, p.MarketShare)
+		}
+		if p.H3Adoption < 0 || p.H3Adoption > 1 {
+			t.Fatalf("%s: adoption %v out of range", p.Name, p.H3Adoption)
+		}
+		if p.ReleaseYear < 2019 || p.ReleaseYear > 2023 {
+			t.Fatalf("%s: release year %d", p.Name, p.ReleaseYear)
+		}
+		shareSum += p.MarketShare
+	}
+	if math.Abs(shareSum-1.0) > 1e-9 {
+		t.Fatalf("market shares sum to %v, want 1.0", shareSum)
+	}
+	// Raw Σ share·adoption sits below the Table II target (0.385)
+	// because measured shares are renormalized per page by provider
+	// presence, which boosts the high-presence (high-adoption)
+	// providers; the measured-level check lives in internal/core.
+	if got := ExpectedH3CDNShare(); got < 0.26 || got > 0.42 {
+		t.Fatalf("expected H3 CDN share = %.3f, want 0.26..0.42", got)
+	}
+}
+
+func TestRegistryFig2Shape(t *testing.T) {
+	// Google and Cloudflare must dominate H3-enabled CDN requests
+	// (each roughly half; exact splits are asserted at the measured
+	// level in internal/core).
+	total := ExpectedH3CDNShare()
+	g, _ := ProviderByName("Google")
+	cf, _ := ProviderByName("Cloudflare")
+	gShare := g.MarketShare * g.H3Adoption / total
+	cfShare := cf.MarketShare * cf.H3Adoption / total
+	if gShare < 0.30 || gShare > 0.60 {
+		t.Fatalf("Google share of H3 requests = %.3f, want dominant (~0.5)", gShare)
+	}
+	if cfShare < 0.30 || cfShare > 0.60 {
+		t.Fatalf("Cloudflare share of H3 requests = %.3f, want dominant (~0.45)", cfShare)
+	}
+	rest := 1 - gShare - cfShare
+	if rest > 0.25 {
+		t.Fatalf("other providers hold %.3f of H3 requests, want a small tail", rest)
+	}
+}
+
+func TestProviderByName(t *testing.T) {
+	if _, ok := ProviderByName("Google"); !ok {
+		t.Fatal("Google missing")
+	}
+	if _, ok := ProviderByName("NotACDN"); ok {
+		t.Fatal("bogus provider found")
+	}
+	if len(GiantProviders()) != 4 || len(SharedProviderSet()) != 6 {
+		t.Fatal("provider sets wrong size")
+	}
+}
+
+func TestLRUCache(t *testing.T) {
+	c := NewLRUCache(2)
+	if c.Contains("a") {
+		t.Fatal("empty cache hit")
+	}
+	c.Add("a")
+	c.Add("b")
+	if !c.Contains("a") || !c.Contains("b") {
+		t.Fatal("miss on fresh entries")
+	}
+	c.Add("c") // evicts LRU: "a" was touched before "b"... order: a,b touched; a older
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	if c.Contains("a") {
+		t.Fatal("LRU entry not evicted")
+	}
+	if !c.Contains("c") {
+		t.Fatal("new entry missing")
+	}
+	if c.HitRate() <= 0 || c.HitRate() >= 1 {
+		t.Fatalf("hit rate = %v", c.HitRate())
+	}
+}
+
+func TestLRUCacheRecencyUpdate(t *testing.T) {
+	c := NewLRUCache(2)
+	c.Add("a")
+	c.Add("b")
+	c.Contains("a") // refresh a
+	c.Add("c")      // should evict b
+	if !c.Contains("a") || c.Contains("b") {
+		t.Fatal("recency not respected")
+	}
+}
+
+func TestLRUCapacityFloor(t *testing.T) {
+	c := NewLRUCache(0)
+	c.Add("x")
+	if c.Len() != 1 {
+		t.Fatal("capacity floor broken")
+	}
+}
+
+// edgeWorld wires a client and one edge for handler tests.
+func edgeWorld(t *testing.T, provider string, h3Overhead time.Duration) (*simnet.Scheduler, *simnet.Network, *Edge) {
+	t.Helper()
+	sched := &simnet.Scheduler{MaxEvents: 5_000_000}
+	pf := func(src, dst simnet.Addr) simnet.PathProps {
+		return simnet.PathProps{Delay: 10 * time.Millisecond}
+	}
+	n := simnet.NewNetwork(sched, pf, seqrand.New(1))
+	n.AddHost("client")
+	server := n.AddHost("edge")
+	prov, ok := ProviderByName(provider)
+	if !ok {
+		t.Fatalf("unknown provider %s", provider)
+	}
+	edge := NewEdge(EdgeConfig{
+		Provider: prov,
+		Sched:    sched,
+		Content: func(host, path string) (int, bool) {
+			n, err := strconv.Atoi(path[1:])
+			if err != nil {
+				return 0, false
+			}
+			return n, true
+		},
+		HitWait:        2 * time.Millisecond,
+		MissPenalty:    50 * time.Millisecond,
+		H3WaitOverhead: h3Overhead,
+		WaitJitter:     -1, // disabled (withDefaults only fills zero)
+	})
+	if _, err := httpsim.StartServer(server, httpsim.ServerConfig{
+		Handler:  edge.Handler(),
+		EnableH3: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return sched, n, edge
+}
+
+func TestEdgeCacheMissThenHit(t *testing.T) {
+	sched, n, edge := edgeWorld(t, "Cloudflare", 2*time.Millisecond)
+	client := n.Host("client")
+
+	var firstWaitDone, secondWaitDone time.Duration
+	var firstHeaders, secondHeaders map[string]string
+	conn := httpsim.DialH2(client, "edge", httpsim.TCPPort, "cdn.site.sim", httpsim.DialConfig{})
+	conn.Do(&httpsim.Request{Host: "cdn.site.sim", Path: "/5000"}, httpsim.RequestEvents{
+		OnHeaders: func(m httpsim.ResponseMeta) {
+			firstWaitDone = sched.Now()
+			firstHeaders = m.Header
+		},
+		OnComplete: func() {
+			// Second request: should be a cache hit, much faster.
+			conn.Do(&httpsim.Request{Host: "cdn.site.sim", Path: "/5000"}, httpsim.RequestEvents{
+				OnHeaders: func(m httpsim.ResponseMeta) {
+					secondWaitDone = sched.Now()
+					secondHeaders = m.Header
+				},
+			})
+		},
+	})
+	start := sched.Now()
+	if _, err := sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if firstHeaders["x-cache"] != "MISS" || secondHeaders["x-cache"] != "HIT" {
+		t.Fatalf("x-cache: first=%q second=%q", firstHeaders["x-cache"], secondHeaders["x-cache"])
+	}
+	if firstHeaders["server"] != "cloudflare" {
+		t.Fatalf("server header %q", firstHeaders["server"])
+	}
+	first := firstWaitDone - start
+	second := secondWaitDone - firstWaitDone
+	if second >= first {
+		t.Fatalf("cache hit (%v) not faster than miss (%v)", second, first)
+	}
+	if edge.Requests() != 2 {
+		t.Fatalf("edge served %d requests", edge.Requests())
+	}
+	if edge.CacheHitRate() != 0.5 {
+		t.Fatalf("hit rate = %v", edge.CacheHitRate())
+	}
+}
+
+func TestEdgeH3WaitOverhead(t *testing.T) {
+	waitFor := func(proto httpsim.Protocol) time.Duration {
+		sched, n, _ := edgeWorld(t, "Google", 5*time.Millisecond)
+		client := n.Host("client")
+		var conn httpsim.ClientConn
+		if proto == httpsim.H3 {
+			conn = httpsim.DialH3(client, "edge", httpsim.QUICPort, "g.sim", httpsim.H3DialConfig{})
+		} else {
+			conn = httpsim.DialH2(client, "edge", httpsim.TCPPort, "g.sim", httpsim.DialConfig{})
+		}
+		var sent, fb time.Duration
+		conn.Do(&httpsim.Request{Host: "g.sim", Path: "/100"}, httpsim.RequestEvents{
+			OnSent:    func() { sent = sched.Now() },
+			OnHeaders: func(httpsim.ResponseMeta) { fb = sched.Now() },
+		})
+		if _, err := sched.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return fb - sent
+	}
+	h2Wait := waitFor(httpsim.H2)
+	h3Wait := waitFor(httpsim.H3)
+	// Same path RTT; H3 carries the extra server compute (paper §VI-B:
+	// median wait reduction below zero).
+	if h3Wait != h2Wait+5*time.Millisecond {
+		t.Fatalf("H3 wait %v vs H2 wait %v, want +5ms", h3Wait, h2Wait)
+	}
+}
+
+func TestEdge404(t *testing.T) {
+	sched, n, _ := edgeWorld(t, "Fastly", 0)
+	client := n.Host("client")
+	conn := httpsim.DialH2(client, "edge", httpsim.TCPPort, "f.sim", httpsim.DialConfig{})
+	var status int
+	conn.Do(&httpsim.Request{Host: "f.sim", Path: "/nope"}, httpsim.RequestEvents{
+		OnHeaders: func(m httpsim.ResponseMeta) { status = m.Status },
+	})
+	if _, err := sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if status != 404 {
+		t.Fatalf("status = %d, want 404", status)
+	}
+}
+
+func TestOriginHandlerHeaders(t *testing.T) {
+	sched := &simnet.Scheduler{MaxEvents: 1_000_000}
+	pf := func(src, dst simnet.Addr) simnet.PathProps {
+		return simnet.PathProps{Delay: 10 * time.Millisecond}
+	}
+	n := simnet.NewNetwork(sched, pf, seqrand.New(1))
+	client := n.AddHost("client")
+	server := n.AddHost("origin")
+	h := NewOriginHandler(OriginConfig{
+		Sched:   sched,
+		Content: func(host, path string) (int, bool) { return 1234, true },
+	})
+	if _, err := httpsim.StartServer(server, httpsim.ServerConfig{Handler: h}); err != nil {
+		t.Fatal(err)
+	}
+	conn := httpsim.DialH2(client, "origin", httpsim.TCPPort, "site.sim", httpsim.DialConfig{})
+	var meta httpsim.ResponseMeta
+	conn.Do(&httpsim.Request{Host: "site.sim", Path: "/"}, httpsim.RequestEvents{
+		OnHeaders: func(m httpsim.ResponseMeta) { meta = m },
+	})
+	if _, err := sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if meta.Status != 200 || meta.BodySize != 1234 {
+		t.Fatalf("meta = %+v", meta)
+	}
+	if meta.Header["x-cache"] != "" || meta.Header["server"] != "nginx/1.22" {
+		t.Fatalf("origin headers look like a CDN: %v", meta.Header)
+	}
+}

@@ -1,0 +1,199 @@
+package cdn
+
+import (
+	"math/rand"
+	"strings"
+	"time"
+
+	"h3cdn/internal/httpsim"
+	"h3cdn/internal/simnet"
+)
+
+// ContentFunc resolves a resource's body size. ok=false yields a 404.
+type ContentFunc func(host, path string) (size int, ok bool)
+
+// EdgeConfig configures one CDN edge server's request handling.
+type EdgeConfig struct {
+	// Provider supplies the response-header signature.
+	Provider Provider
+	// Sched drives simulated processing delays.
+	Sched *simnet.Scheduler
+	// Content resolves resource sizes.
+	Content ContentFunc
+	// CacheCapacity bounds the edge LRU cache (entries). Default 8192.
+	CacheCapacity int
+	// HitWait is the processing time for a cache hit. Default 2ms.
+	HitWait time.Duration
+	// MissPenalty is the extra delay for fetching from the origin on a
+	// cache miss. Default 80ms.
+	MissPenalty time.Duration
+	// H3WaitOverhead is the extra per-request compute for H3 (QPACK,
+	// UDP path): the paper observes median wait reduction below zero.
+	// Default 8ms.
+	H3WaitOverhead time.Duration
+	// WaitJitter adds U[0,WaitJitter) to every wait. Default 1ms.
+	WaitJitter time.Duration
+	// Rng drives jitter; required when WaitJitter > 0.
+	Rng *rand.Rand
+}
+
+func (c EdgeConfig) withDefaults() EdgeConfig {
+	if c.CacheCapacity == 0 {
+		c.CacheCapacity = 8192
+	}
+	if c.HitWait == 0 {
+		c.HitWait = 2 * time.Millisecond
+	}
+	if c.MissPenalty == 0 {
+		c.MissPenalty = 80 * time.Millisecond
+	}
+	if c.H3WaitOverhead == 0 {
+		c.H3WaitOverhead = 8 * time.Millisecond
+	}
+	if c.WaitJitter == 0 {
+		c.WaitJitter = time.Millisecond
+	}
+	return c
+}
+
+// Edge is a CDN edge server's request-handling state (cache plus
+// counters). One Edge backs one simnet host via httpsim.StartServer.
+type Edge struct {
+	cfg   EdgeConfig
+	cache *LRUCache
+
+	requests int64
+	h3Reqs   int64
+}
+
+// NewEdge creates the edge state and returns it with its handler.
+func NewEdge(cfg EdgeConfig) *Edge {
+	cfg = cfg.withDefaults()
+	return &Edge{cfg: cfg, cache: NewLRUCache(cfg.CacheCapacity)}
+}
+
+// Requests reports the number of requests served.
+func (e *Edge) Requests() int64 { return e.requests }
+
+// H3Requests reports how many requests arrived over HTTP/3.
+func (e *Edge) H3Requests() int64 { return e.h3Reqs }
+
+// CacheHitRate exposes the underlying cache hit rate.
+func (e *Edge) CacheHitRate() float64 { return e.cache.HitRate() }
+
+// Handler returns the httpsim handler serving this edge.
+func (e *Edge) Handler() httpsim.Handler {
+	return func(ctx *httpsim.ServerContext, respond func(httpsim.Response)) {
+		e.requests++
+		if ctx.Protocol == httpsim.H3 {
+			e.h3Reqs++
+		}
+		size, ok := e.cfg.Content(ctx.Req.Host, ctx.Req.Path)
+		if !ok {
+			e.respondAfter(e.cfg.HitWait, respond, httpsim.Response{
+				Status: 404,
+				Header: e.headers(false),
+			})
+			return
+		}
+		key := ctx.Req.Host + ctx.Req.Path
+		hit := e.cache.Contains(key)
+		wait := e.cfg.HitWait
+		if !hit {
+			wait += e.cfg.MissPenalty
+			e.cache.Add(key)
+		}
+		if ctx.Protocol == httpsim.H3 {
+			wait += e.cfg.H3WaitOverhead
+		}
+		if e.cfg.WaitJitter > 0 && e.cfg.Rng != nil {
+			wait += time.Duration(e.cfg.Rng.Int63n(int64(e.cfg.WaitJitter)))
+		}
+		e.respondAfter(wait, respond, httpsim.Response{
+			Status:   200,
+			Header:   e.headers(hit),
+			BodySize: size,
+		})
+	}
+}
+
+func (e *Edge) respondAfter(wait time.Duration, respond func(httpsim.Response), resp httpsim.Response) {
+	if wait <= 0 {
+		respond(resp)
+		return
+	}
+	e.cfg.Sched.After(wait, func() { respond(resp) })
+}
+
+// headers synthesizes the provider's response signature, which
+// internal/locedge classifies.
+func (e *Edge) headers(hit bool) map[string]string {
+	h := map[string]string{
+		"server": e.cfg.Provider.ServerHeader,
+	}
+	if e.cfg.Provider.ViaHeader != "" {
+		h["via"] = e.cfg.Provider.ViaHeader
+	}
+	if e.cfg.Provider.ExtraHeader != "" {
+		if k, v, ok := strings.Cut(e.cfg.Provider.ExtraHeader, "="); ok {
+			h[k] = v
+		}
+	}
+	if hit {
+		h["x-cache"] = "HIT"
+	} else {
+		h["x-cache"] = "MISS"
+	}
+	return h
+}
+
+// OriginConfig configures a non-CDN origin web server.
+type OriginConfig struct {
+	Sched *simnet.Scheduler
+	// Content resolves resource sizes.
+	Content ContentFunc
+	// Wait is the per-request processing time. Default 15ms.
+	Wait time.Duration
+	// H3WaitOverhead mirrors the edge's H3 compute cost. Default 8ms.
+	H3WaitOverhead time.Duration
+	// WaitJitter adds U[0,WaitJitter). Default 4ms.
+	WaitJitter time.Duration
+	Rng        *rand.Rand
+}
+
+func (c OriginConfig) withDefaults() OriginConfig {
+	if c.Wait == 0 {
+		c.Wait = 15 * time.Millisecond
+	}
+	if c.H3WaitOverhead == 0 {
+		c.H3WaitOverhead = 8 * time.Millisecond
+	}
+	if c.WaitJitter == 0 {
+		c.WaitJitter = 4 * time.Millisecond
+	}
+	return c
+}
+
+// NewOriginHandler returns a handler for a site's own (non-CDN) server.
+// Its headers carry no CDN signature, so locedge classifies its entries
+// as non-CDN.
+func NewOriginHandler(cfg OriginConfig) httpsim.Handler {
+	cfg = cfg.withDefaults()
+	return func(ctx *httpsim.ServerContext, respond func(httpsim.Response)) {
+		size, ok := cfg.Content(ctx.Req.Host, ctx.Req.Path)
+		resp := httpsim.Response{Status: 200, Header: map[string]string{"server": "nginx/1.22"}}
+		if !ok {
+			resp.Status = 404
+		} else {
+			resp.BodySize = size
+		}
+		wait := cfg.Wait
+		if ctx.Protocol == httpsim.H3 {
+			wait += cfg.H3WaitOverhead
+		}
+		if cfg.WaitJitter > 0 && cfg.Rng != nil {
+			wait += time.Duration(cfg.Rng.Int63n(int64(cfg.WaitJitter)))
+		}
+		cfg.Sched.After(wait, func() { respond(resp) })
+	}
+}

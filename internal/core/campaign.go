@@ -1,0 +1,203 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"h3cdn/internal/browser"
+	"h3cdn/internal/har"
+	"h3cdn/internal/vantage"
+	"h3cdn/internal/webgen"
+)
+
+// CampaignConfig describes one measurement campaign (§III-B): every
+// target page visited over H2 and H3 from geographically distributed
+// probes, with a cache-warming first visit and a measured second visit.
+type CampaignConfig struct {
+	// Seed drives corpus generation and per-probe randomness.
+	Seed uint64
+	// Corpus overrides generation (nil: generated from CorpusConfig).
+	Corpus *webgen.Corpus
+	// CorpusConfig tunes generation when Corpus is nil; its Seed is
+	// overridden by Seed.
+	CorpusConfig webgen.Config
+	// Vantages lists probe sites. Default: the three CloudLab sites.
+	Vantages []vantage.Point
+	// ProbesPerVantage overrides each site's probe count (0 keeps the
+	// site default).
+	ProbesPerVantage int
+	// Modes lists browsing modes. Default {ModeH2, ModeH3}.
+	Modes []browser.Mode
+	// LossRate injects path loss on top of which §VI-E's Traffic
+	// Control sweep adds more. Zero selects the default baseline of
+	// 0.3% (real Internet paths are not lossless — the paper's "0%"
+	// condition refers to *added* loss); pass a negative value for a
+	// genuinely lossless network.
+	LossRate float64
+	// Consecutive keeps session caches across pages within a probe's
+	// measured pass (§VI-D); the standard protocol clears them after
+	// every visit.
+	Consecutive bool
+	// Sequential disables probe-level parallelism (for debugging).
+	Sequential bool
+	// H3WaitOverhead / MissPenalty / MaxEvents pass through to the
+	// universes.
+	H3WaitOverhead time.Duration
+	MissPenalty    time.Duration
+	MaxEvents      int
+}
+
+// DefaultBaselineLoss is the ambient packet-loss rate of the simulated
+// paths (see CampaignConfig.LossRate).
+const DefaultBaselineLoss = 0.003
+
+func (c CampaignConfig) withDefaults() CampaignConfig {
+	if c.Vantages == nil {
+		c.Vantages = vantage.Points()
+	}
+	if c.LossRate == 0 {
+		c.LossRate = DefaultBaselineLoss
+	} else if c.LossRate < 0 {
+		c.LossRate = 0
+	}
+	if c.Modes == nil {
+		c.Modes = []browser.Mode{browser.ModeH2, browser.ModeH3}
+	}
+	return c
+}
+
+// Dataset is a campaign's output: per-mode HAR logs over the shared
+// corpus.
+type Dataset struct {
+	Seed        uint64
+	Consecutive bool
+	Corpus      *webgen.Corpus
+	Logs        map[browser.Mode]*har.Log
+}
+
+// probeJob identifies one (mode, vantage, probe) run.
+type probeJob struct {
+	mode  browser.Mode
+	point vantage.Point
+	probe int
+}
+
+// RunCampaign executes the full visit protocol and returns the dataset.
+func RunCampaign(cfg CampaignConfig) (*Dataset, error) {
+	cfg = cfg.withDefaults()
+	corpus := cfg.Corpus
+	if corpus == nil {
+		cc := cfg.CorpusConfig
+		cc.Seed = cfg.Seed
+		corpus = webgen.Generate(cc)
+	}
+
+	var jobs []probeJob
+	for _, mode := range cfg.Modes {
+		for _, point := range cfg.Vantages {
+			probes := point.ProbesPerSite
+			if cfg.ProbesPerVantage > 0 {
+				probes = cfg.ProbesPerVantage
+			}
+			for p := 0; p < probes; p++ {
+				jobs = append(jobs, probeJob{mode: mode, point: point, probe: p})
+			}
+		}
+	}
+
+	results := make([][]har.PageLog, len(jobs))
+	errs := make([]error, len(jobs))
+	run := func(i int, job probeJob) {
+		results[i], errs[i] = runProbe(cfg, corpus, job)
+	}
+	if cfg.Sequential {
+		for i, job := range jobs {
+			run(i, job)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i, job := range jobs {
+			wg.Add(1)
+			go func(i int, job probeJob) {
+				defer wg.Done()
+				run(i, job)
+			}(i, job)
+		}
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: probe %s/%d mode %s: %w",
+				jobs[i].point.Name, jobs[i].probe, jobs[i].mode, err)
+		}
+	}
+
+	ds := &Dataset{
+		Seed:        cfg.Seed,
+		Consecutive: cfg.Consecutive,
+		Corpus:      corpus,
+		Logs:        make(map[browser.Mode]*har.Log, len(cfg.Modes)),
+	}
+	for _, mode := range cfg.Modes {
+		ds.Logs[mode] = &har.Log{Seed: cfg.Seed}
+	}
+	for i, job := range jobs {
+		ds.Logs[job.mode].Pages = append(ds.Logs[job.mode].Pages, results[i]...)
+	}
+	return ds, nil
+}
+
+// runProbe executes the visit protocol for one probe and mode: a warm
+// pass caches every resource at the edges (and, implicitly, teaches the
+// browser each host's H3 support, like Alt-Svc), then the measured pass
+// records HAR logs.
+func runProbe(cfg CampaignConfig, corpus *webgen.Corpus, job probeJob) ([]har.PageLog, error) {
+	u, err := NewUniverse(UniverseConfig{
+		Seed:           cfg.Seed + uint64(job.probe)*1009,
+		Corpus:         corpus,
+		Vantage:        job.point,
+		LossRate:       cfg.LossRate,
+		H3WaitOverhead: cfg.H3WaitOverhead,
+		MissPenalty:    cfg.MissPenalty,
+		MaxEvents:      cfg.MaxEvents,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Chrome-realistic resumption: QUIC 0-RTT on, TLS 1.3 early data
+	// off — a resumed H2 connection still pays the TCP and TLS round
+	// trips (the asymmetry behind §VI-D's consecutive-visit gains).
+	b := u.NewBrowser(browser.Config{
+		Mode:            job.mode,
+		EnableEarlyData: false,
+		EnableZeroRTT:   true,
+		HandshakeCPU:    300 * time.Microsecond,
+	})
+	probeName := job.point.Name + "/" + strconv.Itoa(job.probe)
+
+	// Warm pass (discarded): fills edge caches, as in §III-B.
+	for i := range corpus.Pages {
+		if _, err := u.RunVisit(b, &corpus.Pages[i]); err != nil {
+			return nil, fmt.Errorf("warm visit: %w", err)
+		}
+		b.ClearSessions()
+	}
+
+	// Measured pass.
+	logs := make([]har.PageLog, 0, len(corpus.Pages))
+	for i := range corpus.Pages {
+		log, err := u.RunVisit(b, &corpus.Pages[i])
+		if err != nil {
+			return nil, fmt.Errorf("measured visit: %w", err)
+		}
+		log.Probe = probeName
+		logs = append(logs, *log)
+		if !cfg.Consecutive {
+			b.ClearSessions()
+		}
+	}
+	return logs, nil
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"testing"
+
+	"h3cdn/internal/analysis"
+	"h3cdn/internal/browser"
+	"h3cdn/internal/vantage"
+	"h3cdn/internal/webgen"
+)
+
+// TestDiagLossLevels prints PLT levels and reductions per loss rate.
+func TestDiagLossLevels(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("diagnostic; run with -v")
+	}
+	for _, added := range []float64{0, 0.005, 0.01} {
+		cfg := CampaignConfig{
+			Seed:             1234,
+			CorpusConfig:     webgen.Config{NumPages: 48, MeanResources: 70},
+			Vantages:         vantage.Points()[:1],
+			ProbesPerVantage: 3,
+			LossRate:         DefaultBaselineLoss + added,
+		}
+		ds, err := RunCampaign(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sms := ComputeSiteMetrics(ds)
+		var h2, h3, red []float64
+		var small, large []float64 // reductions by size half
+		sizes := make([]float64, len(sms))
+		for i := range sms {
+			sizes[i] = float64(sms[i].CDNEntries)
+		}
+		medSize := analysis.Median(sizes)
+		for i := range sms {
+			h2 = append(h2, msOf(sms[i].ByMode[browser.ModeH2].PLT))
+			h3 = append(h3, msOf(sms[i].ByMode[browser.ModeH3].PLT))
+			r := msOf(sms[i].PLTReduction())
+			red = append(red, r)
+			if sizes[i] <= medSize {
+				small = append(small, r)
+			} else {
+				large = append(large, r)
+			}
+		}
+		t.Logf("added=%.1f%%: medPLT h2=%.0f h3=%.0f | red med=%.0f mean=%.0f | small med=%.0f large med=%.0f",
+			100*added, analysis.Median(h2), analysis.Median(h3),
+			analysis.Median(red), analysis.Mean(red), analysis.Median(small), analysis.Median(large))
+	}
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"h3cdn/internal/browser"
+	"h3cdn/internal/har"
+	"h3cdn/internal/vantage"
+	"h3cdn/internal/webgen"
+)
+
+// TestDiagSlowestEntries is a diagnostic aid (verbose only): it shows,
+// per mode, where page time goes on a few pages.
+func TestDiagSlowestEntries(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("diagnostic; run with -v")
+	}
+	ds, err := RunCampaign(CampaignConfig{
+		Seed:             7,
+		CorpusConfig:     webgen.Config{NumPages: 6, MeanResources: 70},
+		Vantages:         vantage.Points()[:1],
+		ProbesPerVantage: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		h2p := ds.Logs[browser.ModeH2].Pages[i]
+		h3p := ds.Logs[browser.ModeH3].Pages[i]
+		t.Logf("site %s: PLT h2=%v h3=%v diff=%v entries=%d",
+			h2p.Site, h2p.PLT.Round(time.Millisecond), h3p.PLT.Round(time.Millisecond),
+			(h2p.PLT - h3p.PLT).Round(time.Millisecond), len(h2p.Entries))
+		for _, m := range []struct {
+			name string
+			pg   har.PageLog
+		}{{"h2", h2p}, {"h3", h3p}} {
+			entries := append([]har.Entry(nil), m.pg.Entries...)
+			sort.Slice(entries, func(a, b int) bool {
+				return entries[a].Started+entries[a].Total() > entries[b].Started+entries[b].Total()
+			})
+			for j := 0; j < 4 && j < len(entries); j++ {
+				e := entries[j]
+				t.Logf("  [%s] end=%v start=%v conn=%v wait=%v recv=%v blocked=%v proto=%s reused=%v host=%s",
+					m.name, (e.Started + e.Total()).Round(time.Millisecond), e.Started.Round(time.Millisecond),
+					e.Connect.Round(time.Millisecond), e.Wait.Round(time.Millisecond),
+					e.Receive.Round(time.Millisecond), e.Blocked.Round(time.Millisecond),
+					e.Protocol, e.ReusedConn, e.Host)
+			}
+		}
+	}
+}

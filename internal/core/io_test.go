@@ -1,0 +1,92 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"h3cdn/internal/browser"
+)
+
+func TestDatasetJSONRoundTrip(t *testing.T) {
+	ds := smallCampaign(t, nil)
+	var buf bytes.Buffer
+	if err := ds.SaveJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != ds.Seed || got.Consecutive != ds.Consecutive {
+		t.Fatalf("metadata: %+v", got)
+	}
+	if len(got.Corpus.Pages) != len(ds.Corpus.Pages) {
+		t.Fatalf("corpus pages %d != %d", len(got.Corpus.Pages), len(ds.Corpus.Pages))
+	}
+	for _, mode := range []browser.Mode{browser.ModeH2, browser.ModeH3} {
+		a, b := ds.Logs[mode], got.Logs[mode]
+		if b == nil || len(a.Pages) != len(b.Pages) {
+			t.Fatalf("mode %v: pages differ", mode)
+		}
+		for i := range a.Pages {
+			if a.Pages[i].PLT != b.Pages[i].PLT {
+				t.Fatalf("mode %v page %d: PLT %v != %v", mode, i, a.Pages[i].PLT, b.Pages[i].PLT)
+			}
+			if len(a.Pages[i].Entries) != len(b.Pages[i].Entries) {
+				t.Fatalf("mode %v page %d: entry counts differ", mode, i)
+			}
+		}
+	}
+	// Analyses over the round-tripped dataset must agree.
+	t2a, t2b := ComputeTable2(ds), ComputeTable2(got)
+	if t2a.Total != t2b.Total || t2a.CDN["HTTP/3"] != t2b.CDN["HTTP/3"] {
+		t.Fatalf("Table2 diverged after round trip: %+v vs %+v", t2a, t2b)
+	}
+}
+
+func TestLoadDatasetRejectsGarbage(t *testing.T) {
+	if _, err := LoadDataset(strings.NewReader("{nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := LoadDataset(strings.NewReader(`{"logs":{"spdy":{}}}`)); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+func TestModeByName(t *testing.T) {
+	for _, m := range []browser.Mode{browser.ModeH1, browser.ModeH2, browser.ModeH3} {
+		got, ok := modeByName(m.String())
+		if !ok || got != m {
+			t.Fatalf("modeByName(%q) = %v, %v", m.String(), got, ok)
+		}
+	}
+	if _, ok := modeByName("gopher"); ok {
+		t.Fatal("bogus mode resolved")
+	}
+}
+
+func TestWritePlotData(t *testing.T) {
+	ds := smallCampaign(t, nil)
+	cons := smallCampaign(t, func(c *CampaignConfig) { c.Consecutive = true })
+	fig9 := []Fig9Series{{LossRate: 0.005, Slope: 1.2, Intercept: 3}}
+	dir := t.TempDir()
+	if err := WritePlotData(dir, ds, cons, fig9); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"table2.txt", "fig2.tsv", "fig3_ccdf.tsv", "fig4a.tsv", "fig4b.tsv",
+		"fig6a.tsv", "fig6b_connect.tsv", "fig7ab.tsv", "fig7c.tsv",
+		"fig8.tsv", "fig9_loss0.5.tsv",
+	} {
+		info, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if info.Size() == 0 {
+			t.Fatalf("%s is empty", name)
+		}
+	}
+}

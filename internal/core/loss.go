@@ -1,0 +1,31 @@
+package core
+
+import "fmt"
+
+// Figure9Losses are the added loss rates of §VI-E's Traffic Control
+// sweep: 0%, 0.5%, and 1% on top of the ambient baseline.
+func Figure9Losses() []float64 {
+	return []float64{0, 0.005, 0.01}
+}
+
+// RunFigure9 executes one campaign per added loss rate and fits each
+// reduction-vs-resources series. The baseline campaign config supplies
+// corpus, vantages, and probes; only the loss rate varies.
+func RunFigure9(base CampaignConfig) ([]Fig9Series, error) {
+	base = base.withDefaults()
+	out := make([]Fig9Series, 0, 3)
+	for _, added := range Figure9Losses() {
+		cfg := base
+		cfg.LossRate = base.LossRate + added
+		ds, err := RunCampaign(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: Figure9 loss %.3f: %w", added, err)
+		}
+		s, err := ComputeFigure9Series(ds, added)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

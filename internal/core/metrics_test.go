@@ -1,0 +1,173 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"h3cdn/internal/analysis"
+	"h3cdn/internal/browser"
+	"h3cdn/internal/har"
+	"h3cdn/internal/webgen"
+)
+
+func pointXY(x, y float64) analysis.Point { return analysis.Point{X: x, Y: y} }
+
+func fitHelper(xs, ys []float64) (a, b float64, err error) {
+	return analysis.LinearFit(xs, ys)
+}
+
+// handDataset builds a tiny synthetic dataset with known values.
+func handDataset() *Dataset {
+	mkEntry := func(host string, proto string, cdnServer string, connect, wait, recv time.Duration, reused bool) har.Entry {
+		h := map[string]string{}
+		if cdnServer != "" {
+			h["server"] = cdnServer
+		}
+		return har.Entry{
+			Host: host, Protocol: proto, Status: 200, Header: h,
+			Connect: connect, Wait: wait, Receive: recv, ReusedConn: reused,
+		}
+	}
+	h2Page := har.PageLog{
+		Site: "site-a", Protocol: "h2", Probe: "utah/0",
+		PLT: 500 * time.Millisecond,
+		Entries: []har.Entry{
+			mkEntry("site-a", "h2", "", 80*time.Millisecond, 30*time.Millisecond, 10*time.Millisecond, false),
+			mkEntry("x.cdn", "h2", "cloudflare", 60*time.Millisecond, 20*time.Millisecond, 8*time.Millisecond, false),
+			mkEntry("x.cdn", "h2", "cloudflare", 0, 22*time.Millisecond, 6*time.Millisecond, true),
+		},
+	}
+	h2Page.Recount()
+	h3Page := har.PageLog{
+		Site: "site-a", Protocol: "h3", Probe: "utah/0",
+		PLT: 400 * time.Millisecond,
+		Entries: []har.Entry{
+			mkEntry("site-a", "h2", "", 80*time.Millisecond, 30*time.Millisecond, 10*time.Millisecond, false),
+			mkEntry("x.cdn", "h3", "cloudflare", 30*time.Millisecond, 24*time.Millisecond, 8*time.Millisecond, false),
+			mkEntry("x.cdn", "h3", "cloudflare", 0, 26*time.Millisecond, 6*time.Millisecond, true),
+		},
+	}
+	h3Page.Recount()
+	corpus := webgen.Generate(webgen.Config{NumPages: 1, Seed: 1})
+	return &Dataset{
+		Corpus: corpus,
+		Logs: map[browser.Mode]*har.Log{
+			browser.ModeH2: {Pages: []har.PageLog{h2Page}},
+			browser.ModeH3: {Pages: []har.PageLog{h3Page}},
+		},
+	}
+}
+
+func TestComputeSiteMetricsHandValues(t *testing.T) {
+	sms := ComputeSiteMetrics(handDataset())
+	if len(sms) != 1 {
+		t.Fatalf("%d sites", len(sms))
+	}
+	m := sms[0]
+	if m.Site != "site-a" {
+		t.Fatalf("site %q", m.Site)
+	}
+	if got := m.PLTReduction(); got != 100*time.Millisecond {
+		t.Fatalf("PLT reduction = %v, want 100ms", got)
+	}
+	// H2 creators: (80+60)/2 = 70ms; H3 creators: (80+30)/2 = 55ms.
+	if got := m.ConnectReduction(); got != 15*time.Millisecond {
+		t.Fatalf("connect reduction = %v, want 15ms", got)
+	}
+	// H2 waits: (30+20+22)/3 = 24ms; H3: (30+24+26)/3 ≈ 26.67ms.
+	if got := m.WaitReduction(); got >= 0 {
+		t.Fatalf("wait reduction = %v, want negative (H3 overhead)", got)
+	}
+	if got := m.ReceiveReduction(); got != 0 {
+		t.Fatalf("receive reduction = %v, want 0", got)
+	}
+	if got := m.ReuseDifference(); got != 0 {
+		t.Fatalf("reuse difference = %v, want 0 (one reused each)", got)
+	}
+	// Composition from the H3 log: 3 entries, 2 CDN, both over h3.
+	if m.TotalEntries != 3 || m.CDNEntries != 2 || m.H3CDNEntries != 2 {
+		t.Fatalf("composition = %d/%d/%d", m.TotalEntries, m.CDNEntries, m.H3CDNEntries)
+	}
+	if len(m.Providers) != 1 || m.Providers[0] != "Cloudflare" {
+		t.Fatalf("providers = %v", m.Providers)
+	}
+}
+
+func TestMedianPLTAcrossProbes(t *testing.T) {
+	ds := handDataset()
+	// Add two more probes for H2 with outlier and normal PLTs.
+	base := ds.Logs[browser.ModeH2].Pages[0]
+	p2 := base
+	p2.Probe = "utah/1"
+	p2.PLT = 520 * time.Millisecond
+	p3 := base
+	p3.Probe = "utah/2"
+	p3.PLT = 5 * time.Second // SYN-loss style outlier
+	ds.Logs[browser.ModeH2].Pages = append(ds.Logs[browser.ModeH2].Pages, p2, p3)
+
+	sms := ComputeSiteMetrics(ds)
+	got := sms[0].ByMode[browser.ModeH2].PLT
+	if got != 520*time.Millisecond {
+		t.Fatalf("median PLT = %v, want 520ms (outlier suppressed)", got)
+	}
+}
+
+func TestTable2FromHandDataset(t *testing.T) {
+	t2 := ComputeTable2(handDataset())
+	if t2.Total != 3 {
+		t.Fatalf("total %d", t2.Total)
+	}
+	if t2.CDN["HTTP/3"].Count != 2 || t2.NonCDN["HTTP/2"].Count != 1 {
+		t.Fatalf("cells: %+v / %+v", t2.CDN, t2.NonCDN)
+	}
+	if t2.All["All"].Pct != 100 {
+		t.Fatalf("all pct %v", t2.All["All"].Pct)
+	}
+}
+
+func TestFigure2FromHandDataset(t *testing.T) {
+	rows := ComputeFigure2(handDataset())
+	if len(rows) != 1 || rows[0].Provider != "Cloudflare" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[0].H3Fraction != 1.0 || rows[0].ShareOfH3 != 1.0 {
+		t.Fatalf("row = %+v", rows[0])
+	}
+}
+
+func TestGroupByH3CDNUsesQuartiles(t *testing.T) {
+	sms := make([]SiteMetrics, 8)
+	for i := range sms {
+		sms[i].H3CDNEntries = i * 10
+	}
+	groups := groupByH3CDN(sms)
+	if len(groups[0]) != 2 || len(groups[3]) != 2 {
+		t.Fatalf("groups = %v", groups)
+	}
+	if sms[groups[3][1]].H3CDNEntries != 70 {
+		t.Fatalf("High group missing the max: %v", groups[3])
+	}
+}
+
+func TestFigure9SeriesFit(t *testing.T) {
+	// Construct a dataset-free check via binnedMedians + LinearFit on
+	// a synthetic linear relationship.
+	pts := make([]SiteMetrics, 0)
+	_ = pts
+	var series Fig9Series
+	series.Points = nil
+	for i := 0; i < 40; i++ {
+		series.Points = append(series.Points, pointXY(float64(10+i), 5+2*float64(10+i)))
+	}
+	xs, ys := binnedMedians(series.Points, 4)
+	if len(xs) != 4 {
+		t.Fatalf("%d bins", len(xs))
+	}
+	a, b, err := fitHelper(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b < 1.9 || b > 2.1 || a < 4 || a > 6 {
+		t.Fatalf("fit = %.2f + %.2fx, want 5 + 2x", a, b)
+	}
+}

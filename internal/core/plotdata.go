@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"h3cdn/internal/analysis"
+)
+
+// WritePlotData exports each figure's raw series as TSV files under dir,
+// one file per panel, ready for gnuplot/matplotlib. Table artifacts are
+// text-rendered; figures get their underlying (x, y) series.
+func WritePlotData(dir string, std, cons *Dataset, fig9 []Fig9Series) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("core: plot data: %w", err)
+	}
+	write := func(name string, content string) error {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			return fmt.Errorf("core: plot data %s: %w", name, err)
+		}
+		return nil
+	}
+
+	if std != nil {
+		if err := write("table2.txt", RenderTable2(ComputeTable2(std))); err != nil {
+			return err
+		}
+		var sb strings.Builder
+		sb.WriteString("provider\trequest_share\th3_fraction\tshare_of_h3\n")
+		for _, r := range ComputeFigure2(std) {
+			fmt.Fprintf(&sb, "%s\t%.4f\t%.4f\t%.4f\n", r.Provider, r.RequestShare, r.H3Fraction, r.ShareOfH3)
+		}
+		if err := write("fig2.tsv", sb.String()); err != nil {
+			return err
+		}
+		if err := write("fig3_ccdf.tsv", curveTSV("cdn_pct", ComputeFigure3(std).CCDF)); err != nil {
+			return err
+		}
+
+		f4 := ComputeFigure4(std)
+		sb.Reset()
+		sb.WriteString("provider\tpresence\n")
+		for _, p := range f4.Presence {
+			fmt.Fprintf(&sb, "%s\t%.4f\n", p.Provider, p.Probability)
+		}
+		if err := write("fig4a.tsv", sb.String()); err != nil {
+			return err
+		}
+		sb.Reset()
+		sb.WriteString("providers\tpages\n")
+		for k := 0; k <= 8; k++ {
+			if n, ok := f4.PagesWithK[k]; ok {
+				fmt.Fprintf(&sb, "%d\t%d\n", k, n)
+			}
+		}
+		if err := write("fig4b.tsv", sb.String()); err != nil {
+			return err
+		}
+
+		for _, s := range ComputeFigure5(std) {
+			name := "fig5_" + strings.ToLower(s.Provider) + ".tsv"
+			if err := write(name, curveTSV("resources", s.CCDF)); err != nil {
+				return err
+			}
+		}
+
+		sb.Reset()
+		sb.WriteString("group\tsites\tmean_h3_cdn\tplt_reduction_ms\n")
+		for _, g := range ComputeFigure6a(std) {
+			fmt.Fprintf(&sb, "%s\t%d\t%.2f\t%.2f\n", g.Name, g.Sites, g.MeanH3CDN, g.PLTReductionMs)
+		}
+		if err := write("fig6a.tsv", sb.String()); err != nil {
+			return err
+		}
+
+		f6b := ComputeFigure6b(std)
+		if err := write("fig6b_connect.tsv", curveTSV("reduction_ms", f6b.ConnectCDF)); err != nil {
+			return err
+		}
+		if err := write("fig6b_wait.tsv", curveTSV("reduction_ms", f6b.WaitCDF)); err != nil {
+			return err
+		}
+		if err := write("fig6b_receive.tsv", curveTSV("reduction_ms", f6b.ReceiveCDF)); err != nil {
+			return err
+		}
+
+		sb.Reset()
+		sb.WriteString("group\th2_reused\th3_reused\tdifference\n")
+		for _, g := range ComputeFigure7ab(std) {
+			fmt.Fprintf(&sb, "%s\t%.2f\t%.2f\t%.2f\n", g.Name, g.H2Reused, g.H3Reused, g.Difference)
+		}
+		if err := write("fig7ab.tsv", sb.String()); err != nil {
+			return err
+		}
+		sb.Reset()
+		sb.WriteString("bucket\tsites\tmean_difference\tplt_reduction_ms\n")
+		for _, b := range ComputeFigure7c(std) {
+			fmt.Fprintf(&sb, "%s\t%d\t%.2f\t%.2f\n", b.Label, b.Sites, b.MeanDifference, b.PLTReductionMs)
+		}
+		if err := write("fig7c.tsv", sb.String()); err != nil {
+			return err
+		}
+	}
+
+	if cons != nil {
+		var sb strings.Builder
+		sb.WriteString("providers\tsites\tplt_reduction_ms\tresumed_conns\n")
+		for _, p := range ComputeFigure8(cons) {
+			fmt.Fprintf(&sb, "%d\t%d\t%.2f\t%.2f\n", p.Providers, p.Sites, p.PLTReductionMs, p.ResumedConns)
+		}
+		if err := write("fig8.tsv", sb.String()); err != nil {
+			return err
+		}
+		if t3, err := ComputeTable3(cons); err == nil {
+			if err := write("table3.txt", RenderTable3(t3)); err != nil {
+				return err
+			}
+		}
+	}
+
+	for _, s := range fig9 {
+		name := "fig9_loss" + strconv.FormatFloat(100*s.LossRate, 'f', 1, 64) + ".tsv"
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "# slope=%.4f intercept=%.2f median_reduction_ms=%.2f\n", s.Slope, s.Intercept, s.MedianReductionMs)
+		sb.WriteString("cdn_resources\tplt_reduction_ms\n")
+		for _, p := range s.Points {
+			fmt.Fprintf(&sb, "%.0f\t%.2f\n", p.X, p.Y)
+		}
+		if err := write(name, sb.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func curveTSV(xName string, curve []analysis.Point) string {
+	var sb strings.Builder
+	sb.WriteString(xName + "\ty\n")
+	for _, p := range curve {
+		fmt.Fprintf(&sb, "%.4f\t%.6f\n", p.X, p.Y)
+	}
+	return sb.String()
+}

@@ -1,0 +1,293 @@
+// Package core is the paper's primary contribution rebuilt as code: the
+// measurement pipeline. It assembles a simulated Internet (Universe) from
+// the corpus and CDN registry, runs the paper's visit protocol from each
+// probe (Campaign), extracts the PLT / connection / wait / receive
+// metrics, and drives one experiment per table and figure.
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"h3cdn/internal/browser"
+	"h3cdn/internal/cdn"
+	"h3cdn/internal/har"
+	"h3cdn/internal/httpsim"
+	"h3cdn/internal/quicsim"
+	"h3cdn/internal/seqrand"
+	"h3cdn/internal/simnet"
+	"h3cdn/internal/tlssim"
+	"h3cdn/internal/vantage"
+	"h3cdn/internal/webgen"
+)
+
+// probeAddr is the probe host's address in every universe.
+const probeAddr simnet.Addr = "probe"
+
+// UniverseConfig assembles one probe's view of the simulated Internet.
+type UniverseConfig struct {
+	// Seed drives path randomness (per probe).
+	Seed uint64
+	// Corpus supplies pages, hostnames, and H3 support.
+	Corpus *webgen.Corpus
+	// Vantage scales path delays.
+	Vantage vantage.Point
+	// LossRate applies i.i.d. loss on client↔server paths (the Traffic
+	// Control knob of §VI-E).
+	LossRate float64
+	// AccessDownBps / AccessUpBps are the probe's access link rates.
+	// Defaults 200 / 50 Mbit/s.
+	AccessDownBps float64
+	AccessUpBps   float64
+	// H3WaitOverhead is the extra per-request server compute under H3.
+	// Default 2ms (see cdn.EdgeConfig).
+	H3WaitOverhead time.Duration
+	// MissPenalty is the edge-cache origin-fetch penalty. Default 80ms.
+	MissPenalty time.Duration
+	// MaxEvents bounds one scheduler run. Default 200M.
+	MaxEvents int
+}
+
+func (c UniverseConfig) withDefaults() UniverseConfig {
+	if c.AccessDownBps == 0 {
+		c.AccessDownBps = 200e6
+	}
+	if c.AccessUpBps == 0 {
+		c.AccessUpBps = 50e6
+	}
+	if c.MaxEvents == 0 {
+		c.MaxEvents = 200_000_000
+	}
+	if c.Vantage.Name == "" {
+		c.Vantage = vantage.Points()[0]
+	}
+	return c
+}
+
+// Universe is one probe's simulated Internet: the probe host, one edge
+// per CDN provider, one origin per site, and the resolver tying hostnames
+// to servers.
+type Universe struct {
+	Sched  *simnet.Scheduler
+	Net    *simnet.Network
+	Client *simnet.Host
+
+	cfg      UniverseConfig
+	corpus   *webgen.Corpus
+	edges    map[string]*cdn.Edge // by provider name
+	servers  []*httpsim.Server
+	resolver browser.Resolver
+}
+
+type nodeClass struct {
+	delay time.Duration
+	bw    float64
+}
+
+// NewUniverse builds the topology and starts every server.
+func NewUniverse(cfg UniverseConfig) (*Universe, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Corpus == nil {
+		return nil, fmt.Errorf("core: NewUniverse: nil corpus")
+	}
+	src := seqrand.New(cfg.Seed).Sub("universe", cfg.Vantage.Name)
+
+	// Content catalog: (host, path) → size.
+	content := make(map[string]int)
+	for i := range cfg.Corpus.Pages {
+		p := &cfg.Corpus.Pages[i]
+		for j := range p.Resources {
+			r := &p.Resources[j]
+			content[r.Host+r.Path] = r.Size
+		}
+	}
+	contentFn := func(host, path string) (int, bool) {
+		n, ok := content[host+path]
+		return n, ok
+	}
+
+	// Node classes: per server address, its one-way delay and rate.
+	nodes := make(map[simnet.Addr]nodeClass)
+
+	// Path function: probe ↔ server with the server's delay; the
+	// probe's access link is shared in each direction.
+	u := &Universe{
+		cfg:    cfg,
+		corpus: cfg.Corpus,
+		edges:  make(map[string]*cdn.Edge),
+	}
+	pf := func(srcA, dst simnet.Addr) simnet.PathProps {
+		var props simnet.PathProps
+		switch {
+		case dst == probeAddr: // download direction
+			nc := nodes[srcA]
+			props = simnet.PathProps{
+				Delay:        nc.delay,
+				BandwidthBps: minf(nc.bw, cfg.AccessDownBps),
+				LossRate:     cfg.LossRate,
+				LinkID:       "access-down",
+			}
+		case srcA == probeAddr: // upload direction
+			nc := nodes[dst]
+			props = simnet.PathProps{
+				Delay:        nc.delay,
+				BandwidthBps: cfg.AccessUpBps,
+				LossRate:     cfg.LossRate,
+				LinkID:       "access-up",
+			}
+		}
+		return props
+	}
+
+	sched := &simnet.Scheduler{MaxEvents: cfg.MaxEvents}
+	net := simnet.NewNetwork(sched, pf, src.Sub("net"))
+	u.Sched = sched
+	u.Net = net
+	u.Client = net.AddHost(probeAddr)
+
+	// One edge host per provider.
+	edgeAddrByProvider := make(map[string]simnet.Addr)
+	preloaded := make(map[string]bool)
+	for _, p := range cdn.Registry() {
+		addr := simnet.Addr("edge." + slug(p.Name))
+		host := net.AddHost(addr)
+		nodes[addr] = nodeClass{
+			delay: time.Duration(float64(p.EdgeDelay) * cfg.Vantage.DelayFactor),
+			bw:    p.EdgeBandwidth,
+		}
+		edge := cdn.NewEdge(cdn.EdgeConfig{
+			Provider:       p,
+			Sched:          sched,
+			Content:        contentFn,
+			H3WaitOverhead: cfg.H3WaitOverhead,
+			MissPenalty:    cfg.MissPenalty,
+			Rng:            src.Stream("edgewait", p.Name),
+		})
+		srv, err := httpsim.StartServer(host, httpsim.ServerConfig{
+			Handler:      edge.Handler(),
+			TLSSessions:  tlssim.NewServerSessionState(),
+			QUICSessions: quicsim.NewServerSessions(),
+			EnableH3:     true,
+			HandshakeCPU: 500 * time.Microsecond,
+			// Production QUIC stacks ship large initial windows
+			// (Google uses IW32), softening the cold-start cost of
+			// Alt-Svc-switched connections, and retransmit lost
+			// handshake flights from a cached RTT estimate rather
+			// than the RFC's conservative 1s initial PTO.
+			QUIC: quicsim.Config{InitCwndPkts: 32, PTOInit: 300 * time.Millisecond},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: edge %s: %w", p.Name, err)
+		}
+		u.edges[p.Name] = edge
+		u.servers = append(u.servers, srv)
+		edgeAddrByProvider[p.Name] = addr
+		preloaded[p.Name] = p.H3Preloaded
+	}
+
+	// One origin host per site.
+	originDelayRng := src.Stream("origindelay")
+	for i := range cfg.Corpus.Pages {
+		site := cfg.Corpus.Pages[i].Site
+		addr := simnet.Addr("origin." + site)
+		host := net.AddHost(addr)
+		delay := 15*time.Millisecond + time.Duration(originDelayRng.Int63n(int64(30*time.Millisecond)))
+		nodes[addr] = nodeClass{
+			delay: time.Duration(float64(delay) * cfg.Vantage.DelayFactor),
+			bw:    100e6,
+		}
+		handler := cdn.NewOriginHandler(cdn.OriginConfig{
+			Sched:          sched,
+			Content:        contentFn,
+			H3WaitOverhead: cfg.H3WaitOverhead,
+			Rng:            src.Stream("originwait", site),
+		})
+		srv, err := httpsim.StartServer(host, httpsim.ServerConfig{
+			Handler:      handler,
+			TLSSessions:  tlssim.NewServerSessionState(),
+			QUICSessions: quicsim.NewServerSessions(),
+			EnableH3:     cfg.Corpus.H3Support[site],
+			HandshakeCPU: 800 * time.Microsecond,
+			QUIC:         quicsim.Config{InitCwndPkts: 32, PTOInit: 300 * time.Millisecond},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: origin %s: %w", site, err)
+		}
+		u.servers = append(u.servers, srv)
+	}
+
+	// Resolver: hostname → serving endpoint.
+	u.resolver = func(hostname string) (browser.Endpoint, bool) {
+		prov, ok := cfg.Corpus.HostProvider[hostname]
+		if !ok {
+			return browser.Endpoint{}, false
+		}
+		if prov == "" {
+			return browser.Endpoint{
+				Addr:       simnet.Addr("origin." + hostname),
+				SupportsH3: cfg.Corpus.H3Support[hostname],
+				H1Only:     cfg.Corpus.H1Only[hostname],
+			}, true
+		}
+		return browser.Endpoint{
+			Addr:        edgeAddrByProvider[prov],
+			SupportsH3:  cfg.Corpus.H3Support[hostname],
+			H3Preloaded: preloaded[prov],
+		}, true
+	}
+	return u, nil
+}
+
+// Resolver returns the hostname resolver for browsers in this universe.
+func (u *Universe) Resolver() browser.Resolver { return u.resolver }
+
+// Edge returns the edge state for a provider (nil if unknown).
+func (u *Universe) Edge(provider string) *cdn.Edge { return u.edges[provider] }
+
+// Close shuts down all servers.
+func (u *Universe) Close() {
+	for _, s := range u.servers {
+		s.Close()
+	}
+}
+
+// NewBrowser creates a page loader on the probe host.
+func (u *Universe) NewBrowser(cfg browser.Config) *browser.Browser {
+	cfg.Resolver = u.resolver
+	return browser.New(u.Client, cfg)
+}
+
+// RunVisit drives one page load to completion and returns its log.
+func (u *Universe) RunVisit(b *browser.Browser, page *webgen.Page) (*har.PageLog, error) {
+	var result *har.PageLog
+	b.Visit(page, func(l *har.PageLog) {
+		result = l
+		b.CloseAll()
+	})
+	if _, err := u.Sched.Run(); err != nil {
+		return nil, fmt.Errorf("core: visit %s: %w", page.Site, err)
+	}
+	if result == nil {
+		return nil, fmt.Errorf("core: visit %s never completed", page.Site)
+	}
+	return result, nil
+}
+
+func minf(a, b float64) float64 {
+	if a == 0 {
+		return b
+	}
+	if b == 0 {
+		return a
+	}
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func slug(name string) string {
+	out := strings.ToLower(name)
+	return strings.ReplaceAll(out, ".", "")
+}

@@ -1,0 +1,354 @@
+package httpsim
+
+import (
+	"strconv"
+	"strings"
+	"time"
+
+	"h3cdn/internal/simnet"
+	"h3cdn/internal/tcpsim"
+	"h3cdn/internal/tlssim"
+)
+
+// DialConfig carries the client-side transport knobs shared by all
+// protocols.
+type DialConfig struct {
+	// TLSVersion selects the TLS handshake for H1/H2 (default TLS 1.3;
+	// TLS 1.2 reproduces the paper's 3-RTT "H2 + TLS/1.2 suite").
+	TLSVersion tlssim.Version
+	// TLSTickets enables TLS 1.3 resumption for H1/H2.
+	TLSTickets *tlssim.TicketStore
+	// EnableEarlyData sends TLS 0-RTT requests on resumed H1/H2
+	// connections.
+	EnableEarlyData bool
+	// TCP tunes the TCP endpoints under H1/H2.
+	TCP TCPOptions
+	// HandshakeCPU models client crypto compute time.
+	HandshakeCPU time.Duration
+}
+
+// TCPOptions is re-exported here to avoid each caller importing tcpsim.
+type TCPOptions struct {
+	RTOInit    time.Duration
+	MaxRetries int
+}
+
+type h1Pending struct {
+	req *Request
+	ev  RequestEvents
+}
+
+// h1Client is an HTTP/1.1 client connection: strictly one request in
+// flight; further requests queue (the browser opens parallel connections).
+type h1Client struct {
+	sched       *simnet.Scheduler
+	tls         *tlssim.Conn
+	established bool
+	hsDur       time.Duration
+	resumed     bool
+	closed      bool
+
+	queue []h1Pending
+	cur   *h1Pending
+
+	// Response parse state.
+	acc       []byte
+	meta      ResponseMeta
+	inBody    bool
+	bodyLeft  int
+	gotHeader bool
+}
+
+var _ ClientConn = (*h1Client)(nil)
+
+// DialH1 opens an HTTP/1.1 connection to addr:port.
+func DialH1(host *simnet.Host, addr simnet.Addr, port uint16, serverName string, cfg DialConfig) ClientConn {
+	c := &h1Client{sched: host.Scheduler()}
+	dialStart := c.sched.Now()
+	dialTLS(host, addr, port, serverName, H1, cfg, func(conn *tlssim.Conn, err error) {
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.tls = conn
+		// Handshake duration covers TCP + TLS, from the dial call.
+		c.hsDur = c.sched.Now() - dialStart
+		c.resumed = conn.Resumed()
+		conn.SetDataFunc(c.onData)
+		conn.SetCloseFunc(c.onClose)
+		c.established = true
+		c.next()
+	}, func(conn *tlssim.Conn) { c.tls = conn })
+	return c
+}
+
+// dialTLS opens TCP then TLS with the given ALPN. early gives the caller
+// the TLS conn as soon as it exists (before handshake completion) so
+// Close/Abort work mid-handshake.
+func dialTLS(host *simnet.Host, addr simnet.Addr, port uint16, serverName string, proto Protocol,
+	cfg DialConfig, done func(*tlssim.Conn, error), early func(*tlssim.Conn)) {
+	tcpCfg := tcpsimConfig(cfg.TCP)
+	version := cfg.TLSVersion
+	if version == 0 {
+		version = tlssim.TLS13
+	}
+	tcpsim.Dial(host, addr, port, tcpCfg, func(tc *tcpsim.Conn) {
+		var tconn *tlssim.Conn
+		tconn = tlssim.Client(tc, tlssim.ClientConfig{
+			Version:         version,
+			ServerName:      serverName,
+			Tickets:         cfg.TLSTickets,
+			EnableEarlyData: cfg.EnableEarlyData,
+			Sched:           host.Scheduler(),
+			HandshakeCPU:    cfg.HandshakeCPU,
+			ALPN:            proto.ALPN(),
+		}, func(err error) { done(tconn, err) })
+		if early != nil {
+			early(tconn)
+		}
+	})
+}
+
+func (c *h1Client) Protocol() Protocol { return H1 }
+
+func (c *h1Client) Established() bool { return c.established }
+
+func (c *h1Client) HandshakeDuration() time.Duration { return c.hsDur }
+
+func (c *h1Client) Resumed() bool { return c.resumed }
+
+func (c *h1Client) InFlight() int {
+	n := len(c.queue)
+	if c.cur != nil {
+		n++
+	}
+	return n
+}
+
+func (c *h1Client) Do(req *Request, ev RequestEvents) {
+	if c.closed {
+		if ev.OnError != nil {
+			ev.OnError(ErrConnClosed)
+		}
+		return
+	}
+	c.queue = append(c.queue, h1Pending{req: req, ev: ev})
+	if c.established {
+		c.next()
+	}
+}
+
+func (c *h1Client) next() {
+	if c.cur != nil || len(c.queue) == 0 || c.closed {
+		return
+	}
+	p := c.queue[0]
+	c.queue = c.queue[1:]
+	c.cur = &p
+	c.resetParse()
+	c.tls.Write(encodeH1Request(p.req))
+	if p.ev.OnSent != nil {
+		p.ev.OnSent()
+	}
+}
+
+func (c *h1Client) resetParse() {
+	c.acc = nil
+	c.inBody = false
+	c.bodyLeft = 0
+	c.gotHeader = false
+}
+
+func (c *h1Client) onData(p []byte) {
+	c.acc = append(c.acc, p...)
+	for {
+		if c.cur == nil {
+			return
+		}
+		if !c.gotHeader {
+			idx := strings.Index(string(c.acc), "\r\n\r\n")
+			if idx < 0 {
+				return
+			}
+			meta, err := parseH1Response(c.acc[:idx])
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			c.meta = meta
+			c.gotHeader = true
+			c.bodyLeft = meta.BodySize
+			c.acc = c.acc[idx+4:]
+			if c.cur.ev.OnHeaders != nil {
+				c.cur.ev.OnHeaders(meta)
+			}
+		}
+		if len(c.acc) < c.bodyLeft {
+			c.bodyLeft -= len(c.acc)
+			c.acc = nil
+			return
+		}
+		c.acc = c.acc[c.bodyLeft:]
+		c.bodyLeft = 0
+		done := c.cur
+		c.cur = nil
+		c.gotHeader = false
+		if done.ev.OnComplete != nil {
+			done.ev.OnComplete()
+		}
+		c.next()
+	}
+}
+
+func (c *h1Client) onClose(err error) {
+	if err == nil {
+		err = ErrConnClosed
+	}
+	c.fail(err)
+}
+
+func (c *h1Client) fail(err error) {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	if c.cur != nil {
+		if c.cur.ev.OnError != nil {
+			c.cur.ev.OnError(err)
+		}
+		c.cur = nil
+	}
+	for _, p := range c.queue {
+		if p.ev.OnError != nil {
+			p.ev.OnError(err)
+		}
+	}
+	c.queue = nil
+}
+
+func (c *h1Client) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	if c.tls != nil {
+		c.tls.Close()
+	}
+}
+
+func (c *h1Client) Abort() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	if c.tls != nil {
+		c.tls.Abort()
+	}
+}
+
+// --- H1 wire format ---
+
+func encodeH1Request(req *Request) []byte {
+	var b strings.Builder
+	b.WriteString("GET ")
+	b.WriteString(req.Path)
+	b.WriteString(" HTTP/1.1\r\nhost: ")
+	b.WriteString(req.Host)
+	b.WriteString("\r\n")
+	b.Write(encodeHeaders(req.Header))
+	b.WriteString("\r\n")
+	return []byte(b.String())
+}
+
+func parseH1Request(p []byte) (*Request, bool) {
+	s := string(p)
+	line, rest, ok := strings.Cut(s, "\r\n")
+	if !ok {
+		return nil, false
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) != 3 {
+		return nil, false
+	}
+	h := decodeHeaders([]byte(rest))
+	req := &Request{Path: parts[1], Host: h["host"], Header: h}
+	delete(h, "host")
+	return req, true
+}
+
+func encodeH1Response(resp Response) []byte {
+	var b strings.Builder
+	b.WriteString("HTTP/1.1 ")
+	b.WriteString(strconv.Itoa(resp.Status))
+	b.WriteString(" OK\r\ncontent-length: ")
+	b.WriteString(strconv.Itoa(resp.BodySize))
+	b.WriteString("\r\n")
+	b.Write(encodeHeaders(resp.Header))
+	b.WriteString("\r\n")
+	return []byte(b.String())
+}
+
+func parseH1Response(p []byte) (ResponseMeta, error) {
+	s := string(p)
+	line, rest, ok := strings.Cut(s, "\r\n")
+	if !ok {
+		rest = ""
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) < 2 {
+		return ResponseMeta{}, ErrBadResponse
+	}
+	status, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return ResponseMeta{}, ErrBadResponse
+	}
+	h := decodeHeaders([]byte(rest))
+	clen, err := strconv.Atoi(h["content-length"])
+	if err != nil {
+		return ResponseMeta{}, ErrBadResponse
+	}
+	delete(h, "content-length")
+	return ResponseMeta{Status: status, Header: h, BodySize: clen}, nil
+}
+
+// h1ServerConn serves HTTP/1.1 on one TLS connection.
+type h1ServerConn struct {
+	tls     *tlssim.Conn
+	handler Handler
+	acc     []byte
+}
+
+func newH1ServerConn(tls *tlssim.Conn, handler Handler) *h1ServerConn {
+	c := &h1ServerConn{tls: tls, handler: handler}
+	tls.SetDataFunc(c.onData)
+	// Passive close: answer the client's FIN with our own so both
+	// endpoints fully release ports and timers.
+	tls.SetCloseFunc(func(err error) {
+		if err == nil {
+			tls.Close()
+		}
+	})
+	return c
+}
+
+func (c *h1ServerConn) onData(p []byte) {
+	c.acc = append(c.acc, p...)
+	for {
+		idx := strings.Index(string(c.acc), "\r\n\r\n")
+		if idx < 0 {
+			return
+		}
+		req, ok := parseH1Request(c.acc[:idx])
+		c.acc = c.acc[idx+4:]
+		if !ok {
+			continue
+		}
+		ctx := &ServerContext{Req: req, Protocol: H1, ServerName: c.tls.ServerName()}
+		c.handler(ctx, func(resp Response) {
+			c.tls.Write(encodeH1Response(resp))
+			if resp.BodySize > 0 {
+				c.tls.Write(zeroBody(resp.BodySize))
+			}
+		})
+	}
+}

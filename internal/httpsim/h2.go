@@ -1,0 +1,290 @@
+package httpsim
+
+import (
+	"time"
+
+	"h3cdn/internal/simnet"
+	"h3cdn/internal/tcpsim"
+	"h3cdn/internal/tlssim"
+)
+
+func tcpsimConfig(o TCPOptions) tcpsim.Config {
+	return tcpsim.Config{RTOInit: o.RTOInit, MaxRetries: o.MaxRetries}
+}
+
+type h2Pending struct {
+	req *Request
+	ev  RequestEvents
+
+	meta     ResponseMeta
+	gotMeta  bool
+	bodyLeft int
+}
+
+// h2Client multiplexes requests as streams over one TLS/TCP connection.
+type h2Client struct {
+	sched       *simnet.Scheduler
+	tls         *tlssim.Conn
+	established bool
+	hsDur       time.Duration
+	resumed     bool
+	closed      bool
+
+	parser  blockParser
+	streams map[uint32]*h2Pending
+	nextID  uint32
+	queue   []h2Pending
+}
+
+var _ ClientConn = (*h2Client)(nil)
+
+// DialH2 opens an HTTP/2 connection to addr:port.
+func DialH2(host *simnet.Host, addr simnet.Addr, port uint16, serverName string, cfg DialConfig) ClientConn {
+	c := &h2Client{
+		sched:   host.Scheduler(),
+		streams: make(map[uint32]*h2Pending),
+		nextID:  1,
+	}
+	dialStart := c.sched.Now()
+	dialTLS(host, addr, port, serverName, H2, cfg, func(conn *tlssim.Conn, err error) {
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.tls = conn
+		// Handshake duration covers TCP + TLS, from the dial call.
+		c.hsDur = c.sched.Now() - dialStart
+		c.resumed = conn.Resumed()
+		conn.SetDataFunc(c.onData)
+		conn.SetCloseFunc(c.onClose)
+		c.established = true
+		c.flush()
+	}, func(conn *tlssim.Conn) { c.tls = conn })
+	return c
+}
+
+func (c *h2Client) Protocol() Protocol { return H2 }
+
+func (c *h2Client) Established() bool { return c.established }
+
+func (c *h2Client) HandshakeDuration() time.Duration { return c.hsDur }
+
+func (c *h2Client) Resumed() bool { return c.resumed }
+
+func (c *h2Client) InFlight() int { return len(c.streams) + len(c.queue) }
+
+func (c *h2Client) Do(req *Request, ev RequestEvents) {
+	if c.closed {
+		if ev.OnError != nil {
+			ev.OnError(ErrConnClosed)
+		}
+		return
+	}
+	if !c.established {
+		c.queue = append(c.queue, h2Pending{req: req, ev: ev})
+		return
+	}
+	c.send(h2Pending{req: req, ev: ev})
+}
+
+func (c *h2Client) flush() {
+	q := c.queue
+	c.queue = nil
+	for _, p := range q {
+		if c.closed {
+			return
+		}
+		c.send(p)
+	}
+}
+
+func (c *h2Client) send(p h2Pending) {
+	id := c.nextID
+	c.nextID += 2
+	sp := p
+	c.streams[id] = &sp
+	c.tls.Write(encodeBlock(blockHeadersReq, id, flagEndStream, requestHeaderBlock(p.req)))
+	if sp.ev.OnSent != nil {
+		sp.ev.OnSent()
+	}
+}
+
+func (c *h2Client) onData(data []byte) {
+	for _, b := range c.parser.feed(data) {
+		p, ok := c.streams[b.streamID]
+		if !ok {
+			continue
+		}
+		switch b.typ {
+		case blockHeadersResp:
+			meta, err := parseResponseHeaderBlock(b.payload)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			p.meta = meta
+			p.gotMeta = true
+			p.bodyLeft = meta.BodySize
+			if p.ev.OnHeaders != nil {
+				p.ev.OnHeaders(meta)
+			}
+			if p.bodyLeft == 0 && b.flags&flagEndStream != 0 {
+				c.finish(b.streamID, p)
+			}
+		case blockData:
+			p.bodyLeft -= len(b.payload)
+			if p.bodyLeft <= 0 && b.flags&flagEndStream != 0 {
+				c.finish(b.streamID, p)
+			}
+		}
+		if c.closed {
+			return
+		}
+	}
+}
+
+func (c *h2Client) finish(id uint32, p *h2Pending) {
+	delete(c.streams, id)
+	if p.ev.OnComplete != nil {
+		p.ev.OnComplete()
+	}
+}
+
+func (c *h2Client) onClose(err error) {
+	if err == nil {
+		err = ErrConnClosed
+	}
+	c.fail(err)
+}
+
+func (c *h2Client) fail(err error) {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, p := range c.streams {
+		if p.ev.OnError != nil {
+			p.ev.OnError(err)
+		}
+	}
+	c.streams = make(map[uint32]*h2Pending)
+	for _, p := range c.queue {
+		if p.ev.OnError != nil {
+			p.ev.OnError(err)
+		}
+	}
+	c.queue = nil
+}
+
+func (c *h2Client) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	if c.tls != nil {
+		c.tls.Close()
+	}
+}
+
+func (c *h2Client) Abort() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	if c.tls != nil {
+		c.tls.Abort()
+	}
+}
+
+// --- server side ---
+
+type h2Response struct {
+	id        uint32
+	remaining int
+}
+
+// h2SendWatermark bounds the unsent transport backlog the server keeps
+// committed: response bodies are pumped in bodyChunkSize frames only
+// while the TCP send buffer holds less than this, so a later response's
+// HEADERS frame never queues behind megabytes of an earlier body —
+// emulating HTTP/2 flow-controlled frame scheduling.
+const h2SendWatermark = 32 * 1024
+
+// h2ServerConn serves HTTP/2 on one TLS connection. Active response
+// bodies are interleaved round-robin in bodyChunkSize DATA frames under
+// the transport backpressure watermark.
+type h2ServerConn struct {
+	tls     *tlssim.Conn
+	handler Handler
+	parser  blockParser
+	active  []*h2Response
+	pumping bool
+}
+
+func newH2ServerConn(tls *tlssim.Conn, handler Handler) *h2ServerConn {
+	c := &h2ServerConn{tls: tls, handler: handler}
+	tls.SetDataFunc(c.onData)
+	// Passive close: answer the client's FIN with our own so both
+	// endpoints fully release ports and timers.
+	tls.SetCloseFunc(func(err error) {
+		if err == nil {
+			tls.Close()
+		}
+	})
+	tls.SetDrainFunc(h2SendWatermark, c.pump)
+	return c
+}
+
+func (c *h2ServerConn) onData(data []byte) {
+	for _, b := range c.parser.feed(data) {
+		if b.typ != blockHeadersReq {
+			continue
+		}
+		id := b.streamID
+		req := parseRequestHeaderBlock(b.payload)
+		ctx := &ServerContext{Req: req, Protocol: H2, ServerName: c.tls.ServerName()}
+		c.handler(ctx, func(resp Response) { c.respond(id, resp) })
+	}
+}
+
+func (c *h2ServerConn) respond(id uint32, resp Response) {
+	flags := uint8(0)
+	if resp.BodySize == 0 {
+		flags = flagEndStream
+	}
+	c.tls.Write(encodeBlock(blockHeadersResp, id, flags, responseHeaderBlock(resp)))
+	if resp.BodySize > 0 {
+		c.active = append(c.active, &h2Response{id: id, remaining: resp.BodySize})
+		c.pump()
+	}
+}
+
+// pump drains active response bodies round-robin into the TLS stream
+// while the transport backlog stays under the watermark; transmission
+// progress re-invokes it via the drain callback.
+func (c *h2ServerConn) pump() {
+	if c.pumping {
+		return
+	}
+	c.pumping = true
+	defer func() { c.pumping = false }()
+	for len(c.active) > 0 && c.tls.UnsentBytes() < h2SendWatermark {
+		next := c.active[:0]
+		for _, r := range c.active {
+			n := r.remaining
+			if n > bodyChunkSize {
+				n = bodyChunkSize
+			}
+			r.remaining -= n
+			flags := uint8(0)
+			if r.remaining == 0 {
+				flags = flagEndStream
+			}
+			c.tls.Write(encodeBlock(blockData, r.id, flags, zeroBody(n)))
+			if r.remaining > 0 {
+				next = append(next, r)
+			}
+		}
+		c.active = next
+	}
+}

@@ -1,0 +1,233 @@
+package httpsim
+
+import (
+	"time"
+
+	"h3cdn/internal/quicsim"
+	"h3cdn/internal/simnet"
+)
+
+// H3DialConfig carries QUIC-specific client knobs.
+type H3DialConfig struct {
+	// Tokens enables QUIC session resumption.
+	Tokens *quicsim.TokenStore
+	// EnableZeroRTT sends 0-RTT requests on resumed connections.
+	EnableZeroRTT bool
+	// QUIC tunes the transport.
+	QUIC quicsim.Config
+	// HandshakeCPU models client crypto compute time.
+	HandshakeCPU time.Duration
+}
+
+type h3Stream struct {
+	req *Request
+	ev  RequestEvents
+
+	parser   blockParser
+	gotMeta  bool
+	bodyLeft int
+	done     bool
+}
+
+// h3Client maps each request to one QUIC stream.
+type h3Client struct {
+	sched       *simnet.Scheduler
+	conn        *quicsim.Conn
+	established bool
+	closed      bool
+	queue       []h3Stream
+	actives     map[*h3Stream]struct{}
+}
+
+var _ ClientConn = (*h3Client)(nil)
+
+// DialH3 opens an HTTP/3 connection to addr:port (the QUIC port).
+func DialH3(host *simnet.Host, addr simnet.Addr, port uint16, serverName string, cfg H3DialConfig) ClientConn {
+	c := &h3Client{sched: host.Scheduler(), actives: make(map[*h3Stream]struct{})}
+	c.conn = quicsim.Dial(host, addr, port, quicsim.ClientConfig{
+		Config:        cfg.QUIC,
+		ServerName:    serverName,
+		Tokens:        cfg.Tokens,
+		EnableZeroRTT: cfg.EnableZeroRTT,
+		HandshakeCPU:  cfg.HandshakeCPU,
+	}, func(*quicsim.Conn) {
+		c.established = true
+		c.flush()
+	})
+	c.conn.SetCloseFunc(c.onClose)
+	return c
+}
+
+func (c *h3Client) Protocol() Protocol { return H3 }
+
+func (c *h3Client) Established() bool { return c.established }
+
+func (c *h3Client) HandshakeDuration() time.Duration { return c.conn.HandshakeDuration() }
+
+func (c *h3Client) Resumed() bool { return c.conn.Resumed() }
+
+func (c *h3Client) InFlight() int { return len(c.actives) + len(c.queue) }
+
+func (c *h3Client) Do(req *Request, ev RequestEvents) {
+	if c.closed {
+		if ev.OnError != nil {
+			ev.OnError(ErrConnClosed)
+		}
+		return
+	}
+	if !c.established {
+		c.queue = append(c.queue, h3Stream{req: req, ev: ev})
+		return
+	}
+	c.send(h3Stream{req: req, ev: ev})
+}
+
+func (c *h3Client) flush() {
+	q := c.queue
+	c.queue = nil
+	for _, p := range q {
+		if c.closed {
+			return
+		}
+		c.send(p)
+	}
+}
+
+func (c *h3Client) send(p h3Stream) {
+	st := &p
+	c.actives[st] = struct{}{}
+	s := c.conn.OpenStream()
+	s.SetDataFunc(func(data []byte) { c.onStreamData(st, data) })
+	s.Write(encodeBlock(blockHeadersReq, 0, flagEndStream, requestHeaderBlock(p.req)))
+	s.CloseWrite()
+	if st.ev.OnSent != nil {
+		st.ev.OnSent()
+	}
+}
+
+func (c *h3Client) onStreamData(st *h3Stream, data []byte) {
+	if st.done || c.closed {
+		return
+	}
+	for _, b := range st.parser.feed(data) {
+		switch b.typ {
+		case blockHeadersResp:
+			meta, err := parseResponseHeaderBlock(b.payload)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			st.gotMeta = true
+			st.bodyLeft = meta.BodySize
+			if st.ev.OnHeaders != nil {
+				st.ev.OnHeaders(meta)
+			}
+			if st.bodyLeft == 0 {
+				c.finish(st)
+				return
+			}
+		case blockData:
+			st.bodyLeft -= len(b.payload)
+			if st.gotMeta && st.bodyLeft <= 0 {
+				c.finish(st)
+				return
+			}
+		}
+	}
+}
+
+func (c *h3Client) finish(st *h3Stream) {
+	if st.done {
+		return
+	}
+	st.done = true
+	delete(c.actives, st)
+	if st.ev.OnComplete != nil {
+		st.ev.OnComplete()
+	}
+}
+
+func (c *h3Client) onClose(err error) {
+	if err == nil {
+		err = ErrConnClosed
+	}
+	c.fail(err)
+}
+
+func (c *h3Client) fail(err error) {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, p := range c.queue {
+		if p.ev.OnError != nil {
+			p.ev.OnError(err)
+		}
+	}
+	c.queue = nil
+	for st := range c.actives {
+		st.done = true
+		if st.ev.OnError != nil {
+			st.ev.OnError(err)
+		}
+	}
+	c.actives = make(map[*h3Stream]struct{})
+}
+
+func (c *h3Client) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.conn.Close()
+}
+
+func (c *h3Client) Abort() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.conn.Abort()
+}
+
+// --- server side ---
+
+// h3Server handles one QUIC connection's request streams.
+type h3Server struct {
+	conn    *quicsim.Conn
+	handler Handler
+}
+
+func newH3Server(conn *quicsim.Conn, handler Handler) *h3Server {
+	s := &h3Server{conn: conn, handler: handler}
+	conn.SetStreamFunc(s.onStream)
+	conn.SetCloseFunc(func(error) {})
+	return s
+}
+
+func (s *h3Server) onStream(st *quicsim.Stream) {
+	var parser blockParser
+	st.SetDataFunc(func(data []byte) {
+		for _, b := range parser.feed(data) {
+			if b.typ != blockHeadersReq {
+				continue
+			}
+			req := parseRequestHeaderBlock(b.payload)
+			ctx := &ServerContext{Req: req, Protocol: H3, ServerName: s.conn.ServerName()}
+			s.handler(ctx, func(resp Response) { s.respond(st, resp) })
+		}
+	})
+}
+
+func (s *h3Server) respond(st *quicsim.Stream, resp Response) {
+	st.Write(encodeBlock(blockHeadersResp, 0, 0, responseHeaderBlock(resp)))
+	for left := resp.BodySize; left > 0; {
+		n := left
+		if n > bodyChunkSize {
+			n = bodyChunkSize
+		}
+		left -= n
+		st.Write(encodeBlock(blockData, 0, 0, zeroBody(n)))
+	}
+	st.CloseWrite()
+}

@@ -1,0 +1,288 @@
+// Package httpsim implements simulated HTTP/1.1, HTTP/2 and HTTP/3
+// clients and servers over the transports in internal/tcpsim,
+// internal/tlssim, and internal/quicsim.
+//
+// HTTP/1.1 serializes one request at a time per connection (browsers
+// compensate with up to six parallel connections per host). HTTP/2
+// multiplexes frames over a single TLS/TCP byte stream — so a lost TCP
+// segment stalls every stream (emergent head-of-line blocking). HTTP/3
+// maps each request to one QUIC stream, which the transport delivers
+// independently.
+//
+// Headers travel uncompressed for all three protocols; HPACK/QPACK
+// differences are not load-bearing for the reproduced experiments (see
+// DESIGN.md).
+package httpsim
+
+import (
+	"encoding/binary"
+	"errors"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Protocol identifies the HTTP version of a connection or request.
+type Protocol uint8
+
+const (
+	// H1 is HTTP/1.1 over TLS/TCP.
+	H1 Protocol = iota + 1
+	// H2 is HTTP/2 over TLS/TCP.
+	H2
+	// H3 is HTTP/3 over QUIC.
+	H3
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case H1:
+		return "http/1.1"
+	case H2:
+		return "h2"
+	case H3:
+		return "h3"
+	default:
+		return "http/?"
+	}
+}
+
+// ALPN returns the TLS ALPN token for the protocol.
+func (p Protocol) ALPN() string { return p.String() }
+
+// Request is a simulated HTTP GET.
+type Request struct {
+	// Host is the authority (hostname) — it keys connection pools,
+	// session caches, and CDN provider resolution.
+	Host string
+	// Path identifies the resource.
+	Path string
+	// Header carries extra request headers.
+	Header map[string]string
+}
+
+// Response describes what a server sends back. Header contents matter:
+// the locedge classifier reads Server/Via/X-Cache headers from it.
+type Response struct {
+	Status   int
+	Header   map[string]string
+	BodySize int
+}
+
+// ResponseMeta is the client-visible response envelope, parsed from the
+// wire before the body completes.
+type ResponseMeta struct {
+	Status   int
+	Header   map[string]string
+	BodySize int
+}
+
+// RequestEvents receives the lifecycle callbacks for one request. Any
+// field may be nil. Exactly one of OnComplete or OnError fires last.
+type RequestEvents struct {
+	// OnSent fires when the request bytes are written to the wire.
+	OnSent func()
+	// OnHeaders fires when the response envelope has been parsed
+	// (first-byte time).
+	OnHeaders func(ResponseMeta)
+	// OnComplete fires when the full body has been received.
+	OnComplete func()
+	// OnError fires when the connection fails before completion.
+	OnError func(error)
+}
+
+// Errors surfaced through OnError.
+var (
+	ErrConnClosed   = errors.New("httpsim: connection closed")
+	ErrBadResponse  = errors.New("httpsim: malformed response")
+	ErrTooManyReqs  = errors.New("httpsim: request queue overflow")
+	ErrNotSupported = errors.New("httpsim: operation not supported")
+)
+
+// ClientConn is the protocol-independent client connection interface the
+// browser pools.
+type ClientConn interface {
+	// Do issues a request. Requests made before connection
+	// establishment are queued and sent when possible.
+	Do(req *Request, ev RequestEvents)
+	// Protocol returns the connection's HTTP version.
+	Protocol() Protocol
+	// Established reports whether the handshake has completed.
+	Established() bool
+	// HandshakeDuration is the dial-to-usable duration (0 for 0-RTT).
+	HandshakeDuration() time.Duration
+	// Resumed reports TLS/QUIC session resumption.
+	Resumed() bool
+	// InFlight reports requests issued but not yet completed.
+	InFlight() int
+	// Close terminates the connection gracefully.
+	Close()
+	// Abort terminates immediately (no peer notification beyond
+	// transport reset).
+	Abort()
+}
+
+// Handler processes a request on the server. respond may be invoked
+// synchronously or after scheduling a delay (simulated processing time).
+type Handler func(ctx *ServerContext, respond func(Response))
+
+// ServerContext carries per-request server-side information.
+type ServerContext struct {
+	Req      *Request
+	Protocol Protocol
+	// ServerName is the SNI/authority the connection was opened for.
+	ServerName string
+}
+
+// --- header and body serialization (shared by H1/H2/H3) ---
+
+// encodeHeaders serializes headers deterministically (sorted keys).
+func encodeHeaders(h map[string]string) []byte {
+	if len(h) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteString(": ")
+		b.WriteString(h[k])
+		b.WriteString("\r\n")
+	}
+	return []byte(b.String())
+}
+
+func decodeHeaders(p []byte) map[string]string {
+	h := make(map[string]string)
+	for _, line := range strings.Split(string(p), "\r\n") {
+		if line == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(line, ": ")
+		if !ok {
+			continue
+		}
+		h[k] = v
+	}
+	return h
+}
+
+// --- binary block framing (H2 frames and H3 stream blocks) ---
+
+type blockType uint8
+
+const (
+	blockHeadersReq blockType = iota + 1
+	blockHeadersResp
+	blockData
+)
+
+const blockHeaderSize = 10 // type(1) + streamID(4) + flags(1) + length(4)
+
+const flagEndStream = 1
+
+// encodeBlock frames a payload: [type][streamID][flags][len][payload].
+func encodeBlock(t blockType, streamID uint32, flags uint8, payload []byte) []byte {
+	buf := make([]byte, blockHeaderSize+len(payload))
+	buf[0] = byte(t)
+	binary.BigEndian.PutUint32(buf[1:5], streamID)
+	buf[5] = flags
+	binary.BigEndian.PutUint32(buf[6:10], uint32(len(payload)))
+	copy(buf[blockHeaderSize:], payload)
+	return buf
+}
+
+// blockParser incrementally decodes framed blocks from a byte stream.
+type blockParser struct {
+	acc []byte
+}
+
+type block struct {
+	typ      blockType
+	streamID uint32
+	flags    uint8
+	payload  []byte
+}
+
+// feed appends data and returns all complete blocks.
+func (p *blockParser) feed(data []byte) []block {
+	p.acc = append(p.acc, data...)
+	var out []block
+	for {
+		if len(p.acc) < blockHeaderSize {
+			return out
+		}
+		plen := int(binary.BigEndian.Uint32(p.acc[6:10]))
+		if len(p.acc) < blockHeaderSize+plen {
+			return out
+		}
+		b := block{
+			typ:      blockType(p.acc[0]),
+			streamID: binary.BigEndian.Uint32(p.acc[1:5]),
+			flags:    p.acc[5],
+			payload:  p.acc[blockHeaderSize : blockHeaderSize+plen],
+		}
+		p.acc = p.acc[blockHeaderSize+plen:]
+		out = append(out, b)
+	}
+}
+
+// requestHeaderBlock serializes a request for H2/H3 (pseudo-headers plus
+// regular headers).
+func requestHeaderBlock(req *Request) []byte {
+	h := make(map[string]string, len(req.Header)+2)
+	for k, v := range req.Header {
+		h[k] = v
+	}
+	h[":authority"] = req.Host
+	h[":path"] = req.Path
+	return encodeHeaders(h)
+}
+
+func parseRequestHeaderBlock(p []byte) *Request {
+	h := decodeHeaders(p)
+	req := &Request{Host: h[":authority"], Path: h[":path"], Header: make(map[string]string)}
+	for k, v := range h {
+		if !strings.HasPrefix(k, ":") {
+			req.Header[k] = v
+		}
+	}
+	return req
+}
+
+// responseHeaderBlock serializes a response envelope for H2/H3.
+func responseHeaderBlock(resp Response) []byte {
+	h := make(map[string]string, len(resp.Header)+2)
+	for k, v := range resp.Header {
+		h[k] = v
+	}
+	h[":status"] = strconv.Itoa(resp.Status)
+	h["content-length"] = strconv.Itoa(resp.BodySize)
+	return encodeHeaders(h)
+}
+
+func parseResponseHeaderBlock(p []byte) (ResponseMeta, error) {
+	h := decodeHeaders(p)
+	status, err := strconv.Atoi(h[":status"])
+	if err != nil {
+		return ResponseMeta{}, ErrBadResponse
+	}
+	clen, err := strconv.Atoi(h["content-length"])
+	if err != nil {
+		return ResponseMeta{}, ErrBadResponse
+	}
+	delete(h, ":status")
+	delete(h, "content-length")
+	return ResponseMeta{Status: status, Header: h, BodySize: clen}, nil
+}
+
+// bodyChunkSize is the DATA frame payload granularity for H2/H3 servers.
+const bodyChunkSize = 16 * 1024
+
+// zeroBody returns a synthetic body of n bytes.
+func zeroBody(n int) []byte { return make([]byte, n) }

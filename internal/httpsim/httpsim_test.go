@@ -1,0 +1,416 @@
+package httpsim
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"h3cdn/internal/quicsim"
+	"h3cdn/internal/seqrand"
+	"h3cdn/internal/simnet"
+	"h3cdn/internal/tlssim"
+)
+
+// sizeHandler serves bodies whose size is encoded in the path: "/b/<n>".
+// It tags responses with a synthetic CDN header so header passage is
+// testable.
+func sizeHandler(sched *simnet.Scheduler, wait time.Duration) Handler {
+	return func(ctx *ServerContext, respond func(Response)) {
+		n := 0
+		if i := strings.LastIndex(ctx.Req.Path, "/"); i >= 0 {
+			n, _ = strconv.Atoi(ctx.Req.Path[i+1:])
+		}
+		resp := Response{
+			Status:   200,
+			Header:   map[string]string{"server": "simcdn", "x-proto": ctx.Protocol.String()},
+			BodySize: n,
+		}
+		if wait == 0 {
+			respond(resp)
+			return
+		}
+		sched.After(wait, func() { respond(resp) })
+	}
+}
+
+type hWorld struct {
+	sched  *simnet.Scheduler
+	net    *simnet.Network
+	client *simnet.Host
+	server *simnet.Host
+	tlsS   *tlssim.ServerSessionState
+	quicS  *quicsim.ServerSessions
+	srv    *Server
+}
+
+func newHWorld(t *testing.T, delay time.Duration, bps, loss float64, wait time.Duration) *hWorld {
+	t.Helper()
+	sched := &simnet.Scheduler{MaxEvents: 10_000_000}
+	pf := func(src, dst simnet.Addr) simnet.PathProps {
+		return simnet.PathProps{Delay: delay, BandwidthBps: bps, LossRate: loss}
+	}
+	n := simnet.NewNetwork(sched, pf, seqrand.New(31))
+	w := &hWorld{
+		sched:  sched,
+		net:    n,
+		client: n.AddHost("client"),
+		server: n.AddHost("edge.example"),
+		tlsS:   tlssim.NewServerSessionState(),
+		quicS:  quicsim.NewServerSessions(),
+	}
+	srv, err := StartServer(w.server, ServerConfig{
+		Handler:      sizeHandler(sched, wait),
+		TLSSessions:  w.tlsS,
+		QUICSessions: w.quicS,
+		EnableH3:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.srv = srv
+	return w
+}
+
+func (w *hWorld) run(t *testing.T) {
+	t.Helper()
+	if _, err := w.sched.Run(); err != nil {
+		t.Fatalf("scheduler: %v", err)
+	}
+}
+
+func (w *hWorld) dial(proto Protocol) ClientConn {
+	switch proto {
+	case H1:
+		return DialH1(w.client, "edge.example", TCPPort, "edge.example", DialConfig{})
+	case H2:
+		return DialH2(w.client, "edge.example", TCPPort, "edge.example", DialConfig{})
+	default:
+		return DialH3(w.client, "edge.example", QUICPort, "edge.example", H3DialConfig{})
+	}
+}
+
+type timing struct {
+	sent, firstByte, done time.Duration
+	meta                  ResponseMeta
+	err                   error
+}
+
+func (w *hWorld) get(conn ClientConn, host, path string) *timing {
+	tm := &timing{}
+	conn.Do(&Request{Host: host, Path: path}, RequestEvents{
+		OnSent:     func() { tm.sent = w.sched.Now() },
+		OnHeaders:  func(m ResponseMeta) { tm.firstByte = w.sched.Now(); tm.meta = m },
+		OnComplete: func() { tm.done = w.sched.Now() },
+		OnError:    func(err error) { tm.err = err },
+	})
+	return tm
+}
+
+func TestRequestResponseAllProtocols(t *testing.T) {
+	for _, proto := range []Protocol{H1, H2, H3} {
+		w := newHWorld(t, 25*time.Millisecond, 0, 0, 0)
+		conn := w.dial(proto)
+		tm := w.get(conn, "edge.example", "/b/5000")
+		w.run(t)
+		if tm.err != nil {
+			t.Fatalf("%v: error %v", proto, tm.err)
+		}
+		if tm.done == 0 || tm.meta.Status != 200 || tm.meta.BodySize != 5000 {
+			t.Fatalf("%v: timing=%+v meta=%+v", proto, tm, tm.meta)
+		}
+		if tm.meta.Header["server"] != "simcdn" {
+			t.Fatalf("%v: headers not passed through: %v", proto, tm.meta.Header)
+		}
+		if tm.meta.Header["x-proto"] != proto.String() {
+			t.Fatalf("%v: server saw protocol %q", proto, tm.meta.Header["x-proto"])
+		}
+	}
+}
+
+func TestFirstByteLatencyByProtocol(t *testing.T) {
+	// 25ms one-way => RTT 50ms; no bandwidth or server wait.
+	// H2 (TLS 1.3): TCP 1 RTT + TLS 1 RTT + req/resp 1 RTT = 150ms.
+	// H3: QUIC 1 RTT + req/resp 1 RTT = 100ms.
+	firstByte := func(proto Protocol) time.Duration {
+		w := newHWorld(t, 25*time.Millisecond, 0, 0, 0)
+		conn := w.dial(proto)
+		tm := w.get(conn, "edge.example", "/b/100")
+		w.run(t)
+		if tm.err != nil {
+			t.Fatalf("%v: %v", proto, tm.err)
+		}
+		return tm.firstByte
+	}
+	if got := firstByte(H2); got != 150*time.Millisecond {
+		t.Fatalf("H2 first byte = %v, want 150ms", got)
+	}
+	if got := firstByte(H3); got != 100*time.Millisecond {
+		t.Fatalf("H3 first byte = %v, want 100ms", got)
+	}
+	if got := firstByte(H1); got != 150*time.Millisecond {
+		t.Fatalf("H1 first byte = %v, want 150ms", got)
+	}
+}
+
+func TestH3ZeroRTTSecondConnection(t *testing.T) {
+	w := newHWorld(t, 25*time.Millisecond, 0, 0, 0)
+	tokens := quicsim.NewTokenStore()
+	c1 := DialH3(w.client, "edge.example", QUICPort, "edge.example", H3DialConfig{Tokens: tokens})
+	w.get(c1, "edge.example", "/b/100")
+	w.run(t)
+	c1.Close()
+	w.run(t)
+
+	base := w.sched.Now()
+	c2 := DialH3(w.client, "edge.example", QUICPort, "edge.example", H3DialConfig{Tokens: tokens, EnableZeroRTT: true})
+	tm := w.get(c2, "edge.example", "/b/100")
+	w.run(t)
+	if tm.err != nil {
+		t.Fatal(tm.err)
+	}
+	if !c2.Resumed() {
+		t.Fatal("second H3 connection not resumed")
+	}
+	if c2.HandshakeDuration() != 0 {
+		t.Fatalf("0-RTT handshake duration = %v", c2.HandshakeDuration())
+	}
+	// First byte after exactly one RTT: request rode the first flight.
+	if got := tm.firstByte - base; got != 50*time.Millisecond {
+		t.Fatalf("0-RTT first byte after %v, want 50ms", got)
+	}
+}
+
+func TestH2TLSResumptionEarlyData(t *testing.T) {
+	w := newHWorld(t, 25*time.Millisecond, 0, 0, 0)
+	tickets := tlssim.NewTicketStore()
+	cfg := DialConfig{TLSTickets: tickets, EnableEarlyData: true}
+	c1 := DialH2(w.client, "edge.example", TCPPort, "edge.example", cfg)
+	w.get(c1, "edge.example", "/b/100")
+	w.run(t)
+	c1.Close()
+	w.run(t)
+
+	base := w.sched.Now()
+	c2 := DialH2(w.client, "edge.example", TCPPort, "edge.example", cfg)
+	tm := w.get(c2, "edge.example", "/b/100")
+	w.run(t)
+	if tm.err != nil {
+		t.Fatal(tm.err)
+	}
+	if !c2.Resumed() {
+		t.Fatal("second H2 connection not resumed")
+	}
+	// TCP 1 RTT + 0-RTT TLS + req/resp 1 RTT = 100ms: H2 resumption
+	// still pays the TCP handshake (the paper's §VI-D point).
+	if got := tm.firstByte - base; got != 100*time.Millisecond {
+		t.Fatalf("resumed H2 first byte after %v, want 100ms", got)
+	}
+}
+
+func TestServerWaitShowsUpInFirstByte(t *testing.T) {
+	w := newHWorld(t, 25*time.Millisecond, 0, 0, 30*time.Millisecond)
+	conn := w.dial(H3)
+	tm := w.get(conn, "edge.example", "/b/100")
+	w.run(t)
+	if tm.err != nil {
+		t.Fatal(tm.err)
+	}
+	if got := tm.firstByte; got != 130*time.Millisecond {
+		t.Fatalf("first byte = %v, want 130ms (100 network + 30 server wait)", got)
+	}
+}
+
+func TestH1SerializesRequests(t *testing.T) {
+	w := newHWorld(t, 25*time.Millisecond, 0, 0, 0)
+	conn := w.dial(H1)
+	a := w.get(conn, "edge.example", "/b/1000")
+	b := w.get(conn, "edge.example", "/b/1000")
+	w.run(t)
+	if a.err != nil || b.err != nil {
+		t.Fatalf("errors: %v %v", a.err, b.err)
+	}
+	if b.sent < a.done {
+		t.Fatalf("H1 pipelined: b sent at %v before a done at %v", b.sent, a.done)
+	}
+}
+
+func TestH2MultiplexesRequests(t *testing.T) {
+	w := newHWorld(t, 25*time.Millisecond, 0, 0, 0)
+	conn := w.dial(H2)
+	a := w.get(conn, "edge.example", "/b/1000")
+	b := w.get(conn, "edge.example", "/b/1000")
+	w.run(t)
+	if a.err != nil || b.err != nil {
+		t.Fatalf("errors: %v %v", a.err, b.err)
+	}
+	if a.sent != b.sent {
+		t.Fatalf("H2 did not multiplex: sent at %v and %v", a.sent, b.sent)
+	}
+	if a.done != b.done {
+		t.Fatalf("equal-size responses finished apart: %v vs %v", a.done, b.done)
+	}
+}
+
+func TestManyRequestsAllProtocols(t *testing.T) {
+	for _, proto := range []Protocol{H1, H2, H3} {
+		w := newHWorld(t, 10*time.Millisecond, 50e6, 0.01, time.Millisecond)
+		conn := w.dial(proto)
+		const reqs = 30
+		tms := make([]*timing, reqs)
+		for i := 0; i < reqs; i++ {
+			tms[i] = w.get(conn, "edge.example", "/b/"+strconv.Itoa(2000+i*100))
+		}
+		w.run(t)
+		for i, tm := range tms {
+			if tm.err != nil {
+				t.Fatalf("%v req %d: %v", proto, i, tm.err)
+			}
+			if tm.done == 0 {
+				t.Fatalf("%v req %d never completed", proto, i)
+			}
+			if tm.meta.BodySize != 2000+i*100 {
+				t.Fatalf("%v req %d: body %d", proto, i, tm.meta.BodySize)
+			}
+		}
+	}
+}
+
+// TestH2HoLBlockingVsH3 is the core protocol contrast of the paper: on
+// H2, a lost TCP segment carrying response A delays the logically
+// unrelated response B; on H3, B is unaffected.
+func TestH2HoLBlockingVsH3(t *testing.T) {
+	bDone := func(proto Protocol, drop bool) time.Duration {
+		w := newHWorld(t, 20*time.Millisecond, 0, 0, 0)
+		dropped := false
+		if drop {
+			cum := 0
+			w.net.SetFilter(func(pkt simnet.Packet) bool {
+				if pkt.Src != "edge.example" {
+					return true
+				}
+				cum += pkt.Size
+				// Drop the first large server packet past the
+				// ~3KB handshake flight: response A's first
+				// body-bearing segment/packet.
+				if !dropped && pkt.Size > 1000 && cum > 4200 {
+					dropped = true
+					return false
+				}
+				return true
+			})
+		}
+		conn := w.dial(proto)
+		w.get(conn, "edge.example", "/b/60000")    // response A: large
+		b := w.get(conn, "edge.example", "/b/200") // response B: small
+		w.run(t)
+		if b.err != nil {
+			t.Fatalf("%v: %v", proto, b.err)
+		}
+		if !drop && !dropped {
+			_ = dropped
+		}
+		return b.done
+	}
+
+	h2Clean := bDone(H2, false)
+	h2Drop := bDone(H2, true)
+	if h2Drop <= h2Clean {
+		t.Fatalf("H2: dropping A's segment did not delay B (clean=%v drop=%v); expected HoL blocking", h2Clean, h2Drop)
+	}
+
+	h3Clean := bDone(H3, false)
+	h3Drop := bDone(H3, true)
+	if h3Drop != h3Clean {
+		t.Fatalf("H3: B delayed by A's loss (clean=%v drop=%v); streams not independent", h3Clean, h3Drop)
+	}
+}
+
+func TestConnAbortFailsInFlight(t *testing.T) {
+	for _, proto := range []Protocol{H2, H3} {
+		w := newHWorld(t, 25*time.Millisecond, 0, 0, 200*time.Millisecond)
+		conn := w.dial(proto)
+		tm := w.get(conn, "edge.example", "/b/100")
+		w.sched.After(120*time.Millisecond, conn.Abort)
+		w.run(t)
+		if tm.done != 0 {
+			t.Fatalf("%v: completed despite abort", proto)
+		}
+	}
+}
+
+func TestInFlightAccounting(t *testing.T) {
+	w := newHWorld(t, 25*time.Millisecond, 0, 0, 0)
+	conn := w.dial(H2)
+	w.get(conn, "edge.example", "/b/100")
+	w.get(conn, "edge.example", "/b/100")
+	if conn.InFlight() != 2 {
+		t.Fatalf("InFlight = %d before run, want 2", conn.InFlight())
+	}
+	w.run(t)
+	if conn.InFlight() != 0 {
+		t.Fatalf("InFlight = %d after run, want 0", conn.InFlight())
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := map[string]string{"server": "cloudflare", "via": "1.1 varnish", "x-cache": "HIT"}
+	got := decodeHeaders(encodeHeaders(h))
+	if len(got) != len(h) {
+		t.Fatalf("round trip: %v", got)
+	}
+	for k, v := range h {
+		if got[k] != v {
+			t.Fatalf("key %q: %q != %q", k, got[k], v)
+		}
+	}
+}
+
+func TestBlockParserFragmentation(t *testing.T) {
+	full := encodeBlock(blockData, 7, flagEndStream, []byte("hello world"))
+	var p blockParser
+	var got []block
+	// Feed one byte at a time.
+	for _, c := range full {
+		got = append(got, p.feed([]byte{c})...)
+	}
+	if len(got) != 1 {
+		t.Fatalf("parsed %d blocks", len(got))
+	}
+	b := got[0]
+	if b.typ != blockData || b.streamID != 7 || b.flags != flagEndStream || string(b.payload) != "hello world" {
+		t.Fatalf("block = %+v", b)
+	}
+}
+
+func TestProtocolStrings(t *testing.T) {
+	if H1.String() != "http/1.1" || H2.String() != "h2" || H3.String() != "h3" {
+		t.Fatal("protocol strings wrong")
+	}
+	if Protocol(9).String() != "http/?" {
+		t.Fatal("unknown protocol string wrong")
+	}
+}
+
+func TestRequestHeaderBlockRoundTrip(t *testing.T) {
+	req := &Request{Host: "cdn.example", Path: "/a/b.js", Header: map[string]string{"accept": "*/*"}}
+	got := parseRequestHeaderBlock(requestHeaderBlock(req))
+	if got.Host != req.Host || got.Path != req.Path || got.Header["accept"] != "*/*" {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestH2OverTLS12IsThreeRTTs(t *testing.T) {
+	// The paper's baseline suite: H2 + TLS 1.2 costs 3 RTTs before the
+	// request (TCP 1 + TLS 2), so first byte lands at 4 RTTs = 200ms.
+	w := newHWorld(t, 25*time.Millisecond, 0, 0, 0)
+	conn := DialH2(w.client, "edge.example", TCPPort, "edge.example", DialConfig{TLSVersion: tlssim.TLS12})
+	tm := w.get(conn, "edge.example", "/b/100")
+	w.run(t)
+	if tm.err != nil {
+		t.Fatal(tm.err)
+	}
+	if tm.firstByte != 200*time.Millisecond {
+		t.Fatalf("TLS1.2 H2 first byte = %v, want 200ms", tm.firstByte)
+	}
+}

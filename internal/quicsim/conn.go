@@ -1,0 +1,744 @@
+package quicsim
+
+import (
+	"sort"
+	"time"
+
+	"h3cdn/internal/simnet"
+)
+
+type connState uint8
+
+const (
+	stateHandshaking connState = iota + 1
+	stateEstablished
+	stateClosed
+)
+
+type sentPacket struct {
+	pn           uint64
+	frames       []frame
+	size         int
+	sentAt       time.Duration
+	ackEliciting bool
+}
+
+// ClientConfig configures a client connection.
+type ClientConfig struct {
+	Config
+	// ServerName keys the token cache (SNI equivalent).
+	ServerName string
+	// Tokens, when non-nil, enables session resumption.
+	Tokens *TokenStore
+	// EnableZeroRTT sends 0-RTT application data when a token exists.
+	EnableZeroRTT bool
+	// HandshakeCPU models client crypto compute time.
+	HandshakeCPU time.Duration
+}
+
+// ServerConfig configures a server endpoint.
+type ServerConfig struct {
+	Config
+	// Sessions is the token registry; nil disables resumption.
+	Sessions *ServerSessions
+	// HandshakeCPU models server crypto compute time for a full
+	// handshake (halved on resumption).
+	HandshakeCPU time.Duration
+}
+
+// Conn is one endpoint of a simulated QUIC connection.
+type Conn struct {
+	host  *simnet.Host
+	sched *simnet.Scheduler
+	cfg   Config
+
+	isClient   bool
+	remote     simnet.Addr
+	localPort  uint16
+	remotePort uint16
+	endpoint   *Endpoint // server side, for conn-table cleanup
+	state      connState
+
+	ccfg        ClientConfig
+	scfg        ServerConfig
+	resumed     bool
+	zeroRTT     bool
+	chSeen      bool
+	shSeen      bool
+	issuedToken uint64 // server side: token granted in our ServerHello
+	cid         uint64 // connection ID (assigned by the server)
+	migrations  int    // client: address changes performed
+	hsStart     time.Duration
+	hsDone      time.Duration
+	serverName  string
+
+	streams      map[uint64]*Stream
+	streamOrder  []uint64
+	rrIndex      int
+	nextStreamID uint64
+	streamFn     func(*Stream)
+
+	nextPN        uint64
+	sent          map[uint64]*sentPacket
+	bytesInFlight int
+	cwnd          float64
+	ssthresh      float64
+	recoveryStart uint64
+	sendQ         []frame // control + retransmitted frames, FIFO
+
+	srtt     time.Duration
+	rttvar   time.Duration
+	hasRTT   bool
+	ptoTimer *simnet.Timer
+	ptoCount int
+
+	recvd     rangeSet
+	ackQueued bool
+
+	onEstablished func(*Conn)
+	closeFn       func(error)
+	stats         ConnStats
+}
+
+// Dial opens a client connection. onEstablished fires as soon as stream
+// data may be sent: one RTT for a full handshake, immediately (zero
+// virtual time) for 0-RTT resumption. Transport failures surface through
+// SetCloseFunc.
+func Dial(host *simnet.Host, dst simnet.Addr, dstPort uint16, cfg ClientConfig, onEstablished func(*Conn)) *Conn {
+	c := newConn(host, cfg.Config)
+	c.isClient = true
+	c.ccfg = cfg
+	c.remote = dst
+	c.remotePort = dstPort
+	c.serverName = cfg.ServerName
+	c.onEstablished = onEstablished
+	c.nextStreamID = 0 // client-initiated bidirectional: 0, 4, 8, ...
+	c.localPort = host.BindEphemeral(func(pkt simnet.Packet) {
+		p, ok := pkt.Payload.(*packet)
+		if !ok {
+			return
+		}
+		c.handlePacket(p)
+	})
+
+	c.hsStart = c.sched.Now()
+	ch := &clientHelloFrame{serverName: cfg.ServerName}
+	if cfg.Tokens != nil {
+		if t, ok := cfg.Tokens.Get(cfg.ServerName); ok {
+			ch.token = t.ID
+			c.resumed = true
+			if cfg.EnableZeroRTT {
+				ch.zeroRTT = true
+				c.zeroRTT = true
+			}
+		}
+	}
+	c.sendQ = append(c.sendQ, ch)
+	c.trySend()
+	c.armPTO()
+
+	if c.zeroRTT {
+		// 0-RTT: the application may open streams immediately; defer
+		// one tick so the callback never runs before Dial returns.
+		c.sched.After(0, func() {
+			if c.state != stateClosed {
+				c.becomeEstablished()
+			}
+		})
+	}
+	return c
+}
+
+func newConn(host *simnet.Host, cfg Config) *Conn {
+	cfg = cfg.withDefaults()
+	c := &Conn{
+		host:    host,
+		sched:   host.Scheduler(),
+		cfg:     cfg,
+		state:   stateHandshaking,
+		streams: make(map[uint64]*Stream),
+		sent:    make(map[uint64]*sentPacket),
+		cwnd:    float64(cfg.InitCwndPkts * maxPacketPayload),
+	}
+	c.ssthresh = float64(cfg.MaxCwndPkts * maxPacketPayload)
+	c.ptoTimer = c.sched.NewTimer(c.onPTO)
+	return c
+}
+
+// RemoteAddr returns the peer address.
+func (c *Conn) RemoteAddr() simnet.Addr { return c.remote }
+
+// ServerName returns the SNI (known to servers after the ClientHello).
+func (c *Conn) ServerName() string { return c.serverName }
+
+// Established reports whether stream data may flow.
+func (c *Conn) Established() bool { return c.state == stateEstablished }
+
+// Resumed reports whether the connection resumed from a session token.
+func (c *Conn) Resumed() bool { return c.resumed }
+
+// UsedZeroRTT reports whether 0-RTT application data was enabled.
+func (c *Conn) UsedZeroRTT() bool { return c.zeroRTT }
+
+// HandshakeDuration returns the time from Dial until stream data could
+// first be sent (0 for 0-RTT connections).
+func (c *Conn) HandshakeDuration() time.Duration { return c.hsDone - c.hsStart }
+
+// SmoothedRTT returns the current SRTT estimate (zero before any sample).
+func (c *Conn) SmoothedRTT() time.Duration { return c.srtt }
+
+// Cwnd returns the congestion window in bytes.
+func (c *Conn) Cwnd() float64 { return c.cwnd }
+
+// Stats returns a snapshot of connection counters.
+func (c *Conn) Stats() ConnStats { return c.stats }
+
+// SetStreamFunc registers the callback for peer-initiated streams.
+func (c *Conn) SetStreamFunc(fn func(*Stream)) { c.streamFn = fn }
+
+// SetCloseFunc registers the connection termination callback. err is nil
+// for a clean peer close.
+func (c *Conn) SetCloseFunc(fn func(error)) { c.closeFn = fn }
+
+// OpenStream creates a new outgoing stream.
+func (c *Conn) OpenStream() *Stream {
+	s := &Stream{conn: c, id: c.nextStreamID, chunks: make(map[uint64][]byte)}
+	c.nextStreamID += 4
+	c.streams[s.id] = s
+	c.streamOrder = append(c.streamOrder, s.id)
+	c.stats.StreamsOpened++
+	return s
+}
+
+// Migrate moves a client connection to a fresh local port — the
+// simulator's stand-in for an address change (Wi-Fi to cellular). The
+// server keeps routing by connection ID (RFC 9000 §9) and updates its
+// view of the peer path; packets in flight to the old port are lost and
+// recover through normal loss detection.
+func (c *Conn) Migrate() {
+	if !c.isClient || c.state == stateClosed {
+		return
+	}
+	c.host.Unbind(c.localPort)
+	c.localPort = c.host.BindEphemeral(func(pkt simnet.Packet) {
+		p, ok := pkt.Payload.(*packet)
+		if !ok {
+			return
+		}
+		c.handlePacket(p)
+	})
+	c.migrations++
+	// Elicit a server response from the new path promptly.
+	c.ackQueued = true
+	c.trySend()
+}
+
+// Migrations reports how many address changes the client performed.
+func (c *Conn) Migrations() int { return c.migrations }
+
+// Close sends CONNECTION_CLOSE (clean) and releases all state.
+func (c *Conn) Close() { c.shutdown(nil) }
+
+// Abort sends CONNECTION_CLOSE (error) and releases all state without
+// invoking local callbacks.
+func (c *Conn) Abort() { c.shutdown(ErrAborted) }
+
+func (c *Conn) shutdown(err error) {
+	if c.state == stateClosed {
+		return
+	}
+	// Best-effort close notification, bypassing congestion control.
+	c.transmit(&packet{pn: c.nextPN, frames: []frame{&closeFrame{err: err}}})
+	c.nextPN++
+	c.teardown()
+}
+
+func (c *Conn) teardown() {
+	c.state = stateClosed
+	c.ptoTimer.Stop()
+	if c.issuedToken != 0 && c.scfg.Sessions != nil {
+		// Cache the path's cwnd for bandwidth resumption.
+		c.scfg.Sessions.storeCwnd(c.issuedToken, c.cwnd)
+	}
+	if c.isClient {
+		c.host.Unbind(c.localPort)
+	}
+	if c.endpoint != nil {
+		c.endpoint.remove(c.remote, c.remotePort)
+	}
+	c.sent = nil
+	c.sendQ = nil
+}
+
+func (c *Conn) fail(err error) {
+	if c.state == stateClosed {
+		return
+	}
+	c.teardown()
+	if c.closeFn != nil {
+		c.closeFn(err)
+	}
+}
+
+func (c *Conn) becomeEstablished() {
+	if c.state != stateHandshaking {
+		return
+	}
+	c.state = stateEstablished
+	c.hsDone = c.sched.Now()
+	if c.zeroRTT {
+		c.hsDone = c.hsStart
+	}
+	if c.onEstablished != nil {
+		c.onEstablished(c)
+	}
+	c.trySend()
+}
+
+// --- sending ---
+
+func (c *Conn) transmit(p *packet) {
+	if c.isClient {
+		p.dcid = c.cid
+	}
+	c.stats.PacketsSent++
+	size := p.wireSize()
+	c.stats.BytesSent += int64(size)
+	c.host.Send(c.localPort, c.remote, c.remotePort, size, p)
+}
+
+// canSendStreamData reports whether stream frames may be emitted now:
+// after establishment, or during 0-RTT.
+func (c *Conn) canSendStreamData() bool {
+	return c.state == stateEstablished || (c.isClient && c.zeroRTT && c.state == stateHandshaking)
+}
+
+// trySend drains control frames and stream data into packets, respecting
+// the congestion window. ACK-only packets bypass the window.
+func (c *Conn) trySend() {
+	if c.state == stateClosed {
+		return
+	}
+	for {
+		if float64(c.bytesInFlight) >= c.cwnd {
+			break
+		}
+		p := c.buildPacket()
+		if p == nil {
+			break
+		}
+		c.sendPacket(p)
+	}
+	// Flush a pending ACK even when nothing else fit.
+	if c.ackQueued {
+		c.ackQueued = false
+		ack := c.buildAck()
+		c.transmit(&packet{pn: c.nextPN, frames: []frame{ack}})
+		c.nextPN++
+	}
+}
+
+func (c *Conn) buildAck() *ackFrame {
+	return &ackFrame{ranges: c.recvd.snapshot(32)}
+}
+
+// buildPacket assembles the next packet: a pending ACK rides along, then
+// queued control/retransmit frames, then fresh stream data round-robin.
+// Returns nil when there is nothing ack-eliciting to send.
+func (c *Conn) buildPacket() *packet {
+	var frames []frame
+	budget := maxPacketPayload
+	eliciting := false
+
+	if c.ackQueued {
+		ack := c.buildAck()
+		frames = append(frames, ack)
+		budget -= ack.wireSize()
+	}
+
+	for len(c.sendQ) > 0 {
+		f := c.sendQ[0]
+		if f.wireSize() > budget && eliciting {
+			break
+		}
+		c.sendQ = c.sendQ[1:]
+		frames = append(frames, f)
+		budget -= f.wireSize()
+		eliciting = true
+		if budget <= 0 {
+			break
+		}
+	}
+
+	if budget > streamFrameHeader && c.canSendStreamData() {
+		for budget > streamFrameHeader {
+			sf := c.pullStreamFrame(budget - streamFrameHeader)
+			if sf == nil {
+				break
+			}
+			frames = append(frames, sf)
+			budget -= sf.wireSize()
+			eliciting = true
+		}
+	}
+
+	if !eliciting {
+		return nil
+	}
+	if c.ackQueued {
+		c.ackQueued = false
+	}
+	p := &packet{pn: c.nextPN, frames: frames}
+	c.nextPN++
+	return p
+}
+
+// pullStreamFrame extracts up to maxData bytes from the next stream in
+// round-robin order with pending data (or a bare FIN).
+func (c *Conn) pullStreamFrame(maxData int) *streamFrame {
+	n := len(c.streamOrder)
+	for i := 0; i < n; i++ {
+		idx := (c.rrIndex + i) % n
+		s := c.streams[c.streamOrder[idx]]
+		if s == nil {
+			continue
+		}
+		if len(s.pend) == 0 && !(s.finQueued && !s.finSent) {
+			continue
+		}
+		c.rrIndex = (idx + 1) % n
+		take := len(s.pend)
+		if take > maxData {
+			take = maxData
+		}
+		data := make([]byte, take)
+		copy(data, s.pend[:take])
+		s.pend = s.pend[take:]
+		sf := &streamFrame{id: s.id, off: s.sendOff, data: data}
+		s.sendOff += uint64(take)
+		if s.finQueued && len(s.pend) == 0 {
+			sf.fin = true
+			s.finSent = true
+		}
+		return sf
+	}
+	return nil
+}
+
+func (c *Conn) sendPacket(p *packet) {
+	sp := &sentPacket{
+		pn:           p.pn,
+		frames:       p.frames,
+		size:         p.wireSize(),
+		sentAt:       c.sched.Now(),
+		ackEliciting: p.isAckEliciting(),
+	}
+	if sp.ackEliciting {
+		c.sent[p.pn] = sp
+		c.bytesInFlight += sp.size
+		c.armPTO()
+	}
+	c.transmit(p)
+}
+
+// --- loss detection & congestion ---
+
+func (c *Conn) ptoDuration() time.Duration {
+	var base time.Duration
+	if c.hasRTT {
+		base = c.srtt + 4*c.rttvar
+		if base < c.cfg.PTOMin {
+			base = c.cfg.PTOMin
+		}
+	} else {
+		base = c.cfg.PTOInit
+	}
+	for i := 0; i < c.ptoCount; i++ {
+		base *= 2
+		if base >= c.cfg.PTOMax {
+			return c.cfg.PTOMax
+		}
+	}
+	return base
+}
+
+func (c *Conn) armPTO() {
+	if len(c.sent) == 0 {
+		c.ptoTimer.Stop()
+		return
+	}
+	c.ptoTimer.Reset(c.ptoDuration())
+}
+
+func (c *Conn) onPTO() {
+	if c.state == stateClosed {
+		return
+	}
+	c.ptoCount++
+	if c.ptoCount > c.cfg.MaxPTOs {
+		c.fail(ErrTimeout)
+		return
+	}
+	c.stats.PTOs++
+	// Probe: retransmit the oldest unacked ack-eliciting packet's
+	// frames in a fresh packet, bypassing the congestion window.
+	var oldest *sentPacket
+	for _, sp := range c.sent {
+		if oldest == nil || sp.pn < oldest.pn {
+			oldest = sp
+		}
+	}
+	if oldest != nil {
+		frames := retransmittable(oldest.frames)
+		if len(frames) > 0 {
+			p := &packet{pn: c.nextPN, frames: frames}
+			c.nextPN++
+			sp := &sentPacket{pn: p.pn, frames: p.frames, size: p.wireSize(), sentAt: c.sched.Now(), ackEliciting: true}
+			c.sent[p.pn] = sp
+			c.bytesInFlight += sp.size
+			c.transmit(p)
+		}
+	}
+	if c.ptoCount >= 2 {
+		// Persistent-congestion-lite: collapse to the minimum window.
+		c.cwnd = 2 * maxPacketPayload
+	}
+	c.armPTO()
+}
+
+// retransmittable filters out ACK and CLOSE frames, which are never
+// retransmitted as-is.
+func retransmittable(frames []frame) []frame {
+	out := make([]frame, 0, len(frames))
+	for _, f := range frames {
+		switch f.(type) {
+		case *ackFrame, *closeFrame:
+		default:
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func (c *Conn) handleAck(f *ackFrame) {
+	covered := func(pn uint64) bool {
+		for _, r := range f.ranges {
+			if r.lo <= pn && pn <= r.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	var newlyAcked []*sentPacket
+	var largest *sentPacket
+	for pn, sp := range c.sent {
+		if covered(pn) {
+			newlyAcked = append(newlyAcked, sp)
+			if largest == nil || pn > largest.pn {
+				largest = sp
+			}
+		}
+	}
+	if len(newlyAcked) == 0 {
+		return
+	}
+	// Map iteration order is random; sort so float arithmetic and
+	// retransmission order are reproducible across runs.
+	sort.Slice(newlyAcked, func(i, j int) bool { return newlyAcked[i].pn < newlyAcked[j].pn })
+	for _, sp := range newlyAcked {
+		delete(c.sent, sp.pn)
+		c.bytesInFlight -= sp.size
+		// Congestion window growth per acked bytes.
+		if c.cwnd < c.ssthresh {
+			c.cwnd += float64(sp.size) // slow start
+		} else {
+			c.cwnd += maxPacketPayload * float64(sp.size) / c.cwnd
+		}
+	}
+	if max := float64(c.cfg.MaxCwndPkts * maxPacketPayload); c.cwnd > max {
+		c.cwnd = max
+	}
+	c.rttSample(c.sched.Now() - largest.sentAt)
+	c.ptoCount = 0
+
+	// Packet-threshold loss detection.
+	largestAcked := largest.pn
+	var lost []*sentPacket
+	for pn, sp := range c.sent {
+		if pn+c.cfg.ReorderThreshold <= largestAcked {
+			lost = append(lost, sp)
+		}
+	}
+	sort.Slice(lost, func(i, j int) bool { return lost[i].pn < lost[j].pn })
+	for _, sp := range lost {
+		delete(c.sent, sp.pn)
+		c.bytesInFlight -= sp.size
+		c.stats.PacketsDeclaredLost++
+		c.sendQ = append(c.sendQ, retransmittable(sp.frames)...)
+		if sp.pn >= c.recoveryStart {
+			// One cwnd reduction per recovery epoch.
+			c.ssthresh = c.cwnd / 2
+			if min := float64(2 * maxPacketPayload); c.ssthresh < min {
+				c.ssthresh = min
+			}
+			c.cwnd = c.ssthresh
+			c.recoveryStart = c.nextPN
+		}
+	}
+
+	c.armPTO()
+	c.trySend()
+}
+
+func (c *Conn) rttSample(sample time.Duration) {
+	if sample <= 0 {
+		sample = time.Microsecond
+	}
+	if !c.hasRTT {
+		c.hasRTT = true
+		c.srtt = sample
+		c.rttvar = sample / 2
+		return
+	}
+	d := c.srtt - sample
+	if d < 0 {
+		d = -d
+	}
+	c.rttvar = (3*c.rttvar + d) / 4
+	c.srtt = (7*c.srtt + sample) / 8
+}
+
+// --- receiving ---
+
+func (c *Conn) handlePacket(p *packet) {
+	if c.state == stateClosed {
+		return
+	}
+	c.stats.PacketsReceived++
+	if !c.recvd.add(p.pn) {
+		// Duplicate: our ACK may have been lost; re-ACK.
+		c.ackQueued = true
+		c.trySend()
+		return
+	}
+	for _, f := range p.frames {
+		switch f := f.(type) {
+		case *clientHelloFrame:
+			c.handleClientHello(f)
+		case *serverHelloFrame:
+			c.handleServerHello(f)
+		case finishedFrame:
+			// Confirms the client reached 1-RTT; nothing further.
+		case *streamFrame:
+			c.handleStreamFrame(f)
+		case *ackFrame:
+			c.handleAck(f)
+		case *closeFrame:
+			c.teardown()
+			if c.closeFn != nil {
+				c.closeFn(f.err)
+			}
+			return
+		}
+		if c.state == stateClosed {
+			return
+		}
+	}
+	if p.isAckEliciting() {
+		c.ackQueued = true
+	}
+	c.trySend()
+}
+
+func (c *Conn) handleClientHello(f *clientHelloFrame) {
+	if c.isClient {
+		return
+	}
+	if c.chSeen {
+		return // duplicate via client probe; our SH PTO covers it
+	}
+	c.chSeen = true
+	c.serverName = f.serverName
+	resumed := c.scfg.Sessions != nil && c.scfg.Sessions.valid(f.token)
+	c.resumed = resumed
+	c.zeroRTT = resumed && f.zeroRTT
+	if resumed {
+		// Bandwidth resumption: restart from the cached cwnd
+		// (capped), skipping slow start on the validated path.
+		if cached := c.scfg.Sessions.cachedCwnd(f.token); cached > c.cwnd {
+			if max := float64(c.cfg.MaxCwndPkts*maxPacketPayload) / 2; cached > max {
+				cached = max
+			}
+			c.cwnd = cached
+			c.ssthresh = cached
+		}
+	}
+	if c.endpoint != nil && c.endpoint.accept != nil {
+		c.endpoint.accept(c)
+	}
+	cpu := c.scfg.HandshakeCPU
+	if resumed {
+		cpu /= 2
+	}
+	respond := func() {
+		if c.state == stateClosed {
+			return
+		}
+		sh := &serverHelloFrame{resumed: resumed, cid: c.cid}
+		if c.scfg.Sessions != nil {
+			sh.newToken = c.scfg.Sessions.issue()
+			c.issuedToken = sh.newToken
+		}
+		c.sendQ = append(c.sendQ, sh)
+		c.becomeEstablished()
+	}
+	if cpu > 0 {
+		c.sched.After(cpu, respond)
+	} else {
+		respond()
+	}
+}
+
+func (c *Conn) handleServerHello(f *serverHelloFrame) {
+	if !c.isClient || c.shSeen {
+		return
+	}
+	c.shSeen = true
+	c.resumed = f.resumed
+	c.cid = f.cid
+	if f.newToken != 0 && c.ccfg.Tokens != nil {
+		c.ccfg.Tokens.Put(Token{ID: f.newToken, ServerName: c.ccfg.ServerName, IssuedAt: c.sched.Now()})
+	}
+	c.sendQ = append(c.sendQ, finishedFrame{})
+	cpu := c.ccfg.HandshakeCPU
+	if c.resumed {
+		cpu /= 2
+	}
+	finish := func() {
+		if c.state == stateClosed {
+			return
+		}
+		c.becomeEstablished()
+		c.trySend()
+	}
+	if cpu > 0 {
+		c.sched.After(cpu, finish)
+	} else {
+		finish()
+	}
+}
+
+func (c *Conn) handleStreamFrame(f *streamFrame) {
+	s, ok := c.streams[f.id]
+	if !ok {
+		s = &Stream{conn: c, id: f.id, chunks: make(map[uint64][]byte)}
+		c.streams[f.id] = s
+		c.streamOrder = append(c.streamOrder, f.id)
+		c.stats.StreamsAccepted++
+		if c.streamFn != nil {
+			c.streamFn(s)
+		}
+	}
+	s.receive(f)
+}

@@ -1,0 +1,131 @@
+package quicsim
+
+import (
+	"fmt"
+
+	"h3cdn/internal/simnet"
+)
+
+type peerKey struct {
+	addr simnet.Addr
+	port uint16
+}
+
+// Endpoint is a server-side QUIC listener: it owns a UDP port and
+// demultiplexes datagrams to per-peer connections.
+type Endpoint struct {
+	host    *simnet.Host
+	port    uint16
+	cfg     ServerConfig
+	accept  func(*Conn)
+	conns   map[peerKey]*Conn
+	byCID   map[uint64]*Conn
+	nextCID uint64
+	closed  bool
+}
+
+// Listen binds a QUIC server endpoint on host:port. accept fires when a
+// new connection's ClientHello is processed (its ServerName is known and
+// 0-RTT stream data has not yet been delivered).
+func Listen(host *simnet.Host, port uint16, cfg ServerConfig, accept func(*Conn)) (*Endpoint, error) {
+	e := &Endpoint{
+		host:    host,
+		port:    port,
+		cfg:     cfg,
+		accept:  accept,
+		conns:   make(map[peerKey]*Conn),
+		byCID:   make(map[uint64]*Conn),
+		nextCID: 1,
+	}
+	e.cfg.Config = cfg.Config.withDefaults()
+	if err := host.Bind(port, e.handlePacket); err != nil {
+		return nil, fmt.Errorf("quicsim: listen: %w", err)
+	}
+	return e, nil
+}
+
+// Close unbinds the port and aborts all live connections.
+func (e *Endpoint) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	e.host.Unbind(e.port)
+	for _, c := range e.conns {
+		c.endpoint = nil
+		c.Abort()
+	}
+	e.conns = make(map[peerKey]*Conn)
+}
+
+// ConnCount reports the number of tracked connections.
+func (e *Endpoint) ConnCount() int { return len(e.conns) }
+
+func (e *Endpoint) handlePacket(pkt simnet.Packet) {
+	p, ok := pkt.Payload.(*packet)
+	if !ok {
+		return
+	}
+	key := peerKey{pkt.Src, pkt.SrcPort}
+	c, ok := e.conns[key]
+	if !ok && p.dcid != 0 {
+		// Connection migration: route by connection ID and adopt the
+		// new peer path (RFC 9000 §9).
+		if mc, found := e.byCID[p.dcid]; found && mc.state != stateClosed {
+			delete(e.conns, peerKey{mc.remote, mc.remotePort})
+			mc.remote = pkt.Src
+			mc.remotePort = pkt.SrcPort
+			e.conns[key] = mc
+			c, ok = mc, true
+		}
+	}
+	if !ok {
+		if !hasClientHello(p) {
+			// Unknown connection: stateless close so the peer
+			// releases its state — unless the packet is itself a
+			// close (avoid close loops).
+			if !isCloseOnly(p) {
+				reply := &packet{frames: []frame{&closeFrame{err: ErrAborted}}}
+				e.host.Send(e.port, pkt.Src, pkt.SrcPort, reply.wireSize(), reply)
+			}
+			return
+		}
+		c = newConn(e.host, e.cfg.Config)
+		c.scfg = e.cfg
+		c.remote = pkt.Src
+		c.remotePort = pkt.SrcPort
+		c.localPort = e.port
+		c.endpoint = e
+		c.hsStart = c.sched.Now()
+		c.cid = e.nextCID
+		e.nextCID++
+		e.conns[key] = c
+		e.byCID[c.cid] = c
+	}
+	c.handlePacket(p)
+}
+
+func (e *Endpoint) remove(addr simnet.Addr, port uint16) {
+	if c, ok := e.conns[peerKey{addr, port}]; ok {
+		delete(e.byCID, c.cid)
+	}
+	delete(e.conns, peerKey{addr, port})
+}
+
+func hasClientHello(p *packet) bool {
+	for _, f := range p.frames {
+		if _, ok := f.(*clientHelloFrame); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func isCloseOnly(p *packet) bool {
+	for _, f := range p.frames {
+		if _, ok := f.(*closeFrame); !ok {
+			return false
+		}
+	}
+	return len(p.frames) > 0
+}

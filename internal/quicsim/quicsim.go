@@ -1,0 +1,187 @@
+// Package quicsim implements a miniature QUIC transport (RFC 9000/9002
+// flavored) over internal/simnet: unique packet numbers with ACK ranges,
+// packet-threshold and PTO-based loss detection, NewReno congestion
+// control, a 1-RTT integrated handshake, session-token resumption with
+// 0-RTT data, and — the property this reproduction leans on — multiple
+// independent streams whose data is delivered per-stream in order but
+// across streams without head-of-line blocking.
+//
+// Simplifications (documented in DESIGN.md): a single packet-number space
+// (no separate Initial/Handshake/1-RTT spaces), no flow control windows,
+// no connection migration, handshake messages as typed frames with
+// realistic sizes rather than CRYPTO byte streams.
+package quicsim
+
+import (
+	"errors"
+	"time"
+)
+
+// Wire overheads in bytes.
+const (
+	// packetOverhead charges IPv4 + UDP + QUIC short header + AEAD tag.
+	packetOverhead = 54
+	// maxPacketPayload is the frame budget per packet (QUIC's ~1200B
+	// datagram minus headers).
+	maxPacketPayload = 1200
+	// streamFrameHeader approximates the STREAM frame header size.
+	streamFrameHeader = 12
+
+	sizeClientHello = 300
+	sizeServerHello = 2900
+	sizeFinished    = 36
+	sizeAckFrame    = 25
+	sizeCloseFrame  = 16
+)
+
+// Config tunes a QUIC endpoint. The zero value selects defaults.
+type Config struct {
+	// InitCwndPkts is the initial congestion window in packets.
+	// Default 10.
+	InitCwndPkts int
+	// MaxCwndPkts caps the congestion window. Default 512.
+	MaxCwndPkts int
+	// PTOInit is the probe timeout before an RTT sample exists.
+	// Default 1s.
+	PTOInit time.Duration
+	// PTOMin / PTOMax clamp the computed PTO. RFC 9002 uses timer
+	// granularity (~1ms), not TCP's conservative RTO floor — fast tail
+	// recovery is a genuine QUIC advantage. Defaults 2ms / 60s.
+	PTOMin time.Duration
+	PTOMax time.Duration
+	// MaxPTOs bounds consecutive probe timeouts before the connection
+	// errors out. Default 8.
+	MaxPTOs int
+	// ReorderThreshold is the packet-number distance that declares a
+	// packet lost (RFC 9002 kPacketThreshold). Default 3.
+	ReorderThreshold uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.InitCwndPkts == 0 {
+		c.InitCwndPkts = 10
+	}
+	if c.MaxCwndPkts == 0 {
+		c.MaxCwndPkts = 512
+	}
+	if c.PTOInit == 0 {
+		c.PTOInit = time.Second
+	}
+	if c.PTOMin == 0 {
+		c.PTOMin = 2 * time.Millisecond
+	}
+	if c.PTOMax == 0 {
+		c.PTOMax = 60 * time.Second
+	}
+	if c.MaxPTOs == 0 {
+		c.MaxPTOs = 8
+	}
+	if c.ReorderThreshold == 0 {
+		c.ReorderThreshold = 3
+	}
+	return c
+}
+
+// Errors reported through callbacks.
+var (
+	ErrTimeout   = errors.New("quicsim: connection timed out")
+	ErrAborted   = errors.New("quicsim: connection aborted")
+	ErrClosed    = errors.New("quicsim: connection closed by peer")
+	ErrHandshake = errors.New("quicsim: handshake failed")
+)
+
+// --- frames ---
+
+type frame interface {
+	wireSize() int
+	ackEliciting() bool
+}
+
+type clientHelloFrame struct {
+	serverName string
+	token      uint64 // 0 = none
+	zeroRTT    bool
+}
+
+func (f *clientHelloFrame) wireSize() int    { return sizeClientHello }
+func (*clientHelloFrame) ackEliciting() bool { return true }
+
+type serverHelloFrame struct {
+	resumed  bool
+	newToken uint64
+	// cid is the connection ID the server assigns; the client echoes
+	// it in every subsequent packet so the server can route packets
+	// from a migrated address (RFC 9000 §9).
+	cid uint64
+}
+
+func (f *serverHelloFrame) wireSize() int    { return sizeServerHello }
+func (*serverHelloFrame) ackEliciting() bool { return true }
+
+type finishedFrame struct{}
+
+func (finishedFrame) wireSize() int      { return sizeFinished }
+func (finishedFrame) ackEliciting() bool { return true }
+
+type streamFrame struct {
+	id   uint64
+	off  uint64
+	data []byte
+	fin  bool
+}
+
+func (f *streamFrame) wireSize() int    { return streamFrameHeader + len(f.data) }
+func (*streamFrame) ackEliciting() bool { return true }
+
+type ackFrame struct {
+	ranges []pnRange // descending, most recent first
+}
+
+func (f *ackFrame) wireSize() int    { return sizeAckFrame + 4*len(f.ranges) }
+func (*ackFrame) ackEliciting() bool { return false }
+
+type closeFrame struct {
+	err error
+}
+
+func (f *closeFrame) wireSize() int    { return sizeCloseFrame }
+func (*closeFrame) ackEliciting() bool { return false }
+
+// packet is the on-wire QUIC datagram payload.
+type packet struct {
+	pn      uint64
+	frames  []frame
+	zeroRTT bool // sent as 0-RTT (before handshake confirmation)
+	// dcid routes short-header packets to the server connection even
+	// after the client's address changes (connection migration).
+	dcid uint64
+}
+
+func (p *packet) wireSize() int {
+	n := packetOverhead
+	for _, f := range p.frames {
+		n += f.wireSize()
+	}
+	return n
+}
+
+func (p *packet) isAckEliciting() bool {
+	for _, f := range p.frames {
+		if f.ackEliciting() {
+			return true
+		}
+	}
+	return false
+}
+
+// ConnStats counts per-connection activity.
+type ConnStats struct {
+	PacketsSent         int64
+	PacketsReceived     int64
+	BytesSent           int64
+	BytesDelivered      int64
+	PacketsDeclaredLost int64
+	PTOs                int64
+	StreamsOpened       int64
+	StreamsAccepted     int64
+}

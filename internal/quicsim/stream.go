@@ -1,0 +1,115 @@
+package quicsim
+
+// Stream is an ordered byte stream multiplexed on a Conn. Data on one
+// stream is delivered in order; loss on one stream never blocks another —
+// the transport-level property behind HTTP/3's HoL-blocking immunity.
+type Stream struct {
+	conn *Conn
+	id   uint64
+
+	// Send side.
+	pend      []byte
+	sendOff   uint64
+	finQueued bool
+	finSent   bool
+
+	// Receive side.
+	rcvOff  uint64
+	chunks  map[uint64][]byte
+	finOff  uint64
+	hasFin  bool
+	gotEOF  bool
+	dataFn  func([]byte)
+	finFn   func()
+	nRecved int64
+}
+
+// ID returns the stream identifier.
+func (s *Stream) ID() uint64 { return s.id }
+
+// Conn returns the owning connection.
+func (s *Stream) Conn() *Conn { return s.conn }
+
+// SetDataFunc registers the in-order delivery callback for this stream.
+func (s *Stream) SetDataFunc(fn func([]byte)) { s.dataFn = fn }
+
+// SetFinFunc registers the end-of-stream callback (peer FIN received and
+// all data delivered).
+func (s *Stream) SetFinFunc(fn func()) { s.finFn = fn }
+
+// Write queues p for transmission on this stream.
+func (s *Stream) Write(p []byte) {
+	if s.conn.state == stateClosed || s.finQueued {
+		return
+	}
+	s.pend = append(s.pend, p...)
+	s.conn.trySend()
+}
+
+// CloseWrite queues a FIN after any pending data.
+func (s *Stream) CloseWrite() {
+	if s.conn.state == stateClosed || s.finQueued {
+		return
+	}
+	s.finQueued = true
+	s.conn.trySend()
+}
+
+// BytesReceived reports in-order bytes delivered so far.
+func (s *Stream) BytesReceived() int64 { return s.nRecved }
+
+// receive ingests a (possibly out-of-order, possibly duplicate) frame.
+func (s *Stream) receive(f *streamFrame) {
+	if f.fin {
+		s.hasFin = true
+		s.finOff = f.off + uint64(len(f.data))
+	}
+	end := f.off + uint64(len(f.data))
+	if end > s.rcvOff && len(f.data) > 0 {
+		data := f.data
+		off := f.off
+		if off < s.rcvOff {
+			data = data[s.rcvOff-off:]
+			off = s.rcvOff
+		}
+		if prev, ok := s.chunks[off]; !ok || len(data) > len(prev) {
+			s.chunks[off] = data
+		}
+	}
+	s.advance()
+}
+
+func (s *Stream) advance() {
+	for {
+		progressed := false
+		for off, data := range s.chunks {
+			end := off + uint64(len(data))
+			if off > s.rcvOff {
+				continue
+			}
+			delete(s.chunks, off)
+			if end <= s.rcvOff {
+				progressed = true
+				break // stale duplicate
+			}
+			chunk := data[s.rcvOff-off:]
+			s.rcvOff = end
+			s.nRecved += int64(len(chunk))
+			s.conn.stats.BytesDelivered += int64(len(chunk))
+			if s.dataFn != nil {
+				s.dataFn(chunk)
+			}
+			progressed = true
+			break
+		}
+		if !progressed {
+			break
+		}
+	}
+	if s.hasFin && !s.gotEOF && s.rcvOff >= s.finOff {
+		s.gotEOF = true
+		if s.finFn != nil {
+			s.finFn()
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package quicsim
+
+import "time"
+
+// Token is a client-held session token enabling QUIC resumption and
+// 0-RTT (the QUIC analogue of a TLS 1.3 session ticket).
+type Token struct {
+	ID         uint64
+	ServerName string
+	IssuedAt   time.Duration
+}
+
+// TokenStore caches session tokens by server name — the browser-side
+// QUIC session cache that survives across page visits.
+type TokenStore struct {
+	byName map[string]Token
+}
+
+// NewTokenStore returns an empty session cache.
+func NewTokenStore() *TokenStore {
+	return &TokenStore{byName: make(map[string]Token)}
+}
+
+// Get returns the token for serverName, if any.
+func (s *TokenStore) Get(serverName string) (Token, bool) {
+	t, ok := s.byName[serverName]
+	return t, ok
+}
+
+// Put stores a token, replacing any previous one for the same name.
+func (s *TokenStore) Put(t Token) { s.byName[t.ServerName] = t }
+
+// Clear drops all tokens.
+func (s *TokenStore) Clear() { s.byName = make(map[string]Token) }
+
+// Len reports the number of cached tokens.
+func (s *TokenStore) Len() int { return len(s.byName) }
+
+// ServerSessions is the server-side token registry shared by all
+// connections of one server. Alongside validity it caches the path's
+// congestion window at connection close, enabling cwnd (bandwidth)
+// resumption on the next connection from the same client — the RFC 9002
+// Appendix B / Chromium "bandwidth resumption" optimization that lets
+// returning visitors skip slow start.
+type ServerSessions struct {
+	issued map[uint64]float64 // token → cached cwnd (0 = none yet)
+	nextID uint64
+}
+
+// NewServerSessions returns an empty registry.
+func NewServerSessions() *ServerSessions {
+	return &ServerSessions{issued: make(map[uint64]float64), nextID: 1}
+}
+
+func (s *ServerSessions) issue() uint64 {
+	id := s.nextID
+	s.nextID++
+	s.issued[id] = 0
+	return id
+}
+
+func (s *ServerSessions) valid(id uint64) bool {
+	if id == 0 {
+		return false
+	}
+	_, ok := s.issued[id]
+	return ok
+}
+
+// storeCwnd caches the closing connection's congestion window under the
+// token it issued.
+func (s *ServerSessions) storeCwnd(id uint64, cwnd float64) {
+	if _, ok := s.issued[id]; ok {
+		s.issued[id] = cwnd
+	}
+}
+
+// cachedCwnd returns the cwnd remembered for a presented token.
+func (s *ServerSessions) cachedCwnd(id uint64) float64 { return s.issued[id] }

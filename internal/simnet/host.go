@@ -1,0 +1,62 @@
+package simnet
+
+import "fmt"
+
+// PacketHandler consumes a delivered packet.
+type PacketHandler func(pkt Packet)
+
+// Host is a network endpoint with a port space shared by all transports.
+type Host struct {
+	net           *Network
+	addr          Addr
+	ports         map[uint16]PacketHandler
+	nextEphemeral uint16
+}
+
+// Addr returns the host address.
+func (h *Host) Addr() Addr { return h.addr }
+
+// Network returns the owning network.
+func (h *Host) Network() *Network { return h.net }
+
+// Scheduler returns the scheduler driving the owning network.
+func (h *Host) Scheduler() *Scheduler { return h.net.sched }
+
+// Bind registers fn on a well-known port.
+func (h *Host) Bind(port uint16, fn PacketHandler) error {
+	if _, ok := h.ports[port]; ok {
+		return fmt.Errorf("simnet: %s port %d already bound", h.addr, port)
+	}
+	h.ports[port] = fn
+	return nil
+}
+
+// BindEphemeral registers fn on a fresh ephemeral port and returns it.
+func (h *Host) BindEphemeral(fn PacketHandler) uint16 {
+	for {
+		p := h.nextEphemeral
+		h.nextEphemeral++
+		if h.nextEphemeral == 0 {
+			h.nextEphemeral = 49152
+		}
+		if _, ok := h.ports[p]; !ok {
+			h.ports[p] = fn
+			return p
+		}
+	}
+}
+
+// Unbind releases a port. Unbinding a free port is a no-op.
+func (h *Host) Unbind(port uint16) { delete(h.ports, port) }
+
+// Send transmits a packet from srcPort to dst:dstPort.
+func (h *Host) Send(srcPort uint16, dst Addr, dstPort uint16, size int, payload any) {
+	h.net.send(Packet{
+		Src:     h.addr,
+		SrcPort: srcPort,
+		Dst:     dst,
+		DstPort: dstPort,
+		Size:    size,
+		Payload: payload,
+	})
+}

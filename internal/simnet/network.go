@@ -1,0 +1,207 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"h3cdn/internal/seqrand"
+)
+
+// Addr identifies a host on the simulated network.
+type Addr string
+
+// Packet is a datagram in flight. Payload is an opaque protocol message
+// (e.g. a TCP segment or QUIC packet); Size is its on-wire size in bytes
+// and is what bandwidth serialization charges.
+type Packet struct {
+	Src     Addr
+	SrcPort uint16
+	Dst     Addr
+	DstPort uint16
+	Size    int
+	Payload any
+}
+
+// PathProps describes a directed src→dst path.
+type PathProps struct {
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// BandwidthBps is the serialization rate in bits per second.
+	// Zero means infinite (no serialization delay).
+	BandwidthBps float64
+	// LossRate is the i.i.d. Bernoulli drop probability in [0,1).
+	LossRate float64
+	// QueueLimit bounds packets concurrently serialized/queued on the
+	// path; beyond it packets are tail-dropped. Zero means unbounded.
+	QueueLimit int
+	// LinkID, when non-empty, names a shared link: all paths carrying
+	// the same LinkID serialize through one transmission queue (e.g. a
+	// client's access link shared by all its downloads). Empty keeps
+	// per-(src,dst)-pair serialization.
+	LinkID string
+}
+
+// PathFunc resolves the directed path properties between two hosts.
+type PathFunc func(src, dst Addr) PathProps
+
+// Stats counts network-level activity for a Network.
+type Stats struct {
+	Sent       int64
+	Delivered  int64
+	LossDrops  int64
+	QueueDrops int64
+	NoRoute    int64 // destination host or port not bound
+	BytesSent  int64
+}
+
+// Network connects hosts over paths resolved by a PathFunc.
+type Network struct {
+	sched  *Scheduler
+	path   PathFunc
+	hosts  map[Addr]*Host
+	pairs  map[pairKey]*pathState
+	rng    *seqrand.Source
+	stats  Stats
+	filter func(Packet) bool
+}
+
+// SetFilter installs a packet filter invoked before every transmission;
+// returning false drops the packet (counted as a loss drop). Intended for
+// tests and fault injection. Pass nil to remove.
+func (n *Network) SetFilter(f func(Packet) bool) { n.filter = f }
+
+type pairKey struct {
+	src, dst Addr
+	link     string
+}
+
+type pathState struct {
+	busyUntil time.Duration
+	inFlight  int
+	lossRng   *rand.Rand
+}
+
+// NewNetwork creates a network driven by sched with paths from path and
+// loss randomness derived from rng.
+func NewNetwork(sched *Scheduler, path PathFunc, rng *seqrand.Source) *Network {
+	if path == nil {
+		path = func(Addr, Addr) PathProps { return PathProps{} }
+	}
+	return &Network{
+		sched: sched,
+		path:  path,
+		hosts: make(map[Addr]*Host),
+		pairs: make(map[pairKey]*pathState),
+		rng:   rng,
+	}
+}
+
+// Scheduler returns the driving scheduler.
+func (n *Network) Scheduler() *Scheduler { return n.sched }
+
+// Stats returns a snapshot of network counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// AddHost registers a host at addr. It panics on duplicate addresses:
+// topology construction bugs should fail loudly at setup time.
+func (n *Network) AddHost(addr Addr) *Host {
+	if _, ok := n.hosts[addr]; ok {
+		panic(fmt.Sprintf("simnet: duplicate host %q", addr))
+	}
+	h := &Host{
+		net:   n,
+		addr:  addr,
+		ports: make(map[uint16]PacketHandler),
+		// Ephemeral range start; deterministic across runs.
+		nextEphemeral: 49152,
+	}
+	n.hosts[addr] = h
+	return h
+}
+
+// Host returns the host at addr, or nil.
+func (n *Network) Host(addr Addr) *Host { return n.hosts[addr] }
+
+func (n *Network) pairState(src, dst Addr, link string) *pathState {
+	k := pairKey{link: link}
+	if link == "" {
+		k.src, k.dst = src, dst
+	}
+	ps, ok := n.pairs[k]
+	if !ok {
+		label := link
+		if label == "" {
+			label = string(src) + "|" + string(dst)
+		}
+		ps = &pathState{lossRng: n.rng.Stream("loss", label)}
+		n.pairs[k] = ps
+	}
+	return ps
+}
+
+// send transmits pkt, applying serialization, queue, loss, and propagation.
+func (n *Network) send(pkt Packet) {
+	n.stats.Sent++
+	n.stats.BytesSent += int64(pkt.Size)
+
+	if n.filter != nil && !n.filter(pkt) {
+		n.stats.LossDrops++
+		return
+	}
+
+	props := n.path(pkt.Src, pkt.Dst)
+	ps := n.pairState(pkt.Src, pkt.Dst, props.LinkID)
+
+	if props.QueueLimit > 0 && ps.inFlight >= props.QueueLimit {
+		n.stats.QueueDrops++
+		return
+	}
+
+	now := n.sched.Now()
+	start := now
+	if ps.busyUntil > start {
+		start = ps.busyUntil
+	}
+	var tx time.Duration
+	if props.BandwidthBps > 0 {
+		tx = time.Duration(float64(pkt.Size*8) / props.BandwidthBps * float64(time.Second))
+	}
+	ps.busyUntil = start + tx
+	ps.inFlight++
+
+	// Loss is evaluated per transmission attempt. Dropped packets still
+	// consumed link time (they were serialized onto the wire).
+	if props.LossRate > 0 && ps.lossRng.Float64() < props.LossRate {
+		n.stats.LossDrops++
+		n.sched.At(start+tx, func() { ps.inFlight-- })
+		return
+	}
+
+	arrival := start + tx + props.Delay
+	n.sched.At(arrival, func() {
+		ps.inFlight--
+		n.deliver(pkt)
+	})
+}
+
+func (n *Network) deliver(pkt Packet) {
+	h, ok := n.hosts[pkt.Dst]
+	if !ok {
+		n.stats.NoRoute++
+		return
+	}
+	fn, ok := h.ports[pkt.DstPort]
+	if !ok {
+		n.stats.NoRoute++
+		return
+	}
+	n.stats.Delivered++
+	fn(pkt)
+}
+
+// RTT returns the round-trip propagation delay between two hosts
+// (sum of the two directed path delays, no serialization).
+func (n *Network) RTT(a, b Addr) time.Duration {
+	return n.path(a, b).Delay + n.path(b, a).Delay
+}

@@ -1,0 +1,160 @@
+// Package simnet implements a deterministic discrete-event network
+// simulator: a virtual clock with an event heap, hosts addressable by
+// string addresses and integer ports, and directed paths with propagation
+// delay, bandwidth serialization, bounded queues, and Bernoulli loss.
+//
+// All protocol endpoints in this repository (internal/tcpsim,
+// internal/quicsim, ...) are callback state machines driven by a single
+// Scheduler; a simulation run uses no goroutines, so identical seeds yield
+// identical traces.
+package simnet
+
+import (
+	"container/heap"
+	"errors"
+	"time"
+)
+
+// ErrStopped is reported by Run when the scheduler was stopped explicitly.
+var ErrStopped = errors.New("simnet: scheduler stopped")
+
+// Scheduler owns the virtual clock and the pending event set.
+// The zero value is ready to use.
+type Scheduler struct {
+	now     time.Duration
+	events  eventHeap
+	seq     uint64
+	stopped bool
+
+	// MaxEvents, when non-zero, bounds a single Run call as a runaway
+	// guard; Run returns ErrEventBudget once exceeded.
+	MaxEvents int
+}
+
+// ErrEventBudget is reported by Run when MaxEvents was exhausted.
+var ErrEventBudget = errors.New("simnet: event budget exhausted")
+
+type event struct {
+	at       time.Duration
+	seq      uint64 // tie-break: FIFO among same-time events
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 when popped
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// At schedules fn at absolute virtual time t. Times in the past run "now".
+func (s *Scheduler) At(t time.Duration, fn func()) *event {
+	if t < s.now {
+		t = s.now
+	}
+	ev := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, ev)
+	return ev
+}
+
+// After schedules fn delay after the current virtual time.
+func (s *Scheduler) After(delay time.Duration, fn func()) *event {
+	return s.At(s.now+delay, fn)
+}
+
+// Stop makes Run return after the current event.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Pending reports the number of live (non-canceled) scheduled events.
+func (s *Scheduler) Pending() int {
+	n := 0
+	for _, ev := range s.events {
+		if !ev.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// Step executes the next event, if any, advancing the clock.
+// It reports whether an event ran.
+func (s *Scheduler) Step() bool {
+	for s.events.Len() > 0 {
+		ev := heap.Pop(&s.events).(*event)
+		if ev.canceled {
+			continue
+		}
+		s.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until none remain, Stop is called, or the event
+// budget (if set) is exhausted. It returns the number of events executed.
+func (s *Scheduler) Run() (int, error) {
+	s.stopped = false
+	n := 0
+	for s.Step() {
+		n++
+		if s.stopped {
+			return n, ErrStopped
+		}
+		if s.MaxEvents > 0 && n >= s.MaxEvents {
+			return n, ErrEventBudget
+		}
+	}
+	return n, nil
+}
+
+// RunUntil executes events with time ≤ t, then sets the clock to t.
+// It returns the number of events executed.
+func (s *Scheduler) RunUntil(t time.Duration) int {
+	n := 0
+	for s.events.Len() > 0 {
+		next := s.events[0]
+		if next.canceled {
+			heap.Pop(&s.events)
+			continue
+		}
+		if next.at > t {
+			break
+		}
+		if s.Step() {
+			n++
+		}
+	}
+	if s.now < t {
+		s.now = t
+	}
+	return n
+}

@@ -1,0 +1,54 @@
+package simnet
+
+import "time"
+
+// Timer is a cancellable, resettable one-shot timer bound to a Scheduler.
+// It mirrors the subset of time.Timer semantics protocol state machines
+// need (RTO, PTO, idle timeouts) under virtual time.
+type Timer struct {
+	s  *Scheduler
+	fn func()
+	ev *event
+}
+
+// NewTimer returns a stopped timer that will invoke fn when it fires.
+func (s *Scheduler) NewTimer(fn func()) *Timer {
+	return &Timer{s: s, fn: fn}
+}
+
+// Reset (re)arms the timer to fire delay from now, canceling any pending
+// expiry.
+func (t *Timer) Reset(delay time.Duration) {
+	t.Stop()
+	t.ev = t.s.After(delay, t.fire)
+}
+
+// ResetAt (re)arms the timer to fire at absolute virtual time at.
+func (t *Timer) ResetAt(at time.Duration) {
+	t.Stop()
+	t.ev = t.s.At(at, t.fire)
+}
+
+func (t *Timer) fire() {
+	t.ev = nil
+	t.fn()
+}
+
+// Stop cancels a pending expiry. Stopping a stopped timer is a no-op.
+func (t *Timer) Stop() {
+	if t.ev != nil {
+		t.ev.canceled = true
+		t.ev = nil
+	}
+}
+
+// Armed reports whether the timer has a pending expiry.
+func (t *Timer) Armed() bool { return t.ev != nil }
+
+// Deadline returns the pending expiry time; valid only when Armed.
+func (t *Timer) Deadline() time.Duration {
+	if t.ev == nil {
+		return 0
+	}
+	return t.ev.at
+}

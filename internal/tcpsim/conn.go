@@ -1,0 +1,631 @@
+package tcpsim
+
+import (
+	"time"
+
+	"h3cdn/internal/bytestream"
+	"h3cdn/internal/simnet"
+)
+
+type connState uint8
+
+const (
+	stateSynSent connState = iota + 1
+	stateSynRcvd
+	stateEstablished
+	stateClosed
+)
+
+type recvChunk struct {
+	data []byte
+	fin  bool
+}
+
+// Conn is one endpoint of a simulated TCP connection. It implements
+// bytestream.Stream. All methods must be called from scheduler context.
+type Conn struct {
+	host  *simnet.Host
+	sched *simnet.Scheduler
+	cfg   Config
+
+	remote     simnet.Addr
+	localPort  uint16
+	remotePort uint16
+	state      connState
+	isClient   bool
+	listener   *Listener // server side only; for conn-table cleanup
+
+	// Sender state. sendBuf holds bytes [sndUna, sndUna+len(sendBuf)).
+	sndUna  uint64
+	sndNxt  uint64
+	sendBuf []byte
+	sentFin bool
+	finSeq  uint64
+	closing bool // Close() called: FIN queued after pending data
+
+	// Congestion control (NewReno), in bytes.
+	cwnd       float64
+	ssthresh   float64
+	inRecovery bool
+	recover    uint64
+	dupAcks    int
+
+	// RTO (RFC 6298) with Karn's algorithm.
+	rto         time.Duration
+	srtt        time.Duration
+	rttvar      time.Duration
+	hasRTT      bool
+	rtoTimer    *simnet.Timer
+	retries     int
+	timedSeq    uint64
+	timedSentAt time.Duration
+	timedValid  bool
+	synSentAt   time.Duration
+	synRetrans  bool
+
+	// Receiver state: strict in-order delivery.
+	rcvNxt    uint64
+	recvBuf   map[uint64]recvChunk
+	peerEOF   bool
+	finRcvd   bool // FIN delivered to app
+	finAcked  bool // our FIN acknowledged
+	closeSent bool // close callback delivered
+
+	onEstablished func()
+	dataFn        func([]byte)
+	closeFn       func(error)
+
+	drainFn        func()
+	drainThreshold int
+	notifying      bool
+
+	stats ConnStats
+}
+
+var _ bytestream.Stream = (*Conn)(nil)
+
+// Dial opens a client connection from host to dst:dstPort. onEstablished
+// fires when the 3-way handshake completes; writes issued earlier are
+// queued and flushed at that point.
+func Dial(host *simnet.Host, dst simnet.Addr, dstPort uint16, cfg Config, onEstablished func(*Conn)) *Conn {
+	cfg = cfg.withDefaults()
+	c := newConn(host, cfg)
+	c.isClient = true
+	c.remote = dst
+	c.remotePort = dstPort
+	c.localPort = host.BindEphemeral(func(pkt simnet.Packet) {
+		seg, ok := pkt.Payload.(*segment)
+		if !ok {
+			return
+		}
+		c.handleSegment(seg)
+	})
+	c.state = stateSynSent
+	if onEstablished != nil {
+		c.onEstablished = func() { onEstablished(c) }
+	}
+	c.synSentAt = c.sched.Now()
+	c.sendFlags(flagSYN)
+	c.armRTO()
+	return c
+}
+
+func newConn(host *simnet.Host, cfg Config) *Conn {
+	c := &Conn{
+		host:    host,
+		sched:   host.Scheduler(),
+		cfg:     cfg,
+		cwnd:    float64(cfg.InitCwndSegs * cfg.MSS),
+		rto:     cfg.RTOInit,
+		recvBuf: make(map[uint64]recvChunk),
+	}
+	c.ssthresh = float64(cfg.MaxCwndSegs * cfg.MSS)
+	c.rtoTimer = c.sched.NewTimer(c.onRTO)
+	return c
+}
+
+// RemoteAddr returns the peer address.
+func (c *Conn) RemoteAddr() simnet.Addr { return c.remote }
+
+// LocalPort returns the local port number.
+func (c *Conn) LocalPort() uint16 { return c.localPort }
+
+// Established reports whether the handshake has completed.
+func (c *Conn) Established() bool { return c.state == stateEstablished }
+
+// Stats returns a snapshot of connection counters.
+func (c *Conn) Stats() ConnStats { return c.stats }
+
+// SmoothedRTT returns the current SRTT estimate (zero before any sample).
+func (c *Conn) SmoothedRTT() time.Duration { return c.srtt }
+
+// Cwnd returns the current congestion window in bytes.
+func (c *Conn) Cwnd() float64 { return c.cwnd }
+
+// SetDataFunc registers the in-order delivery callback.
+func (c *Conn) SetDataFunc(fn func([]byte)) { c.dataFn = fn }
+
+// UnsentBytes reports bytes accepted by Write but not yet transmitted.
+func (c *Conn) UnsentBytes() int {
+	sent := c.sndNxt - c.sndUna
+	if bl := uint64(len(c.sendBuf)); sent > bl {
+		sent = bl
+	}
+	return len(c.sendBuf) - int(sent)
+}
+
+// SetDrainFunc registers fn, invoked whenever the unsent backlog falls to
+// or below threshold after transmission progress (bytestream.Throttled).
+func (c *Conn) SetDrainFunc(threshold int, fn func()) {
+	c.drainThreshold = threshold
+	c.drainFn = fn
+}
+
+func (c *Conn) maybeNotifyDrain() {
+	if c.drainFn == nil || c.notifying || c.state != stateEstablished {
+		return
+	}
+	if c.UnsentBytes() > c.drainThreshold {
+		return
+	}
+	c.notifying = true
+	c.drainFn()
+	c.notifying = false
+}
+
+// SetCloseFunc registers the end-of-stream callback.
+func (c *Conn) SetCloseFunc(fn func(error)) { c.closeFn = fn }
+
+// Write queues p for transmission.
+func (c *Conn) Write(p []byte) {
+	if c.state == stateClosed || c.closing {
+		return
+	}
+	c.sendBuf = append(c.sendBuf, p...)
+	if c.state == stateEstablished {
+		c.trySend()
+	}
+}
+
+// Close flushes pending data, then sends FIN.
+func (c *Conn) Close() {
+	if c.state == stateClosed || c.closing {
+		return
+	}
+	c.closing = true
+	if c.state == stateEstablished {
+		c.trySend()
+	}
+}
+
+// Abort tears the connection down, sending a single RST so the peer
+// releases its state too. No callbacks fire locally after Abort.
+func (c *Conn) Abort() {
+	if c.state == stateClosed {
+		return
+	}
+	c.sendFlags(flagRST)
+	c.teardown()
+}
+
+func (c *Conn) teardown() {
+	c.state = stateClosed
+	c.rtoTimer.Stop()
+	if c.isClient {
+		// Server connections share the listener's port.
+		c.host.Unbind(c.localPort)
+	}
+	if c.listener != nil {
+		c.listener.remove(c.remote, c.remotePort)
+	}
+	c.sendBuf = nil
+	c.recvBuf = nil
+}
+
+func (c *Conn) fail(err error) {
+	if c.state == stateClosed {
+		return
+	}
+	c.teardown()
+	c.deliverClose(err)
+}
+
+func (c *Conn) deliverClose(err error) {
+	if c.closeSent {
+		return
+	}
+	c.closeSent = true
+	if c.closeFn != nil {
+		c.closeFn(err)
+	}
+}
+
+// --- segment I/O ---
+
+func (c *Conn) sendSeg(seg *segment) {
+	seg.flags |= flagACK
+	seg.ack = c.rcvNxt
+	c.stats.SegsSent++
+	c.stats.BytesSent += int64(len(seg.payload))
+	c.host.Send(c.localPort, c.remote, c.remotePort, seg.wireSize(), seg)
+}
+
+func (c *Conn) sendFlags(f segFlags) {
+	seg := &segment{flags: f}
+	if f&flagSYN != 0 && f&flagACK == 0 {
+		// Initial SYN carries no ACK.
+		c.stats.SegsSent++
+		c.host.Send(c.localPort, c.remote, c.remotePort, seg.wireSize(), seg)
+		return
+	}
+	c.sendSeg(seg)
+}
+
+func (c *Conn) handleSegment(seg *segment) {
+	if c.state == stateClosed {
+		return
+	}
+	c.stats.SegsReceived++
+
+	if seg.flags&flagRST != 0 {
+		c.fail(ErrAborted)
+		return
+	}
+
+	switch c.state {
+	case stateSynSent:
+		if seg.flags&(flagSYN|flagACK) == flagSYN|flagACK {
+			c.state = stateEstablished
+			if !c.synRetrans {
+				c.rttSample(c.sched.Now() - c.synSentAt)
+			}
+			c.retries = 0
+			c.rtoTimer.Stop()
+			c.sendFlags(flagACK)
+			if c.onEstablished != nil {
+				c.onEstablished()
+			}
+			c.trySend()
+		}
+		return
+	case stateSynRcvd:
+		if seg.flags&flagACK != 0 && seg.flags&flagSYN == 0 {
+			c.state = stateEstablished
+			c.retries = 0
+			c.rtoTimer.Stop()
+			if !c.synRetrans {
+				c.rttSample(c.sched.Now() - c.synSentAt)
+			}
+			if c.onEstablished != nil {
+				c.onEstablished()
+			}
+			// Fall through: this segment may carry data.
+		} else {
+			if seg.flags&flagSYN != 0 && !c.isClient {
+				// Retransmitted SYN: repeat SYN-ACK.
+				c.synRetrans = true
+				c.sendFlags(flagSYN | flagACK)
+			}
+			return
+		}
+	case stateEstablished:
+		if seg.flags&flagSYN != 0 {
+			return // stray handshake duplicate
+		}
+	}
+
+	c.processAck(seg)
+	if len(seg.payload) > 0 || seg.flags&flagFIN != 0 {
+		c.processData(seg)
+	}
+	c.trySend()
+	c.maybeNotifyDrain()
+	c.maybeFinish()
+}
+
+// --- sender ---
+
+func (c *Conn) flight() uint64 { return c.sndNxt - c.sndUna }
+
+func (c *Conn) streamEnd() uint64 { return c.sndUna + uint64(len(c.sendBuf)) }
+
+func (c *Conn) trySend() {
+	if c.state != stateEstablished {
+		return
+	}
+	mss := uint64(c.cfg.MSS)
+	maxCwnd := float64(c.cfg.MaxCwndSegs * c.cfg.MSS)
+	if c.cwnd > maxCwnd {
+		c.cwnd = maxCwnd
+	}
+	for {
+		if float64(c.flight()) >= c.cwnd {
+			return
+		}
+		off := c.sndNxt - c.sndUna
+		if off < uint64(len(c.sendBuf)) {
+			end := off + mss
+			if end > uint64(len(c.sendBuf)) {
+				end = uint64(len(c.sendBuf))
+			}
+			seg := &segment{seq: c.sndNxt, payload: c.sendBuf[off:end]}
+			c.markTimed(seg)
+			c.sndNxt = c.sndUna + end
+			c.sendSeg(seg)
+			c.armRTOIfIdle()
+			continue
+		}
+		// All buffered data sent; maybe FIN.
+		if c.closing && !c.sentFin {
+			c.sentFin = true
+			c.finSeq = c.streamEnd()
+			seg := &segment{flags: flagFIN, seq: c.finSeq}
+			c.sndNxt = c.finSeq + 1
+			c.sendSeg(seg)
+			c.armRTOIfIdle()
+		}
+		return
+	}
+}
+
+func (c *Conn) markTimed(seg *segment) {
+	if !c.timedValid {
+		c.timedValid = true
+		c.timedSeq = seg.end()
+		c.timedSentAt = c.sched.Now()
+	}
+}
+
+func (c *Conn) armRTO() { c.rtoTimer.Reset(c.rto) }
+
+func (c *Conn) armRTOIfIdle() {
+	if !c.rtoTimer.Armed() {
+		c.armRTO()
+	}
+}
+
+func (c *Conn) processAck(seg *segment) {
+	if seg.flags&flagACK == 0 {
+		return
+	}
+	mss := float64(c.cfg.MSS)
+	switch {
+	case seg.ack > c.sndUna:
+		acked := seg.ack - c.sndUna
+		// Trim acked bytes (the FIN offset is not in sendBuf).
+		trim := acked
+		if bl := uint64(len(c.sendBuf)); trim > bl {
+			trim = bl
+		}
+		c.sendBuf = c.sendBuf[trim:]
+		c.sndUna = seg.ack
+		if c.sndNxt < c.sndUna {
+			c.sndNxt = c.sndUna
+		}
+		if c.sentFin && seg.ack >= c.finSeq+1 {
+			c.finAcked = true
+		}
+		if c.timedValid && seg.ack >= c.timedSeq {
+			c.rttSample(c.sched.Now() - c.timedSentAt)
+			c.timedValid = false
+		}
+		c.retries = 0
+		if c.flight() == 0 {
+			c.rtoTimer.Stop()
+		} else {
+			c.armRTO()
+		}
+		if c.inRecovery {
+			if seg.ack > c.recover {
+				// Full acknowledgment: leave fast recovery.
+				c.inRecovery = false
+				c.cwnd = c.ssthresh
+				c.dupAcks = 0
+			} else {
+				// Partial ACK (NewReno): retransmit next hole,
+				// deflate by amount acked, inflate by one MSS.
+				c.retransmitFirst()
+				c.cwnd -= float64(acked)
+				if c.cwnd < mss {
+					c.cwnd = mss
+				}
+				c.cwnd += mss
+			}
+		} else {
+			c.dupAcks = 0
+			if c.cwnd < c.ssthresh {
+				c.cwnd += mss // slow start
+			} else {
+				c.cwnd += mss * mss / c.cwnd // congestion avoidance
+			}
+		}
+	case seg.ack == c.sndUna && c.flight() > 0 && len(seg.payload) == 0 && seg.flags&(flagSYN|flagFIN) == 0:
+		c.stats.DupAcksSeen++
+		c.dupAcks++
+		switch {
+		case c.inRecovery:
+			c.cwnd += mss // window inflation
+		case c.dupAcks == 3:
+			c.stats.FastRetransmits++
+			c.enterRecovery()
+		}
+	}
+}
+
+func (c *Conn) enterRecovery() {
+	mss := float64(c.cfg.MSS)
+	half := float64(c.flight()) / 2
+	if half < 2*mss {
+		half = 2 * mss
+	}
+	c.ssthresh = half
+	c.recover = c.sndNxt
+	c.inRecovery = true
+	c.retransmitFirst()
+	c.cwnd = c.ssthresh + 3*mss
+}
+
+func (c *Conn) retransmitFirst() {
+	c.stats.Retransmits++
+	c.timedValid = false // Karn: no sampling across retransmission
+	if c.sentFin && c.sndUna == c.finSeq {
+		c.sendSeg(&segment{flags: flagFIN, seq: c.finSeq})
+		c.armRTO()
+		return
+	}
+	avail := c.sndNxt - c.sndUna
+	if bl := uint64(len(c.sendBuf)); avail > bl {
+		avail = bl
+	}
+	if avail == 0 {
+		return
+	}
+	if m := uint64(c.cfg.MSS); avail > m {
+		avail = m
+	}
+	seg := &segment{seq: c.sndUna, payload: c.sendBuf[:avail]}
+	c.sendSeg(seg)
+	c.armRTO()
+}
+
+func (c *Conn) onRTO() {
+	if c.state == stateClosed {
+		return
+	}
+	c.retries++
+	if c.retries > c.cfg.MaxRetries {
+		err := ErrTimeout
+		if c.state == stateSynSent {
+			err = ErrRefused
+		}
+		c.fail(err)
+		return
+	}
+	c.stats.Timeouts++
+	c.rto *= 2
+	if c.rto > c.cfg.RTOMax {
+		c.rto = c.cfg.RTOMax
+	}
+
+	switch c.state {
+	case stateSynSent:
+		c.synRetrans = true
+		c.sendFlags(flagSYN)
+		c.armRTO()
+	case stateSynRcvd:
+		c.synRetrans = true
+		c.sendFlags(flagSYN | flagACK)
+		c.armRTO()
+	default:
+		mss := float64(c.cfg.MSS)
+		half := float64(c.flight()) / 2
+		if half < 2*mss {
+			half = 2 * mss
+		}
+		c.ssthresh = half
+		c.cwnd = mss
+		c.inRecovery = false
+		c.dupAcks = 0
+		c.retransmitFirst()
+	}
+}
+
+func (c *Conn) rttSample(sample time.Duration) {
+	if sample <= 0 {
+		sample = time.Microsecond
+	}
+	if !c.hasRTT {
+		c.hasRTT = true
+		c.srtt = sample
+		c.rttvar = sample / 2
+	} else {
+		d := c.srtt - sample
+		if d < 0 {
+			d = -d
+		}
+		c.rttvar = (3*c.rttvar + d) / 4
+		c.srtt = (7*c.srtt + sample) / 8
+	}
+	rto := c.srtt + 4*c.rttvar
+	if rto < c.cfg.RTOMin {
+		rto = c.cfg.RTOMin
+	}
+	if rto > c.cfg.RTOMax {
+		rto = c.cfg.RTOMax
+	}
+	c.rto = rto
+}
+
+// --- receiver ---
+
+func (c *Conn) processData(seg *segment) {
+	if seg.end() <= c.rcvNxt {
+		// Fully duplicate; re-ACK so the sender advances.
+		c.sendFlags(flagACK)
+		return
+	}
+	payload := seg.payload
+	start := seg.seq
+	if start < c.rcvNxt {
+		payload = payload[c.rcvNxt-start:]
+		start = c.rcvNxt
+	}
+	if prev, ok := c.recvBuf[start]; !ok || len(payload) > len(prev.data) || seg.flags&flagFIN != 0 {
+		buf := make([]byte, len(payload))
+		copy(buf, payload)
+		c.recvBuf[start] = recvChunk{data: buf, fin: seg.flags&flagFIN != 0}
+	}
+	c.advanceReceive()
+	c.sendFlags(flagACK)
+}
+
+func (c *Conn) advanceReceive() {
+	for {
+		advanced := false
+		for start, chunk := range c.recvBuf {
+			end := start + uint64(len(chunk.data))
+			if start > c.rcvNxt {
+				continue
+			}
+			if end > c.rcvNxt || (chunk.fin && !c.peerEOF && end == c.rcvNxt) {
+				data := chunk.data[c.rcvNxt-start:]
+				delete(c.recvBuf, start)
+				if len(data) > 0 {
+					c.rcvNxt = end
+					c.stats.BytesDelivered += int64(len(data))
+					if c.dataFn != nil {
+						c.dataFn(data)
+					}
+				}
+				if chunk.fin {
+					c.rcvNxt++ // consume the FIN offset
+					c.peerEOF = true
+				}
+				advanced = true
+				break
+			}
+			delete(c.recvBuf, start) // stale duplicate
+			advanced = true
+			break
+		}
+		if !advanced {
+			return
+		}
+	}
+}
+
+// maybeFinish completes teardown once both directions are done.
+func (c *Conn) maybeFinish() {
+	if c.state != stateEstablished {
+		return
+	}
+	if c.peerEOF && !c.finRcvd {
+		c.finRcvd = true
+		// Passive close: reply with our own FIN once the app closes;
+		// deliver EOF now.
+		c.deliverClose(nil)
+	}
+	if c.finAcked && c.peerEOF {
+		c.teardown()
+	}
+}

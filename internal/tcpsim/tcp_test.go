@@ -1,0 +1,460 @@
+package tcpsim
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"h3cdn/internal/seqrand"
+	"h3cdn/internal/simnet"
+)
+
+type world struct {
+	sched *simnet.Scheduler
+	net   *simnet.Network
+	a, b  *simnet.Host
+}
+
+func newWorld(t *testing.T, delay time.Duration, bps, loss float64) *world {
+	t.Helper()
+	sched := &simnet.Scheduler{MaxEvents: 5_000_000}
+	pf := func(src, dst simnet.Addr) simnet.PathProps {
+		return simnet.PathProps{Delay: delay, BandwidthBps: bps, LossRate: loss}
+	}
+	n := simnet.NewNetwork(sched, pf, seqrand.New(uint64(delay)+uint64(bps)+uint64(loss*1000)+17))
+	return &world{sched: sched, net: n, a: n.AddHost("client"), b: n.AddHost("server")}
+}
+
+// echoServer accepts connections and echoes every byte back.
+func echoServer(t *testing.T, host *simnet.Host, port uint16, cfg Config) *Listener {
+	t.Helper()
+	l, err := Listen(host, port, cfg, func(c *Conn) {
+		c.SetDataFunc(func(p []byte) { c.Write(p) })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func run(t *testing.T, s *simnet.Scheduler) {
+	t.Helper()
+	if _, err := s.Run(); err != nil {
+		t.Fatalf("scheduler: %v", err)
+	}
+}
+
+func TestHandshakeLatency(t *testing.T) {
+	w := newWorld(t, 25*time.Millisecond, 0, 0)
+	if _, err := Listen(w.b, 80, Config{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	var established time.Duration
+	Dial(w.a, "server", 80, Config{}, func(c *Conn) { established = w.sched.Now() })
+	run(t, w.sched)
+	if established != 50*time.Millisecond {
+		t.Fatalf("client established at %v, want exactly one RTT (50ms)", established)
+	}
+}
+
+func TestHandshakeRTTSample(t *testing.T) {
+	w := newWorld(t, 30*time.Millisecond, 0, 0)
+	if _, err := Listen(w.b, 80, Config{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	var srtt time.Duration
+	Dial(w.a, "server", 80, Config{}, func(c *Conn) { srtt = c.SmoothedRTT() })
+	run(t, w.sched)
+	if srtt != 60*time.Millisecond {
+		t.Fatalf("handshake SRTT = %v, want 60ms", srtt)
+	}
+}
+
+func transfer(t *testing.T, w *world, payload []byte, cfg Config) (received []byte, done time.Duration) {
+	t.Helper()
+	echoServer(t, w.b, 80, cfg)
+	var buf bytes.Buffer
+	Dial(w.a, "server", 80, cfg, func(c *Conn) {
+		c.SetDataFunc(func(p []byte) {
+			buf.Write(p)
+			if buf.Len() == len(payload) {
+				done = w.sched.Now()
+			}
+		})
+		c.Write(payload)
+	})
+	run(t, w.sched)
+	return buf.Bytes(), done
+}
+
+func patterned(n int) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte(i * 7)
+	}
+	return p
+}
+
+func TestEchoSmall(t *testing.T) {
+	w := newWorld(t, 10*time.Millisecond, 0, 0)
+	payload := []byte("hello over simulated tcp")
+	got, _ := transfer(t, w, payload, Config{})
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("echo mismatch: %q", got)
+	}
+}
+
+func TestEchoLargeCleanPath(t *testing.T) {
+	w := newWorld(t, 10*time.Millisecond, 100e6, 0)
+	payload := patterned(512 * 1024)
+	got, done := transfer(t, w, payload, Config{})
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("echo mismatch: got %d bytes, want %d", len(got), len(payload))
+	}
+	if done == 0 || done > 2*time.Second {
+		t.Fatalf("512KB echo finished at %v", done)
+	}
+}
+
+func TestEchoLossyPath(t *testing.T) {
+	for _, loss := range []float64{0.01, 0.05, 0.10} {
+		w := newWorld(t, 10*time.Millisecond, 50e6, loss)
+		payload := patterned(128 * 1024)
+		got, _ := transfer(t, w, payload, Config{})
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("loss=%v: corrupted or incomplete echo (%d/%d bytes)", loss, len(got), len(payload))
+		}
+	}
+}
+
+func TestLossSlowsTransfer(t *testing.T) {
+	elapsed := func(loss float64) time.Duration {
+		w := newWorld(t, 10*time.Millisecond, 50e6, loss)
+		payload := patterned(256 * 1024)
+		got, done := transfer(t, w, payload, Config{})
+		if len(got) != len(payload) {
+			t.Fatalf("loss=%v: incomplete", loss)
+		}
+		return done
+	}
+	clean, lossy := elapsed(0), elapsed(0.05)
+	if lossy <= clean {
+		t.Fatalf("5%% loss (%v) not slower than clean path (%v)", lossy, clean)
+	}
+}
+
+func TestRetransmitCountedUnderLoss(t *testing.T) {
+	w := newWorld(t, 5*time.Millisecond, 50e6, 0.05)
+	if _, err := Listen(w.b, 80, Config{}, func(c *Conn) {
+		c.SetDataFunc(func([]byte) {})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var client *Conn
+	Dial(w.a, "server", 80, Config{}, func(c *Conn) {
+		client = c
+		c.Write(patterned(256 * 1024))
+	})
+	run(t, w.sched)
+	st := client.Stats()
+	if st.Retransmits == 0 {
+		t.Fatal("no retransmissions under 5% loss")
+	}
+}
+
+func TestNoRetransmitOnCleanPath(t *testing.T) {
+	w := newWorld(t, 5*time.Millisecond, 100e6, 0)
+	payload := patterned(64 * 1024)
+	echoServer(t, w.b, 80, Config{})
+	var client *Conn
+	n := 0
+	Dial(w.a, "server", 80, Config{}, func(c *Conn) {
+		client = c
+		c.SetDataFunc(func(p []byte) { n += len(p) })
+		c.Write(payload)
+	})
+	run(t, w.sched)
+	if n != len(payload) {
+		t.Fatalf("delivered %d, want %d", n, len(payload))
+	}
+	if st := client.Stats(); st.Retransmits != 0 || st.Timeouts != 0 {
+		t.Fatalf("clean path produced retransmits: %+v", st)
+	}
+}
+
+func TestInOrderDelivery(t *testing.T) {
+	// Under heavy loss, delivery must still be strictly in order: every
+	// delivered chunk continues the pattern exactly.
+	w := newWorld(t, 10*time.Millisecond, 20e6, 0.1)
+	payload := patterned(100 * 1024)
+	echoServer(t, w.b, 80, Config{})
+	off := 0
+	Dial(w.a, "server", 80, Config{}, func(c *Conn) {
+		c.SetDataFunc(func(p []byte) {
+			for _, b := range p {
+				if b != byte(off*7) {
+					t.Fatalf("out-of-order byte at offset %d", off)
+				}
+				off++
+			}
+		})
+		c.Write(payload)
+	})
+	run(t, w.sched)
+	if off != len(payload) {
+		t.Fatalf("delivered %d bytes, want %d", off, len(payload))
+	}
+}
+
+func TestGracefulClose(t *testing.T) {
+	w := newWorld(t, 10*time.Millisecond, 0, 0)
+	var serverEOF, clientEOF bool
+	l, err := Listen(w.b, 80, Config{}, func(c *Conn) {
+		c.SetDataFunc(func([]byte) {})
+		c.SetCloseFunc(func(err error) {
+			if err != nil {
+				t.Fatalf("server close err: %v", err)
+			}
+			serverEOF = true
+			c.Close() // passive close: respond with our FIN
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Dial(w.a, "server", 80, Config{}, func(c *Conn) {
+		c.SetCloseFunc(func(err error) {
+			if err != nil {
+				t.Fatalf("client close err: %v", err)
+			}
+			clientEOF = true
+		})
+		c.Write([]byte("bye"))
+		c.Close()
+	})
+	run(t, w.sched)
+	if !serverEOF || !clientEOF {
+		t.Fatalf("serverEOF=%v clientEOF=%v, want both", serverEOF, clientEOF)
+	}
+	if l.ConnCount() != 0 {
+		t.Fatalf("listener still tracks %d conns after close", l.ConnCount())
+	}
+}
+
+func TestCloseFlushesPendingData(t *testing.T) {
+	w := newWorld(t, 10*time.Millisecond, 10e6, 0)
+	payload := patterned(200 * 1024) // many cwnd rounds
+	var got bytes.Buffer
+	eof := false
+	if _, err := Listen(w.b, 80, Config{}, func(c *Conn) {
+		c.SetDataFunc(func(p []byte) { got.Write(p) })
+		c.SetCloseFunc(func(err error) { eof = true })
+	}); err != nil {
+		t.Fatal(err)
+	}
+	Dial(w.a, "server", 80, Config{}, func(c *Conn) {
+		c.Write(payload)
+		c.Close() // immediately: FIN must trail all data
+	})
+	run(t, w.sched)
+	if !eof {
+		t.Fatal("no EOF delivered")
+	}
+	if !bytes.Equal(got.Bytes(), payload) {
+		t.Fatalf("close lost data: %d/%d bytes", got.Len(), len(payload))
+	}
+}
+
+func TestAbortResetsPeer(t *testing.T) {
+	w := newWorld(t, 10*time.Millisecond, 0, 0)
+	var serverErr error
+	l, err := Listen(w.b, 80, Config{}, func(c *Conn) {
+		c.SetCloseFunc(func(err error) { serverErr = err })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Dial(w.a, "server", 80, Config{}, func(c *Conn) {
+		c.Write([]byte("x"))
+		w.sched.After(100*time.Millisecond, c.Abort)
+	})
+	run(t, w.sched)
+	if !errors.Is(serverErr, ErrAborted) {
+		t.Fatalf("server close err = %v, want ErrAborted", serverErr)
+	}
+	if l.ConnCount() != 0 {
+		t.Fatalf("listener still tracks %d conns after RST", l.ConnCount())
+	}
+	if w.sched.Pending() != 0 {
+		t.Fatalf("%d stray events after abort (timer leak)", w.sched.Pending())
+	}
+}
+
+func TestDialNoListenerTimesOut(t *testing.T) {
+	w := newWorld(t, 10*time.Millisecond, 0, 0)
+	// No RST from raw hosts in this sim: the SYN retries, then fails.
+	var dialErr error
+	established := false
+	c := Dial(w.a, "server", 80, Config{RTOInit: 50 * time.Millisecond, MaxRetries: 3}, func(*Conn) {
+		established = true
+	})
+	c.SetCloseFunc(func(err error) { dialErr = err })
+	run(t, w.sched)
+	if established {
+		t.Fatal("established with no listener")
+	}
+	if !errors.Is(dialErr, ErrRefused) {
+		t.Fatalf("err = %v, want ErrRefused", dialErr)
+	}
+}
+
+func TestStraysegmentGetsRST(t *testing.T) {
+	w := newWorld(t, 10*time.Millisecond, 0, 0)
+	l := echoServer(t, w.b, 80, Config{})
+	var failed error
+	Dial(w.a, "server", 80, Config{}, func(c *Conn) {
+		c.SetCloseFunc(func(err error) { failed = err })
+		// Simulate server state loss: the listener forgets the conn,
+		// then the client sends more data and must get RST back.
+		w.sched.After(50*time.Millisecond, func() {
+			l.remove("client", c.LocalPort())
+			c.Write([]byte("more"))
+		})
+	})
+	run(t, w.sched)
+	if !errors.Is(failed, ErrAborted) {
+		t.Fatalf("client err = %v, want ErrAborted from RST", failed)
+	}
+}
+
+func TestSlowStartThenCongestionAvoidance(t *testing.T) {
+	w := newWorld(t, 20*time.Millisecond, 0, 0)
+	if _, err := Listen(w.b, 80, Config{}, func(c *Conn) {
+		c.SetDataFunc(func([]byte) {})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var c *Conn
+	initial := 0.0
+	Dial(w.a, "server", 80, Config{}, func(conn *Conn) {
+		c = conn
+		initial = c.Cwnd()
+		c.Write(patterned(400 * 1024))
+	})
+	run(t, w.sched)
+	if initial != 10*1460 {
+		t.Fatalf("initial cwnd = %v, want 10 segments", initial)
+	}
+	if c.Cwnd() <= initial {
+		t.Fatalf("cwnd did not grow: %v", c.Cwnd())
+	}
+}
+
+func TestFastRetransmitPreferredOverTimeout(t *testing.T) {
+	// With moderate loss and plenty of data, most recoveries should be
+	// fast retransmits (dupACK-triggered), not RTO timeouts.
+	w := newWorld(t, 10*time.Millisecond, 50e6, 0.02)
+	if _, err := Listen(w.b, 80, Config{}, func(c *Conn) {
+		c.SetDataFunc(func([]byte) {})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var c *Conn
+	Dial(w.a, "server", 80, Config{}, func(conn *Conn) {
+		c = conn
+		c.Write(patterned(1024 * 1024))
+	})
+	run(t, w.sched)
+	st := c.Stats()
+	if st.FastRetransmits == 0 {
+		t.Fatalf("no fast retransmits: %+v", st)
+	}
+	if st.Timeouts > st.FastRetransmits {
+		t.Fatalf("timeouts (%d) dominate fast retransmits (%d)", st.Timeouts, st.FastRetransmits)
+	}
+}
+
+func TestSynLossRecovered(t *testing.T) {
+	// 60% loss: handshake packets will often drop, but retries must
+	// eventually establish (within the retry budget, seed-dependent).
+	w := newWorld(t, 5*time.Millisecond, 0, 0.6)
+	if _, err := Listen(w.b, 80, Config{RTOInit: 100 * time.Millisecond}, nil); err != nil {
+		t.Fatal(err)
+	}
+	established := false
+	Dial(w.a, "server", 80, Config{RTOInit: 100 * time.Millisecond, MaxRetries: 20}, func(*Conn) {
+		established = true
+	})
+	run(t, w.sched)
+	if !established {
+		t.Fatal("handshake never completed under loss with generous retries")
+	}
+}
+
+func TestBidirectionalTransfer(t *testing.T) {
+	w := newWorld(t, 10*time.Millisecond, 20e6, 0.01)
+	up := patterned(64 * 1024)
+	down := patterned(96 * 1024)
+	var gotUp, gotDown bytes.Buffer
+	if _, err := Listen(w.b, 80, Config{}, func(c *Conn) {
+		c.SetDataFunc(func(p []byte) { gotUp.Write(p) })
+		c.Write(down)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	Dial(w.a, "server", 80, Config{}, func(c *Conn) {
+		c.SetDataFunc(func(p []byte) { gotDown.Write(p) })
+		c.Write(up)
+	})
+	run(t, w.sched)
+	if !bytes.Equal(gotUp.Bytes(), up) {
+		t.Fatalf("upstream mismatch: %d/%d", gotUp.Len(), len(up))
+	}
+	if !bytes.Equal(gotDown.Bytes(), down) {
+		t.Fatalf("downstream mismatch: %d/%d", gotDown.Len(), len(down))
+	}
+}
+
+func TestManyParallelConnections(t *testing.T) {
+	w := newWorld(t, 10*time.Millisecond, 100e6, 0.01)
+	echoServer(t, w.b, 80, Config{})
+	const conns = 20
+	counts := make([]int, conns)
+	for i := 0; i < conns; i++ {
+		i := i
+		payload := patterned(8 * 1024)
+		Dial(w.a, "server", 80, Config{}, func(c *Conn) {
+			c.SetDataFunc(func(p []byte) { counts[i] += len(p) })
+			c.Write(payload)
+		})
+	}
+	run(t, w.sched)
+	for i, n := range counts {
+		if n != 8*1024 {
+			t.Fatalf("conn %d delivered %d bytes, want %d", i, n, 8*1024)
+		}
+	}
+}
+
+func TestSegmentWireSize(t *testing.T) {
+	seg := &segment{payload: make([]byte, 100)}
+	if seg.wireSize() != 140 {
+		t.Fatalf("wireSize = %d, want 140", seg.wireSize())
+	}
+	fin := &segment{flags: flagFIN, seq: 10}
+	if fin.end() != 11 {
+		t.Fatalf("FIN end = %d, want 11 (consumes one offset)", fin.end())
+	}
+}
+
+func TestDeterministicTransfer(t *testing.T) {
+	runOnce := func() time.Duration {
+		w := newWorld(t, 10*time.Millisecond, 20e6, 0.03)
+		_, done := transfer(t, w, patterned(64*1024), Config{})
+		return done
+	}
+	if a, b := runOnce(), runOnce(); a != b {
+		t.Fatalf("same seed produced different completion times: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,109 @@
+// Package tcpsim implements a miniature TCP over internal/simnet: 3-way
+// handshake, MSS segmentation, cumulative ACKs, NewReno congestion control
+// (slow start, congestion avoidance, fast retransmit/recovery with partial
+// ACK handling), RTO per RFC 6298 with Karn's algorithm, and — crucially
+// for this reproduction — strict in-order delivery to the application, so
+// head-of-line blocking under loss is emergent rather than modeled.
+package tcpsim
+
+import (
+	"errors"
+	"time"
+)
+
+// Wire overhead charged per segment (IPv4 20 + TCP 20), in bytes.
+const headerSize = 40
+
+// Config tunes a TCP endpoint. The zero value selects the defaults noted
+// on each field via (*Config).withDefaults.
+type Config struct {
+	// MSS is the maximum segment payload size. Default 1460.
+	MSS int
+	// InitCwndSegs is the initial congestion window in segments
+	// (RFC 6928). Default 10.
+	InitCwndSegs int
+	// RTOInit is the retransmission timeout before an RTT sample
+	// exists. Default 1s.
+	RTOInit time.Duration
+	// RTOMin / RTOMax clamp the computed RTO. Defaults 200ms / 60s.
+	RTOMin time.Duration
+	RTOMax time.Duration
+	// MaxRetries bounds consecutive retransmissions of the same
+	// segment before the connection errors out. Default 8.
+	MaxRetries int
+	// MaxCwndSegs caps the congestion window, standing in for the
+	// receive window. Default 512.
+	MaxCwndSegs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MSS == 0 {
+		c.MSS = 1460
+	}
+	if c.InitCwndSegs == 0 {
+		c.InitCwndSegs = 10
+	}
+	if c.RTOInit == 0 {
+		c.RTOInit = time.Second
+	}
+	if c.RTOMin == 0 {
+		c.RTOMin = 200 * time.Millisecond
+	}
+	if c.RTOMax == 0 {
+		c.RTOMax = 60 * time.Second
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 8
+	}
+	if c.MaxCwndSegs == 0 {
+		c.MaxCwndSegs = 512
+	}
+	return c
+}
+
+// Errors reported through the close callback.
+var (
+	ErrTimeout = errors.New("tcpsim: connection timed out")
+	ErrAborted = errors.New("tcpsim: connection aborted")
+	ErrRefused = errors.New("tcpsim: connection refused")
+)
+
+type segFlags uint8
+
+const (
+	flagSYN segFlags = 1 << iota
+	flagACK
+	flagFIN
+	flagRST
+)
+
+// segment is the on-wire TCP message. Seq/Ack are 64-bit logical stream
+// offsets (no wraparound modeling). A FIN consumes one offset.
+type segment struct {
+	flags   segFlags
+	seq     uint64
+	ack     uint64
+	payload []byte
+}
+
+func (s *segment) wireSize() int { return headerSize + len(s.payload) }
+
+func (s *segment) end() uint64 {
+	e := s.seq + uint64(len(s.payload))
+	if s.flags&flagFIN != 0 {
+		e++
+	}
+	return e
+}
+
+// ConnStats counts per-connection activity.
+type ConnStats struct {
+	SegsSent        int64
+	SegsReceived    int64
+	BytesSent       int64
+	BytesDelivered  int64
+	Retransmits     int64
+	FastRetransmits int64
+	Timeouts        int64
+	DupAcksSeen     int64
+}

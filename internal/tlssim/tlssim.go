@@ -1,0 +1,226 @@
+// Package tlssim simulates the TLS handshake and record layer over a
+// bytestream.Stream: TLS 1.2 (two round trips), TLS 1.3 (one round trip),
+// TLS 1.3 session-ticket resumption, and 0-RTT early data. Handshake
+// messages are real bytes on the simulated wire, so handshake latency is
+// an emergent property of the underlying transport path.
+//
+// Simplifications (documented in DESIGN.md): no actual cryptography —
+// message sizes approximate real flights; TLS 1.2 session resumption is
+// omitted (the reproduction uses TLS 1.3 under HTTP/2); early data is
+// always accepted when the client holds any ticket for the server.
+package tlssim
+
+import (
+	"encoding/binary"
+	"errors"
+	"time"
+
+	"h3cdn/internal/simnet"
+)
+
+// Version selects the simulated TLS protocol version.
+type Version uint8
+
+const (
+	// TLS12 performs the classic two-round-trip handshake.
+	TLS12 Version = iota + 1
+	// TLS13 performs the one-round-trip handshake with tickets.
+	TLS13
+)
+
+func (v Version) String() string {
+	switch v {
+	case TLS12:
+		return "TLS 1.2"
+	case TLS13:
+		return "TLS 1.3"
+	default:
+		return "TLS ?"
+	}
+}
+
+// Record types on the wire.
+type recordType uint8
+
+const (
+	recClientHello recordType = iota + 1
+	recServerHello12
+	recServerHello13
+	recClientKeyExchange
+	recServerFinished12
+	recAppData
+)
+
+// Approximate flight sizes in bytes (payload, before the 5-byte record
+// header), matching typical real-world handshakes with a certificate
+// chain of ~3 KB.
+const (
+	sizeClientHello    = 512
+	sizeServerHello13  = 2900
+	sizeServerHello12  = 3100
+	sizeClientKeyExch  = 130
+	sizeServerFinished = 64
+
+	recordHeader = 5
+	recordTag    = 24 // AEAD tag + padding overhead per app-data record
+	maxRecord    = 16 * 1024
+)
+
+// Errors reported through handshake and close callbacks.
+var (
+	ErrHandshakeAborted = errors.New("tlssim: handshake aborted")
+	ErrBadRecord        = errors.New("tlssim: malformed record")
+)
+
+// Ticket is a client-held session ticket enabling TLS 1.3 resumption.
+type Ticket struct {
+	ID         uint64
+	ServerName string
+	IssuedAt   time.Duration
+}
+
+// TicketStore caches tickets by server name. It is the client-side
+// session cache a browser keeps across page visits. The zero value is
+// not usable; use NewTicketStore.
+type TicketStore struct {
+	byName map[string]Ticket
+}
+
+// NewTicketStore returns an empty session cache.
+func NewTicketStore() *TicketStore {
+	return &TicketStore{byName: make(map[string]Ticket)}
+}
+
+// Get returns the ticket for serverName, if any.
+func (s *TicketStore) Get(serverName string) (Ticket, bool) {
+	t, ok := s.byName[serverName]
+	return t, ok
+}
+
+// Put stores a ticket, replacing any previous one for the same name.
+func (s *TicketStore) Put(t Ticket) { s.byName[t.ServerName] = t }
+
+// Clear drops all tickets.
+func (s *TicketStore) Clear() { s.byName = make(map[string]Ticket) }
+
+// Len reports the number of cached tickets.
+func (s *TicketStore) Len() int { return len(s.byName) }
+
+// ServerSessionState is the server-side ticket registry, shared by all
+// connections of one server (one CDN edge in this reproduction).
+type ServerSessionState struct {
+	issued map[uint64]bool
+	nextID uint64
+}
+
+// NewServerSessionState returns an empty registry.
+func NewServerSessionState() *ServerSessionState {
+	return &ServerSessionState{issued: make(map[uint64]bool), nextID: 1}
+}
+
+func (s *ServerSessionState) issue() uint64 {
+	id := s.nextID
+	s.nextID++
+	s.issued[id] = true
+	return id
+}
+
+func (s *ServerSessionState) valid(id uint64) bool { return id != 0 && s.issued[id] }
+
+// --- wire encoding ---
+
+// clientHello fields carried at the head of the ClientHello payload.
+type clientHello struct {
+	version    Version
+	ticketID   uint64 // 0 = none
+	earlyData  bool
+	serverName string
+	alpn       string
+}
+
+func encodeClientHello(ch clientHello) []byte {
+	name := []byte(ch.serverName)
+	alpn := []byte(ch.alpn)
+	n := 1 + 8 + 1 + 2 + len(name) + 1 + len(alpn)
+	size := sizeClientHello
+	if n > size {
+		size = n
+	}
+	buf := make([]byte, size)
+	buf[0] = byte(ch.version)
+	binary.BigEndian.PutUint64(buf[1:9], ch.ticketID)
+	if ch.earlyData {
+		buf[9] = 1
+	}
+	binary.BigEndian.PutUint16(buf[10:12], uint16(len(name)))
+	copy(buf[12:], name)
+	off := 12 + len(name)
+	buf[off] = byte(len(alpn))
+	copy(buf[off+1:], alpn)
+	return buf
+}
+
+func decodeClientHello(p []byte) (clientHello, error) {
+	if len(p) < 12 {
+		return clientHello{}, ErrBadRecord
+	}
+	nameLen := int(binary.BigEndian.Uint16(p[10:12]))
+	if len(p) < 12+nameLen+1 {
+		return clientHello{}, ErrBadRecord
+	}
+	alpnOff := 12 + nameLen
+	alpnLen := int(p[alpnOff])
+	if len(p) < alpnOff+1+alpnLen {
+		return clientHello{}, ErrBadRecord
+	}
+	return clientHello{
+		version:    Version(p[0]),
+		ticketID:   binary.BigEndian.Uint64(p[1:9]),
+		earlyData:  p[9] == 1,
+		serverName: string(p[12 : 12+nameLen]),
+		alpn:       string(p[alpnOff+1 : alpnOff+1+alpnLen]),
+	}, nil
+}
+
+// serverHello13 fields: resumption verdict and a fresh ticket.
+type serverHello13 struct {
+	resumed     bool
+	newTicketID uint64
+}
+
+func encodeServerHello13(sh serverHello13) []byte {
+	buf := make([]byte, sizeServerHello13)
+	if sh.resumed {
+		buf[0] = 1
+	}
+	binary.BigEndian.PutUint64(buf[1:9], sh.newTicketID)
+	return buf
+}
+
+func decodeServerHello13(p []byte) (serverHello13, error) {
+	if len(p) < 9 {
+		return serverHello13{}, ErrBadRecord
+	}
+	return serverHello13{resumed: p[0] == 1, newTicketID: binary.BigEndian.Uint64(p[1:9])}, nil
+}
+
+func encodeRecord(t recordType, payload []byte) []byte {
+	buf := make([]byte, recordHeader+len(payload))
+	buf[0] = byte(t)
+	buf[1] = byte(len(payload) >> 16)
+	buf[2] = byte(len(payload) >> 8)
+	buf[3] = byte(len(payload))
+	// buf[4] reserved (legacy version byte)
+	copy(buf[recordHeader:], payload)
+	return buf
+}
+
+// cpuDelay schedules fn after d on sched, or runs it synchronously when
+// no scheduler or no delay is configured.
+func cpuDelay(sched *simnet.Scheduler, d time.Duration, fn func()) {
+	if sched == nil || d == 0 {
+		fn()
+		return
+	}
+	sched.After(d, fn)
+}
