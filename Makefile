@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: all build test check vet race bench bench-alloc fmt
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-enabled run of the full suite; the campaign worker pool and the
+# cross-shard sync.Pools are the interesting surfaces. Race
+# instrumentation slows the internal/core campaign fixtures ~6x, past
+# go test's default 10m per-package timeout — hence the explicit one.
+race:
+	$(GO) test -race -timeout 40m ./...
+
+# The repo's gate: static checks plus the race-enabled suite.
+check: vet race
+
+# Analysis/figure regeneration benchmarks (shares one campaign per run).
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+# Allocation benchmarks for the simulation hot path; compare against
+# BENCH_baseline.json.
+bench-alloc:
+	$(GO) test -run '^$$' -bench 'SchedulerEventDispatch|SchedulerTimerReset|RunVisitAllocs' -benchtime 2s .
+
+fmt:
+	gofmt -l -w .

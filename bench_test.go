@@ -16,6 +16,7 @@ import (
 
 	"h3cdn"
 	"h3cdn/internal/browser"
+	"h3cdn/internal/simnet"
 	"h3cdn/internal/vantage"
 	"h3cdn/internal/webgen"
 )
@@ -342,6 +343,58 @@ func BenchmarkAblationLosslessNetwork(b *testing.B) {
 		lossless := ablationCampaign(b, func(c *h3cdn.CampaignConfig) { c.LossRate = -1 })
 		baseline := ablationCampaign(b, nil)
 		b.Logf("median PLT reduction: lossless=%.1fms baseline-loss=%.1fms", lossless, baseline)
+	}
+}
+
+// BenchmarkSchedulerEventDispatch measures the per-event overhead of the
+// simnet scheduler hot loop: schedule one event and dispatch it. Every
+// simulated packet pays this cost at least twice (serialization end and
+// arrival), so allocs/op here multiply across the whole campaign.
+func BenchmarkSchedulerEventDispatch(b *testing.B) {
+	var s simnet.Scheduler
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Microsecond, fn)
+		s.Step()
+	}
+}
+
+// BenchmarkSchedulerTimerReset measures the RTO/PTO pattern protocol
+// state machines hammer: re-arm a timer, then fire or supersede it.
+func BenchmarkSchedulerTimerReset(b *testing.B) {
+	var s simnet.Scheduler
+	t := s.NewTimer(func() {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Reset(time.Microsecond)
+		if i%2 == 0 {
+			s.Step()
+		}
+	}
+	t.Stop()
+	for s.Step() {
+	}
+}
+
+// BenchmarkRunVisitAllocs measures allocations per full simulated page
+// load (H3 mode), the campaign hot path end to end.
+func BenchmarkRunVisitAllocs(b *testing.B) {
+	corpus := h3cdn.GenerateCorpus(h3cdn.CorpusConfig{Seed: 7, NumPages: 4, MeanResources: 111})
+	u, err := h3cdn.NewUniverse(h3cdn.UniverseConfig{Seed: 1, Corpus: corpus})
+	if err != nil {
+		b.Fatal(err)
+	}
+	br := u.NewBrowser(h3cdn.BrowserConfig{Mode: h3cdn.ModeH3, EnableZeroRTT: true})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := u.RunVisit(br, &corpus.Pages[i%4]); err != nil {
+			b.Fatal(err)
+		}
+		br.ClearSessions()
 	}
 }
 

@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"h3cdn/internal/core"
@@ -35,10 +37,40 @@ func run() int {
 		probes      = flag.Int("probes", 1, "probes per vantage point")
 		loss        = flag.Float64("loss", 0, "path loss rate (0 = default baseline, negative = lossless)")
 		consecutive = flag.Bool("consecutive", false, "consecutive-visit protocol (§VI-D)")
-		sequential  = flag.Bool("sequential", false, "disable probe parallelism")
+		sequential  = flag.Bool("sequential", false, "disable shard parallelism")
+		workers     = flag.Int("workers", 0, "concurrent shard workers (0 = GOMAXPROCS)")
 		out         = flag.String("o", "", "output file (default stdout)")
+		cpuprofile  = flag.String("cpuprofile", "", "write CPU profile to file")
+		memprofile  = flag.String("memprofile", "", "write heap profile to file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "h3cdn-measure: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "h3cdn-measure: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	// Open the heap-profile file up front so a bad path fails before the
+	// campaign runs, not after.
+	var memf *os.File
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "h3cdn-measure: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		memf = f
+	}
 
 	cfg := core.CampaignConfig{
 		Seed:             *seed,
@@ -48,6 +80,7 @@ func run() int {
 		LossRate:         *loss,
 		Consecutive:      *consecutive,
 		Sequential:       *sequential,
+		Workers:          *workers,
 	}
 
 	start := time.Now()
@@ -59,6 +92,14 @@ func run() int {
 		return 1
 	}
 	fmt.Fprintf(os.Stderr, "h3cdn-measure: done in %v\n", time.Since(start).Round(time.Second))
+
+	if memf != nil {
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(memf); err != nil {
+			fmt.Fprintf(os.Stderr, "h3cdn-measure: %v\n", err)
+			return 1
+		}
+	}
 
 	w := os.Stdout
 	if *out != "" {

@@ -1,0 +1,54 @@
+package bufpool
+
+import "testing"
+
+func TestGetLength(t *testing.T) {
+	for _, n := range []int{0, 1, 255, 256, 257, 4096, 16*1024 + 10, 64 * 1024, 64*1024 + 1, 1 << 20} {
+		buf := Get(n)
+		if len(buf) != n {
+			t.Fatalf("Get(%d): len %d", n, len(buf))
+		}
+		Put(buf)
+	}
+}
+
+func TestRoundTripReuses(t *testing.T) {
+	buf := Get(1000) // 1024-byte class
+	buf[0] = 0xAB
+	Put(buf)
+	again := Get(1024)
+	if &again[0] != &buf[:1][0] {
+		// sync.Pool may drop entries under GC pressure; retry once.
+		Put(again)
+		Put(Get(1024))
+		again = Get(1024)
+	}
+	if cap(again) != 1024 {
+		t.Fatalf("cap %d, want exact class 1024", cap(again))
+	}
+}
+
+func TestPutIgnoresOddCaps(t *testing.T) {
+	// Buffers whose capacity is not an exact class size must not enter
+	// the pool (Get assumes class-sized backing arrays).
+	Put(make([]byte, 300))   // cap 300: not a power of two
+	Put(make([]byte, 0))     // cap 0
+	Put(make([]byte, 128))   // below the smallest class
+	Put(make([]byte, 1<<20)) // above the largest class
+	buf := Get(300)          // 512 class
+	if len(buf) != 300 || cap(buf) < 300 {
+		t.Fatalf("len=%d cap=%d after odd Puts", len(buf), cap(buf))
+	}
+}
+
+func TestClassFor(t *testing.T) {
+	cases := []struct{ n, class int }{
+		{0, 0}, {1, 0}, {256, 0}, {257, 1}, {512, 1},
+		{16 * 1024, 6}, {16*1024 + 1, 7}, {64 * 1024, 8}, {64*1024 + 1, -1},
+	}
+	for _, c := range cases {
+		if got := classFor(c.n); got != c.class {
+			t.Fatalf("classFor(%d) = %d, want %d", c.n, got, c.class)
+		}
+	}
+}

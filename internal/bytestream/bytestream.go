@@ -11,10 +11,15 @@ package bytestream
 // and the close callback exactly once when the stream ends (err == nil for
 // a clean peer close, non-nil for an abort or transport failure).
 type Stream interface {
-	// Write queues p for transmission. The implementation owns p after
-	// the call returns; callers must not reuse the backing array.
+	// Write queues p for transmission. The implementation copies p
+	// before returning; the caller keeps ownership of the backing array
+	// and may reuse or recycle it immediately (this is what lets the
+	// HTTP layers frame into pooled buffers).
 	Write(p []byte)
-	// SetDataFunc registers the in-order delivery callback.
+	// SetDataFunc registers the in-order delivery callback. The chunk
+	// passed to the callback is only valid for the duration of the
+	// call: implementations may recycle the backing array afterwards,
+	// so callbacks that need the bytes later must copy them.
 	SetDataFunc(fn func(p []byte))
 	// SetCloseFunc registers the end-of-stream callback.
 	SetCloseFunc(fn func(err error))

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"strconv"
 	"sync"
 	"time"
@@ -40,8 +41,17 @@ type CampaignConfig struct {
 	// measured pass (§VI-D); the standard protocol clears them after
 	// every visit.
 	Consecutive bool
-	// Sequential disables probe-level parallelism (for debugging).
+	// Sequential disables shard-level parallelism (for debugging). The
+	// shard decomposition is identical either way, so sequential and
+	// parallel runs of the same config produce identical datasets.
 	Sequential bool
+	// Workers bounds the worker pool draining shards. 0 selects
+	// GOMAXPROCS.
+	Workers int
+	// PagesPerShard is the page-range granularity of one shard (0
+	// selects 128). Consecutive mode ignores it: session continuity
+	// spans the whole corpus, so each probe is a single shard.
+	PagesPerShard int
 	// H3WaitOverhead / MissPenalty / MaxEvents pass through to the
 	// universes.
 	H3WaitOverhead time.Duration
@@ -77,14 +87,70 @@ type Dataset struct {
 	Logs        map[browser.Mode]*har.Log
 }
 
-// probeJob identifies one (mode, vantage, probe) run.
-type probeJob struct {
-	mode  browser.Mode
-	point vantage.Point
-	probe int
+// defaultPagesPerShard is the page-range granularity of one shard when
+// CampaignConfig.PagesPerShard is zero. Corpora at or below this size run
+// as a single shard per probe, byte-identical to an unsharded campaign —
+// the default is chosen above the test-fixture scale (96 pages) so the
+// calibrated statistical shape tests keep their exact seed datasets,
+// while paper-scale runs (325 pages) shard.
+const defaultPagesPerShard = 128
+
+// shardJob identifies one (mode, vantage, probe, page-range) run. Each
+// shard gets its own deterministic universe, so the decomposition — which
+// depends only on the corpus and config, never on worker count or
+// scheduling — fixes the dataset exactly.
+type shardJob struct {
+	mode   browser.Mode
+	point  vantage.Point
+	probe  int
+	shard  int // index of this page range within the probe
+	lo, hi int // page range [lo, hi) in corpus order
+}
+
+// shardSeed derives the universe seed for a shard. Shard 0 reproduces the
+// historical per-probe formula, so single-shard campaigns (small corpora,
+// Consecutive mode) match pre-sharding datasets exactly.
+func shardSeed(cfg CampaignConfig, job shardJob) uint64 {
+	return cfg.Seed + uint64(job.probe)*1009 + uint64(job.shard)*7919
+}
+
+// shardCampaign decomposes the campaign into shard jobs, in (mode,
+// vantage, probe, page-range) order — the stitch order of the dataset.
+func shardCampaign(cfg CampaignConfig, corpus *webgen.Corpus) []shardJob {
+	per := cfg.PagesPerShard
+	if per <= 0 {
+		per = defaultPagesPerShard
+	}
+	if cfg.Consecutive || per > len(corpus.Pages) {
+		per = len(corpus.Pages)
+	}
+	var jobs []shardJob
+	for _, mode := range cfg.Modes {
+		for _, point := range cfg.Vantages {
+			probes := point.ProbesPerSite
+			if cfg.ProbesPerVantage > 0 {
+				probes = cfg.ProbesPerVantage
+			}
+			for p := 0; p < probes; p++ {
+				for s, lo := 0, 0; lo < len(corpus.Pages); s, lo = s+1, lo+per {
+					hi := lo + per
+					if hi > len(corpus.Pages) {
+						hi = len(corpus.Pages)
+					}
+					jobs = append(jobs, shardJob{
+						mode: mode, point: point, probe: p,
+						shard: s, lo: lo, hi: hi,
+					})
+				}
+			}
+		}
+	}
+	return jobs
 }
 
 // RunCampaign executes the full visit protocol and returns the dataset.
+// Shards run on a bounded worker pool (see CampaignConfig.Workers); the
+// result is independent of worker count and of Sequential.
 func RunCampaign(cfg CampaignConfig) (*Dataset, error) {
 	cfg = cfg.withDefaults()
 	corpus := cfg.Corpus
@@ -93,44 +159,49 @@ func RunCampaign(cfg CampaignConfig) (*Dataset, error) {
 		cc.Seed = cfg.Seed
 		corpus = webgen.Generate(cc)
 	}
-
-	var jobs []probeJob
-	for _, mode := range cfg.Modes {
-		for _, point := range cfg.Vantages {
-			probes := point.ProbesPerSite
-			if cfg.ProbesPerVantage > 0 {
-				probes = cfg.ProbesPerVantage
-			}
-			for p := 0; p < probes; p++ {
-				jobs = append(jobs, probeJob{mode: mode, point: point, probe: p})
-			}
-		}
+	if len(corpus.Pages) == 0 {
+		return nil, fmt.Errorf("core: RunCampaign: empty corpus")
 	}
 
+	jobs := shardCampaign(cfg, corpus)
 	results := make([][]har.PageLog, len(jobs))
 	errs := make([]error, len(jobs))
-	run := func(i int, job probeJob) {
-		results[i], errs[i] = runProbe(cfg, corpus, job)
+	run := func(i int) {
+		results[i], errs[i] = runShard(cfg, corpus, jobs[i])
 	}
 	if cfg.Sequential {
-		for i, job := range jobs {
-			run(i, job)
+		for i := range jobs {
+			run(i)
 		}
 	} else {
-		var wg sync.WaitGroup
-		for i, job := range jobs {
-			wg.Add(1)
-			go func(i int, job probeJob) {
-				defer wg.Done()
-				run(i, job)
-			}(i, job)
+		workers := cfg.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
 		}
+		if workers > len(jobs) {
+			workers = len(jobs)
+		}
+		jobCh := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobCh {
+					run(i)
+				}
+			}()
+		}
+		for i := range jobs {
+			jobCh <- i
+		}
+		close(jobCh)
 		wg.Wait()
 	}
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("core: probe %s/%d mode %s: %w",
-				jobs[i].point.Name, jobs[i].probe, jobs[i].mode, err)
+			return nil, fmt.Errorf("core: probe %s/%d mode %s pages [%d,%d): %w",
+				jobs[i].point.Name, jobs[i].probe, jobs[i].mode, jobs[i].lo, jobs[i].hi, err)
 		}
 	}
 
@@ -149,14 +220,25 @@ func RunCampaign(cfg CampaignConfig) (*Dataset, error) {
 	return ds, nil
 }
 
-// runProbe executes the visit protocol for one probe and mode: a warm
-// pass caches every resource at the edges (and, implicitly, teaches the
+// runShard executes the visit protocol for one shard: a warm pass caches
+// the shard's resources at the edges (and, implicitly, teaches the
 // browser each host's H3 support, like Alt-Svc), then the measured pass
-// records HAR logs.
-func runProbe(cfg CampaignConfig, corpus *webgen.Corpus, job probeJob) ([]har.PageLog, error) {
+// records HAR logs. The shard sees a sub-corpus view — only its page
+// range, with the full corpus's hostname maps — so each shard builds only
+// the origins it visits.
+func runShard(cfg CampaignConfig, corpus *webgen.Corpus, job shardJob) ([]har.PageLog, error) {
+	view := corpus
+	if job.lo != 0 || job.hi != len(corpus.Pages) {
+		view = &webgen.Corpus{
+			Pages:        corpus.Pages[job.lo:job.hi],
+			H3Support:    corpus.H3Support,
+			HostProvider: corpus.HostProvider,
+			H1Only:       corpus.H1Only,
+		}
+	}
 	u, err := NewUniverse(UniverseConfig{
-		Seed:           cfg.Seed + uint64(job.probe)*1009,
-		Corpus:         corpus,
+		Seed:           shardSeed(cfg, job),
+		Corpus:         view,
 		Vantage:        job.point,
 		LossRate:       cfg.LossRate,
 		H3WaitOverhead: cfg.H3WaitOverhead,
@@ -179,17 +261,17 @@ func runProbe(cfg CampaignConfig, corpus *webgen.Corpus, job probeJob) ([]har.Pa
 	probeName := job.point.Name + "/" + strconv.Itoa(job.probe)
 
 	// Warm pass (discarded): fills edge caches, as in §III-B.
-	for i := range corpus.Pages {
-		if _, err := u.RunVisit(b, &corpus.Pages[i]); err != nil {
+	for i := range view.Pages {
+		if _, err := u.RunVisit(b, &view.Pages[i]); err != nil {
 			return nil, fmt.Errorf("warm visit: %w", err)
 		}
 		b.ClearSessions()
 	}
 
 	// Measured pass.
-	logs := make([]har.PageLog, 0, len(corpus.Pages))
-	for i := range corpus.Pages {
-		log, err := u.RunVisit(b, &corpus.Pages[i])
+	logs := make([]har.PageLog, 0, len(view.Pages))
+	for i := range view.Pages {
+		log, err := u.RunVisit(b, &view.Pages[i])
 		if err != nil {
 			return nil, fmt.Errorf("measured visit: %w", err)
 		}

@@ -347,7 +347,7 @@ func (c *h1ServerConn) onData(p []byte) {
 		c.handler(ctx, func(resp Response) {
 			c.tls.Write(encodeH1Response(resp))
 			if resp.BodySize > 0 {
-				c.tls.Write(zeroBody(resp.BodySize))
+				writeBody(c.tls, resp.BodySize)
 			}
 		})
 	}

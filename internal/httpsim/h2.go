@@ -103,7 +103,7 @@ func (c *h2Client) send(p h2Pending) {
 	c.nextID += 2
 	sp := p
 	c.streams[id] = &sp
-	c.tls.Write(encodeBlock(blockHeadersReq, id, flagEndStream, requestHeaderBlock(p.req)))
+	writeBlock(c.tls, blockHeadersReq, id, flagEndStream, requestHeaderBlock(p.req))
 	if sp.ev.OnSent != nil {
 		sp.ev.OnSent()
 	}
@@ -252,7 +252,7 @@ func (c *h2ServerConn) respond(id uint32, resp Response) {
 	if resp.BodySize == 0 {
 		flags = flagEndStream
 	}
-	c.tls.Write(encodeBlock(blockHeadersResp, id, flags, responseHeaderBlock(resp)))
+	writeBlock(c.tls, blockHeadersResp, id, flags, responseHeaderBlock(resp))
 	if resp.BodySize > 0 {
 		c.active = append(c.active, &h2Response{id: id, remaining: resp.BodySize})
 		c.pump()
@@ -280,7 +280,7 @@ func (c *h2ServerConn) pump() {
 			if r.remaining == 0 {
 				flags = flagEndStream
 			}
-			c.tls.Write(encodeBlock(blockData, r.id, flags, zeroBody(n)))
+			writeBodyBlock(c.tls, r.id, flags, n)
 			if r.remaining > 0 {
 				next = append(next, r)
 			}

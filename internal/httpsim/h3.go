@@ -98,7 +98,7 @@ func (c *h3Client) send(p h3Stream) {
 	c.actives[st] = struct{}{}
 	s := c.conn.OpenStream()
 	s.SetDataFunc(func(data []byte) { c.onStreamData(st, data) })
-	s.Write(encodeBlock(blockHeadersReq, 0, flagEndStream, requestHeaderBlock(p.req)))
+	writeBlock(s, blockHeadersReq, 0, flagEndStream, requestHeaderBlock(p.req))
 	s.CloseWrite()
 	if st.ev.OnSent != nil {
 		st.ev.OnSent()
@@ -220,14 +220,14 @@ func (s *h3Server) onStream(st *quicsim.Stream) {
 }
 
 func (s *h3Server) respond(st *quicsim.Stream, resp Response) {
-	st.Write(encodeBlock(blockHeadersResp, 0, 0, responseHeaderBlock(resp)))
+	writeBlock(st, blockHeadersResp, 0, 0, responseHeaderBlock(resp))
 	for left := resp.BodySize; left > 0; {
 		n := left
 		if n > bodyChunkSize {
 			n = bodyChunkSize
 		}
 		left -= n
-		st.Write(encodeBlock(blockData, 0, 0, zeroBody(n)))
+		writeBodyBlock(st, 0, 0, n)
 	}
 	st.CloseWrite()
 }

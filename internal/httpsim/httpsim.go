@@ -21,6 +21,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"h3cdn/internal/bufpool"
 )
 
 // Protocol identifies the HTTP version of a connection or request.
@@ -189,12 +191,40 @@ const flagEndStream = 1
 // encodeBlock frames a payload: [type][streamID][flags][len][payload].
 func encodeBlock(t blockType, streamID uint32, flags uint8, payload []byte) []byte {
 	buf := make([]byte, blockHeaderSize+len(payload))
+	putBlockHeader(buf, t, streamID, flags, len(payload))
+	copy(buf[blockHeaderSize:], payload)
+	return buf
+}
+
+func putBlockHeader(buf []byte, t blockType, streamID uint32, flags uint8, plen int) {
 	buf[0] = byte(t)
 	binary.BigEndian.PutUint32(buf[1:5], streamID)
 	buf[5] = flags
-	binary.BigEndian.PutUint32(buf[6:10], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[6:10], uint32(plen))
+}
+
+// blockWriter is any byte sink honoring the bytestream contract (Write
+// copies before returning).
+type blockWriter interface{ Write([]byte) }
+
+// writeBlock frames payload into a pooled buffer, writes it, and recycles
+// the buffer immediately.
+func writeBlock(w blockWriter, t blockType, streamID uint32, flags uint8, payload []byte) {
+	buf := bufpool.Get(blockHeaderSize + len(payload))
+	putBlockHeader(buf, t, streamID, flags, len(payload))
 	copy(buf[blockHeaderSize:], payload)
-	return buf
+	w.Write(buf)
+	bufpool.Put(buf)
+}
+
+// writeBodyBlock writes a blockData frame carrying a synthetic n-byte
+// body. Body bytes are only ever counted, never inspected, so the pooled
+// buffer's arbitrary contents stand in for the payload.
+func writeBodyBlock(w blockWriter, streamID uint32, flags uint8, n int) {
+	buf := bufpool.Get(blockHeaderSize + n)
+	putBlockHeader(buf, blockData, streamID, flags, n)
+	w.Write(buf)
+	bufpool.Put(buf)
 }
 
 // blockParser incrementally decodes framed blocks from a byte stream.
@@ -284,5 +314,17 @@ func parseResponseHeaderBlock(p []byte) (ResponseMeta, error) {
 // bodyChunkSize is the DATA frame payload granularity for H2/H3 servers.
 const bodyChunkSize = 16 * 1024
 
-// zeroBody returns a synthetic body of n bytes.
-func zeroBody(n int) []byte { return make([]byte, n) }
+// writeBody streams a synthetic n-byte body (no framing) in pooled
+// bodyChunkSize chunks; contents are arbitrary, as with writeBodyBlock.
+func writeBody(w blockWriter, n int) {
+	for n > 0 {
+		c := n
+		if c > bodyChunkSize {
+			c = bodyChunkSize
+		}
+		buf := bufpool.Get(c)
+		w.Write(buf)
+		bufpool.Put(buf)
+		n -= c
+	}
+}

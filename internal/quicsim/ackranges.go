@@ -75,6 +75,19 @@ func (s *rangeSet) snapshot(max int) []pnRange {
 	return out
 }
 
+// snapshotInto appends up to max ranges, most recent first, to out —
+// letting ACK frames reuse a range slice across transmissions.
+func (s *rangeSet) snapshotInto(out []pnRange, max int) []pnRange {
+	n := len(s.ranges)
+	if max > n {
+		max = n
+	}
+	for i := n - 1; i >= n-max; i-- {
+		out = append(out, s.ranges[i])
+	}
+	return out
+}
+
 // largest returns the highest recorded packet number (ok=false if empty).
 func (s *rangeSet) largest() (uint64, bool) {
 	if len(s.ranges) == 0 {

@@ -248,14 +248,18 @@ func (c *Conn) shutdown(err error) {
 		return
 	}
 	// Best-effort close notification, bypassing congestion control.
-	c.transmit(&packet{pn: c.nextPN, frames: []frame{&closeFrame{err: err}}})
+	p := newPacket()
+	p.pn = c.nextPN
+	p.frames = []frame{&closeFrame{err: err}}
+	c.transmit(p)
 	c.nextPN++
 	c.teardown()
 }
 
 func (c *Conn) teardown() {
 	c.state = stateClosed
-	c.ptoTimer.Stop()
+	c.ptoTimer.Release()
+	c.ptoTimer = nil
 	if c.issuedToken != 0 && c.scfg.Sessions != nil {
 		// Cache the path's cwnd for bandwidth resumption.
 		c.scfg.Sessions.storeCwnd(c.issuedToken, c.cwnd)
@@ -332,8 +336,9 @@ func (c *Conn) trySend() {
 	// Flush a pending ACK even when nothing else fit.
 	if c.ackQueued {
 		c.ackQueued = false
-		ack := c.buildAck()
-		c.transmit(&packet{pn: c.nextPN, frames: []frame{ack}})
+		p := newAckPacket(&c.recvd)
+		p.pn = c.nextPN
+		c.transmit(p)
 		c.nextPN++
 	}
 }
@@ -388,7 +393,9 @@ func (c *Conn) buildPacket() *packet {
 	if c.ackQueued {
 		c.ackQueued = false
 	}
-	p := &packet{pn: c.nextPN, frames: frames}
+	p := newPacket()
+	p.pn = c.nextPN
+	p.frames = frames
 	c.nextPN++
 	return p
 }
@@ -411,8 +418,11 @@ func (c *Conn) pullStreamFrame(maxData int) *streamFrame {
 		if take > maxData {
 			take = maxData
 		}
-		data := make([]byte, take)
-		copy(data, s.pend[:take])
+		// Zero-copy: alias the pending buffer with a capped capacity.
+		// Later appends to s.pend only ever write past the current
+		// length, so the frame's window is never rewritten even though
+		// it may share the backing array.
+		data := s.pend[:take:take]
 		s.pend = s.pend[take:]
 		sf := &streamFrame{id: s.id, off: s.sendOff, data: data}
 		s.sendOff += uint64(take)
@@ -491,7 +501,9 @@ func (c *Conn) onPTO() {
 	if oldest != nil {
 		frames := retransmittable(oldest.frames)
 		if len(frames) > 0 {
-			p := &packet{pn: c.nextPN, frames: frames}
+			p := newPacket()
+			p.pn = c.nextPN
+			p.frames = frames
 			c.nextPN++
 			sp := &sentPacket{pn: p.pn, frames: p.frames, size: p.wireSize(), sentAt: c.sched.Now(), ackEliciting: true}
 			c.sent[p.pn] = sp

@@ -85,7 +85,8 @@ func (e *Endpoint) handlePacket(pkt simnet.Packet) {
 			// releases its state — unless the packet is itself a
 			// close (avoid close loops).
 			if !isCloseOnly(p) {
-				reply := &packet{frames: []frame{&closeFrame{err: ErrAborted}}}
+				reply := newPacket()
+				reply.frames = []frame{&closeFrame{err: ErrAborted}}
 				e.host.Send(e.port, pkt.Src, pkt.SrcPort, reply.wireSize(), reply)
 			}
 			return

@@ -14,6 +14,7 @@ package quicsim
 
 import (
 	"errors"
+	"sync"
 	"time"
 )
 
@@ -148,6 +149,14 @@ func (f *closeFrame) wireSize() int    { return sizeCloseFrame }
 func (*closeFrame) ackEliciting() bool { return false }
 
 // packet is the on-wire QUIC datagram payload.
+//
+// Packet structs are pooled: each is sent exactly once, receivers retain
+// stream-frame data slices but never the packet itself, and the network
+// recycles the struct via Release after the handler returns. The frames
+// slice is shared with the sender's sentPacket record for retransmission
+// and is therefore never recycled — except for ACK-only packets, which
+// bypass loss recovery entirely and keep a private reusable ackFrame
+// attached across pool round-trips.
 type packet struct {
 	pn      uint64
 	frames  []frame
@@ -155,6 +164,43 @@ type packet struct {
 	// dcid routes short-header packets to the server connection even
 	// after the client's address changes (connection migration).
 	dcid uint64
+	// ackOnly marks frames as a private one-element slice holding a
+	// private ackFrame, recycled together with the packet.
+	ackOnly bool
+}
+
+var (
+	pktPool = sync.Pool{New: func() any { return new(packet) }}
+	ackPool = sync.Pool{New: func() any {
+		return &packet{ackOnly: true, frames: []frame{&ackFrame{}}}
+	}}
+)
+
+func newPacket() *packet { return pktPool.Get().(*packet) }
+
+// newAckPacket returns a pooled packet carrying a single ACK frame with
+// ranges snapshotted from rs; the attached ackFrame and its range slice
+// are reused across pool round-trips.
+func newAckPacket(rs *rangeSet) *packet {
+	p := ackPool.Get().(*packet)
+	af := p.frames[0].(*ackFrame)
+	af.ranges = rs.snapshotInto(af.ranges[:0], 32)
+	return p
+}
+
+// Release implements simnet.Releasable.
+func (p *packet) Release() {
+	p.pn = 0
+	p.zeroRTT = false
+	p.dcid = 0
+	if p.ackOnly {
+		ackPool.Put(p)
+		return
+	}
+	// The frames slice is shared with a sentPacket (or belongs to a
+	// one-shot control packet); drop the reference, never reuse it.
+	p.frames = nil
+	pktPool.Put(p)
 }
 
 func (p *packet) wireSize() int {

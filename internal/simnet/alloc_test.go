@@ -1,0 +1,118 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAtArgPassesArgument(t *testing.T) {
+	var s Scheduler
+	type payload struct{ n int }
+	p := &payload{n: 41}
+	var got *payload
+	s.AtArg(3*time.Millisecond, func(x any) { got = x.(*payload) }, p)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Fatalf("arg %v, want %v", got, p)
+	}
+	if s.Now() != 3*time.Millisecond {
+		t.Fatalf("fired at %v, want 3ms", s.Now())
+	}
+}
+
+func TestAtArgOrderingWithAt(t *testing.T) {
+	var s Scheduler
+	var order []int
+	s.AfterArg(time.Millisecond, func(any) { order = append(order, 1) }, nil)
+	s.After(time.Millisecond, func() { order = append(order, 2) })
+	s.AtArg(time.Millisecond, func(any) { order = append(order, 3) }, nil)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order %v, want FIFO [1 2 3]", order)
+	}
+}
+
+// TestEventFreeList asserts that steady-state dispatch reuses event
+// structs rather than allocating.
+func TestEventFreeList(t *testing.T) {
+	var s Scheduler
+	fn := func(any) {}
+	// Prime the free list and the heap's backing array.
+	s.AfterArg(0, fn, nil)
+	s.Step()
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.AfterArg(time.Microsecond, fn, nil)
+		s.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("%v allocs per schedule+dispatch, want 0", allocs)
+	}
+}
+
+// TestCanceledEventsRecycled asserts canceled events return to the free
+// list (via Step and via RunUntil) instead of leaking.
+func TestCanceledEventsRecycled(t *testing.T) {
+	var s Scheduler
+	ev := s.After(time.Millisecond, func() {})
+	ev.canceled = true
+	s.After(2*time.Millisecond, func() {})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.free == nil {
+		t.Fatal("free list empty after run")
+	}
+
+	ev = s.After(time.Millisecond, func() {})
+	ev.canceled = true
+	s.RunUntil(5 * time.Millisecond)
+	if s.events.Len() != 0 {
+		t.Fatalf("%d events still queued after RunUntil", s.events.Len())
+	}
+}
+
+// TestTimerRecycled asserts Release returns timers to the scheduler pool.
+func TestTimerRecycled(t *testing.T) {
+	var s Scheduler
+	a := s.NewTimer(func() {})
+	a.Reset(time.Millisecond)
+	a.Release()
+	if a.Armed() {
+		t.Fatal("released timer still armed")
+	}
+	b := s.NewTimer(func() {})
+	if a != b {
+		t.Fatal("NewTimer did not reuse the released timer")
+	}
+	// The recycled timer must be fully functional.
+	fired := false
+	c := s.NewTimer(func() { fired = true })
+	c.Reset(time.Millisecond)
+	b.Reset(2 * time.Millisecond)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("timer created after recycling never fired")
+	}
+}
+
+// TestTimerArmAllocationFree asserts Reset/fire cycles allocate nothing
+// once the free lists are primed.
+func TestTimerArmAllocationFree(t *testing.T) {
+	var s Scheduler
+	tm := s.NewTimer(func() {})
+	tm.Reset(0)
+	s.Step()
+	allocs := testing.AllocsPerRun(1000, func() {
+		tm.Reset(time.Microsecond)
+		s.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("%v allocs per Reset+fire, want 0", allocs)
+	}
+}

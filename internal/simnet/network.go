@@ -23,6 +23,20 @@ type Packet struct {
 	Payload any
 }
 
+// Releasable is optionally implemented by packet payloads that can be
+// recycled. Ownership of the payload transfers to the network at send
+// time: once the packet has been delivered (the handler returned) or
+// dropped, the network calls Release exactly once. Handlers must not
+// retain the payload object beyond the callback (retaining byte slices
+// the payload points to is fine — Release must not recycle those).
+type Releasable interface{ Release() }
+
+func releasePayload(p any) {
+	if r, ok := p.(Releasable); ok {
+		r.Release()
+	}
+}
+
 // PathProps describes a directed src→dst path.
 type PathProps struct {
 	// Delay is the one-way propagation delay.
@@ -64,6 +78,50 @@ type Network struct {
 	rng    *seqrand.Source
 	stats  Stats
 	filter func(Packet) bool
+
+	freeDeliveries *delivery // recycled delivery records
+}
+
+// delivery is the scheduled arrival (or loss completion) of one packet.
+// Records are pooled per network so the per-packet hot path schedules no
+// closures and allocates nothing in steady state.
+type delivery struct {
+	n    *Network
+	ps   *pathState
+	pkt  Packet
+	drop bool // loss: only the serialization slot is released
+	next *delivery
+}
+
+// runDelivery is the package-level event callback for packet arrivals
+// (see Scheduler.AtArg).
+func runDelivery(x any) {
+	d := x.(*delivery)
+	d.ps.inFlight--
+	if d.drop {
+		releasePayload(d.pkt.Payload)
+	} else {
+		d.n.deliver(d.pkt)
+	}
+	d.n.releaseDelivery(d)
+}
+
+func (n *Network) allocDelivery() *delivery {
+	d := n.freeDeliveries
+	if d == nil {
+		return &delivery{n: n}
+	}
+	n.freeDeliveries = d.next
+	d.next = nil
+	return d
+}
+
+func (n *Network) releaseDelivery(d *delivery) {
+	d.ps = nil
+	d.pkt = Packet{}
+	d.drop = false
+	d.next = n.freeDeliveries
+	n.freeDeliveries = d
 }
 
 // SetFilter installs a packet filter invoked before every transmission;
@@ -147,6 +205,7 @@ func (n *Network) send(pkt Packet) {
 
 	if n.filter != nil && !n.filter(pkt) {
 		n.stats.LossDrops++
+		releasePayload(pkt.Payload)
 		return
 	}
 
@@ -155,6 +214,7 @@ func (n *Network) send(pkt Packet) {
 
 	if props.QueueLimit > 0 && ps.inFlight >= props.QueueLimit {
 		n.stats.QueueDrops++
+		releasePayload(pkt.Payload)
 		return
 	}
 
@@ -170,34 +230,38 @@ func (n *Network) send(pkt Packet) {
 	ps.busyUntil = start + tx
 	ps.inFlight++
 
+	d := n.allocDelivery()
+	d.ps = ps
+	d.pkt = pkt
+
 	// Loss is evaluated per transmission attempt. Dropped packets still
 	// consumed link time (they were serialized onto the wire).
 	if props.LossRate > 0 && ps.lossRng.Float64() < props.LossRate {
 		n.stats.LossDrops++
-		n.sched.At(start+tx, func() { ps.inFlight-- })
+		d.drop = true
+		n.sched.AtArg(start+tx, runDelivery, d)
 		return
 	}
 
-	arrival := start + tx + props.Delay
-	n.sched.At(arrival, func() {
-		ps.inFlight--
-		n.deliver(pkt)
-	})
+	n.sched.AtArg(start+tx+props.Delay, runDelivery, d)
 }
 
 func (n *Network) deliver(pkt Packet) {
 	h, ok := n.hosts[pkt.Dst]
 	if !ok {
 		n.stats.NoRoute++
+		releasePayload(pkt.Payload)
 		return
 	}
 	fn, ok := h.ports[pkt.DstPort]
 	if !ok {
 		n.stats.NoRoute++
+		releasePayload(pkt.Payload)
 		return
 	}
 	n.stats.Delivered++
 	fn(pkt)
+	releasePayload(pkt.Payload)
 }
 
 // RTT returns the round-trip propagation delay between two hosts

@@ -20,11 +20,17 @@ var ErrStopped = errors.New("simnet: scheduler stopped")
 
 // Scheduler owns the virtual clock and the pending event set.
 // The zero value is ready to use.
+//
+// Executed and canceled events are recycled through an intrusive free
+// list, so steady-state event dispatch performs no heap allocation.
 type Scheduler struct {
 	now     time.Duration
 	events  eventHeap
 	seq     uint64
 	stopped bool
+
+	free       *event // recycled events, linked through event.next
+	freeTimers *Timer // recycled timers, linked through Timer.next
 
 	// MaxEvents, when non-zero, bounds a single Run call as a runaway
 	// guard; Run returns ErrEventBudget once exceeded.
@@ -34,12 +40,19 @@ type Scheduler struct {
 // ErrEventBudget is reported by Run when MaxEvents was exhausted.
 var ErrEventBudget = errors.New("simnet: event budget exhausted")
 
+// An event carries either a plain closure (fn) or an argument-passing
+// callback (argFn + arg). The latter lets hot paths schedule work without
+// allocating a closure per call: a package-level func(any) plus a pointer
+// argument stay allocation-free.
 type event struct {
 	at       time.Duration
 	seq      uint64 // tie-break: FIFO among same-time events
 	fn       func()
+	argFn    func(any)
+	arg      any
 	canceled bool
-	index    int // heap index, -1 when popped
+	index    int    // heap index, -1 when popped
+	next     *event // free-list link
 }
 
 type eventHeap []*event
@@ -74,20 +87,63 @@ func (h *eventHeap) Pop() any {
 // Now returns the current virtual time.
 func (s *Scheduler) Now() time.Duration { return s.now }
 
-// At schedules fn at absolute virtual time t. Times in the past run "now".
-func (s *Scheduler) At(t time.Duration, fn func()) *event {
+func (s *Scheduler) allocEvent() *event {
+	ev := s.free
+	if ev == nil {
+		return &event{}
+	}
+	s.free = ev.next
+	ev.next = nil
+	return ev
+}
+
+// releaseEvent returns a popped event to the free list. Callers must
+// guarantee no live reference to ev remains (Timer clears its reference
+// before its callback runs; nothing else retains events).
+func (s *Scheduler) releaseEvent(ev *event) {
+	ev.fn = nil
+	ev.argFn = nil
+	ev.arg = nil
+	ev.canceled = false
+	ev.next = s.free
+	s.free = ev
+}
+
+func (s *Scheduler) schedule(t time.Duration, fn func(), argFn func(any), arg any) *event {
 	if t < s.now {
 		t = s.now
 	}
-	ev := &event{at: t, seq: s.seq, fn: fn}
+	ev := s.allocEvent()
+	ev.at = t
+	ev.seq = s.seq
+	ev.fn = fn
+	ev.argFn = argFn
+	ev.arg = arg
 	s.seq++
 	heap.Push(&s.events, ev)
 	return ev
 }
 
+// At schedules fn at absolute virtual time t. Times in the past run "now".
+func (s *Scheduler) At(t time.Duration, fn func()) *event {
+	return s.schedule(t, fn, nil, nil)
+}
+
 // After schedules fn delay after the current virtual time.
 func (s *Scheduler) After(delay time.Duration, fn func()) *event {
-	return s.At(s.now+delay, fn)
+	return s.schedule(s.now+delay, fn, nil, nil)
+}
+
+// AtArg schedules fn(arg) at absolute virtual time t. Passing a
+// package-level function and a pointer argument avoids the per-call
+// closure allocation of At.
+func (s *Scheduler) AtArg(t time.Duration, fn func(any), arg any) *event {
+	return s.schedule(t, nil, fn, arg)
+}
+
+// AfterArg schedules fn(arg) delay after the current virtual time.
+func (s *Scheduler) AfterArg(delay time.Duration, fn func(any), arg any) *event {
+	return s.schedule(s.now+delay, nil, fn, arg)
 }
 
 // Stop makes Run return after the current event.
@@ -110,10 +166,19 @@ func (s *Scheduler) Step() bool {
 	for s.events.Len() > 0 {
 		ev := heap.Pop(&s.events).(*event)
 		if ev.canceled {
+			s.releaseEvent(ev)
 			continue
 		}
 		s.now = ev.at
-		ev.fn()
+		if ev.argFn != nil {
+			fn, arg := ev.argFn, ev.arg
+			s.releaseEvent(ev)
+			fn(arg)
+		} else {
+			fn := ev.fn
+			s.releaseEvent(ev)
+			fn()
+		}
 		return true
 	}
 	return false
@@ -143,7 +208,7 @@ func (s *Scheduler) RunUntil(t time.Duration) int {
 	for s.events.Len() > 0 {
 		next := s.events[0]
 		if next.canceled {
-			heap.Pop(&s.events)
+			s.releaseEvent(heap.Pop(&s.events).(*event))
 			continue
 		}
 		if next.at > t {

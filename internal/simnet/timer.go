@@ -5,28 +5,55 @@ import "time"
 // Timer is a cancellable, resettable one-shot timer bound to a Scheduler.
 // It mirrors the subset of time.Timer semantics protocol state machines
 // need (RTO, PTO, idle timeouts) under virtual time.
+//
+// Arming a timer allocates nothing: the scheduler event carries the timer
+// pointer itself rather than a per-Reset closure.
 type Timer struct {
-	s  *Scheduler
-	fn func()
-	ev *event
+	s    *Scheduler
+	fn   func()
+	ev   *event
+	next *Timer // free-list link
 }
 
+// timerFire adapts the arg-carrying event callback to Timer.fire without
+// a per-arm closure.
+func timerFire(x any) { x.(*Timer).fire() }
+
 // NewTimer returns a stopped timer that will invoke fn when it fires.
+// Timers released via Release are recycled.
 func (s *Scheduler) NewTimer(fn func()) *Timer {
-	return &Timer{s: s, fn: fn}
+	t := s.freeTimers
+	if t == nil {
+		t = &Timer{s: s}
+	} else {
+		s.freeTimers = t.next
+		t.next = nil
+	}
+	t.fn = fn
+	return t
+}
+
+// Release stops the timer and returns it to the scheduler's pool for
+// reuse. The caller must drop every reference; using a released timer is
+// a bug.
+func (t *Timer) Release() {
+	t.Stop()
+	t.fn = nil
+	t.next = t.s.freeTimers
+	t.s.freeTimers = t
 }
 
 // Reset (re)arms the timer to fire delay from now, canceling any pending
 // expiry.
 func (t *Timer) Reset(delay time.Duration) {
 	t.Stop()
-	t.ev = t.s.After(delay, t.fire)
+	t.ev = t.s.AfterArg(delay, timerFire, t)
 }
 
 // ResetAt (re)arms the timer to fire at absolute virtual time at.
 func (t *Timer) ResetAt(at time.Duration) {
 	t.Stop()
-	t.ev = t.s.At(at, t.fire)
+	t.ev = t.s.AtArg(at, timerFire, t)
 }
 
 func (t *Timer) fire() {

@@ -3,6 +3,7 @@ package tcpsim
 import (
 	"time"
 
+	"h3cdn/internal/bufpool"
 	"h3cdn/internal/bytestream"
 	"h3cdn/internal/simnet"
 )
@@ -210,7 +211,8 @@ func (c *Conn) Abort() {
 
 func (c *Conn) teardown() {
 	c.state = stateClosed
-	c.rtoTimer.Stop()
+	c.rtoTimer.Release()
+	c.rtoTimer = nil
 	if c.isClient {
 		// Server connections share the listener's port.
 		c.host.Unbind(c.localPort)
@@ -219,6 +221,9 @@ func (c *Conn) teardown() {
 		c.listener.remove(c.remote, c.remotePort)
 	}
 	c.sendBuf = nil
+	for _, chunk := range c.recvBuf {
+		bufpool.Put(chunk.data)
+	}
 	c.recvBuf = nil
 }
 
@@ -251,7 +256,8 @@ func (c *Conn) sendSeg(seg *segment) {
 }
 
 func (c *Conn) sendFlags(f segFlags) {
-	seg := &segment{flags: f}
+	seg := newSegment()
+	seg.flags = f
 	if f&flagSYN != 0 && f&flagACK == 0 {
 		// Initial SYN carries no ACK.
 		c.stats.SegsSent++
@@ -348,7 +354,9 @@ func (c *Conn) trySend() {
 			if end > uint64(len(c.sendBuf)) {
 				end = uint64(len(c.sendBuf))
 			}
-			seg := &segment{seq: c.sndNxt, payload: c.sendBuf[off:end]}
+			seg := newSegment()
+			seg.seq = c.sndNxt
+			seg.payload = c.sendBuf[off:end]
 			c.markTimed(seg)
 			c.sndNxt = c.sndUna + end
 			c.sendSeg(seg)
@@ -359,7 +367,9 @@ func (c *Conn) trySend() {
 		if c.closing && !c.sentFin {
 			c.sentFin = true
 			c.finSeq = c.streamEnd()
-			seg := &segment{flags: flagFIN, seq: c.finSeq}
+			seg := newSegment()
+			seg.flags = flagFIN
+			seg.seq = c.finSeq
 			c.sndNxt = c.finSeq + 1
 			c.sendSeg(seg)
 			c.armRTOIfIdle()
@@ -469,7 +479,10 @@ func (c *Conn) retransmitFirst() {
 	c.stats.Retransmits++
 	c.timedValid = false // Karn: no sampling across retransmission
 	if c.sentFin && c.sndUna == c.finSeq {
-		c.sendSeg(&segment{flags: flagFIN, seq: c.finSeq})
+		seg := newSegment()
+		seg.flags = flagFIN
+		seg.seq = c.finSeq
+		c.sendSeg(seg)
 		c.armRTO()
 		return
 	}
@@ -483,7 +496,9 @@ func (c *Conn) retransmitFirst() {
 	if m := uint64(c.cfg.MSS); avail > m {
 		avail = m
 	}
-	seg := &segment{seq: c.sndUna, payload: c.sendBuf[:avail]}
+	seg := newSegment()
+	seg.seq = c.sndUna
+	seg.payload = c.sendBuf[:avail]
 	c.sendSeg(seg)
 	c.armRTO()
 }
@@ -571,9 +586,12 @@ func (c *Conn) processData(seg *segment) {
 		start = c.rcvNxt
 	}
 	if prev, ok := c.recvBuf[start]; !ok || len(payload) > len(prev.data) || seg.flags&flagFIN != 0 {
-		buf := make([]byte, len(payload))
+		buf := bufpool.Get(len(payload))
 		copy(buf, payload)
 		c.recvBuf[start] = recvChunk{data: buf, fin: seg.flags&flagFIN != 0}
+		if ok {
+			bufpool.Put(prev.data)
+		}
 	}
 	c.advanceReceive()
 	c.sendFlags(flagACK)
@@ -597,6 +615,7 @@ func (c *Conn) advanceReceive() {
 						c.dataFn(data)
 					}
 				}
+				bufpool.Put(chunk.data)
 				if chunk.fin {
 					c.rcvNxt++ // consume the FIN offset
 					c.peerEOF = true
@@ -605,6 +624,7 @@ func (c *Conn) advanceReceive() {
 				break
 			}
 			delete(c.recvBuf, start) // stale duplicate
+			bufpool.Put(chunk.data)
 			advanced = true
 			break
 		}

@@ -8,6 +8,7 @@ package tcpsim
 
 import (
 	"errors"
+	"sync"
 	"time"
 )
 
@@ -79,11 +80,26 @@ const (
 
 // segment is the on-wire TCP message. Seq/Ack are 64-bit logical stream
 // offsets (no wraparound modeling). A FIN consumes one offset.
+//
+// Segments are pooled: each is sent exactly once (retransmissions build
+// fresh segments), receivers copy the payload during delivery, and the
+// network recycles the segment via Release after the handler returns.
 type segment struct {
 	flags   segFlags
 	seq     uint64
 	ack     uint64
 	payload []byte
+}
+
+var segPool = sync.Pool{New: func() any { return new(segment) }}
+
+func newSegment() *segment { return segPool.Get().(*segment) }
+
+// Release implements simnet.Releasable. The payload slice aliases the
+// sender's buffer and is only dereferenced, never recycled, here.
+func (s *segment) Release() {
+	*s = segment{}
+	segPool.Put(s)
 }
 
 func (s *segment) wireSize() int { return headerSize + len(s.payload) }

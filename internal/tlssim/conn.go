@@ -3,6 +3,7 @@ package tlssim
 import (
 	"time"
 
+	"h3cdn/internal/bufpool"
 	"h3cdn/internal/bytestream"
 	"h3cdn/internal/simnet"
 )
@@ -214,9 +215,20 @@ func (c *Conn) writeRecords(p []byte) {
 		if n > maxRecord {
 			n = maxRecord
 		}
-		chunk := make([]byte, n+recordTag)
-		copy(chunk, p[:n])
-		c.transport.Write(encodeRecord(recAppData, chunk))
+		// Build the record in a pooled buffer: the transport copies on
+		// Write, so the buffer can be recycled immediately. The trailing
+		// tag bytes carry arbitrary contents — they stand in for an
+		// AEAD tag and are stripped unread by the receiver.
+		plen := n + recordTag
+		rec := bufpool.Get(recordHeader + plen)
+		rec[0] = byte(recAppData)
+		rec[1] = byte(plen >> 16)
+		rec[2] = byte(plen >> 8)
+		rec[3] = byte(plen)
+		rec[4] = 0
+		copy(rec[recordHeader:], p[:n])
+		c.transport.Write(rec)
+		bufpool.Put(rec)
 		p = p[n:]
 	}
 }
@@ -315,11 +327,14 @@ func (c *Conn) handleRecord(rt recordType, payload []byte) {
 		}
 		plain := payload[:len(payload)-recordTag]
 		if len(plain) > 0 {
-			buf := make([]byte, len(plain))
-			copy(buf, plain)
 			if c.dataFn != nil {
-				c.dataFn(buf)
+				// plain aliases recvAcc, which is only appended to
+				// between records — valid for the duration of the
+				// callback, which copies what it keeps.
+				c.dataFn(plain)
 			} else {
+				buf := make([]byte, len(plain))
+				copy(buf, plain)
 				c.pendingIn = append(c.pendingIn, buf)
 			}
 		}
