@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check vet race bench bench-alloc fmt
+.PHONY: all build test check vet race bench bench-alloc benchgate fmt
 
 all: check
 
@@ -20,8 +20,9 @@ vet:
 race:
 	$(GO) test -race -timeout 40m ./...
 
-# The repo's gate: static checks plus the race-enabled suite.
-check: vet race
+# The repo's gate: static checks, the race-enabled suite, and the
+# benchmark regression gate.
+check: vet race benchgate
 
 # Analysis/figure regeneration benchmarks (shares one campaign per run).
 bench:
@@ -31,6 +32,12 @@ bench:
 # BENCH_baseline.json.
 bench-alloc:
 	$(GO) test -run '^$$' -bench 'SchedulerEventDispatch|SchedulerTimerReset|RunVisitAllocs' -benchtime 2s .
+
+# Benchmark regression gate: reruns the recorded benchmarks and fails on
+# regression vs the 'current' column of BENCH_baseline.json (allocs/op
+# exactly; ns/op and B/op within a tolerance band).
+benchgate:
+	$(GO) run ./cmd/benchgate
 
 fmt:
 	gofmt -l -w .

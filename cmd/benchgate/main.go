@@ -1,0 +1,152 @@
+// Command benchgate is the repository's benchmark regression gate: it
+// runs the recorded hot-path benchmarks and compares them against the
+// `current` column of BENCH_baseline.json.
+//
+// Two kinds of gate apply:
+//
+//   - allocs/op is near-exact: a 2% band absorbs pool/GC timing jitter
+//     on campaign-sized benchmarks, while a zero baseline stays exact
+//     (0 x 1.02 = 0). This is what keeps the scheduler dispatch and
+//     timer-reset paths pinned at zero allocations.
+//   - ns/op (and B/op) carry a tolerance band (-tolerance, default
+//     0.40): wall-time on shared CI-class machines is noisy — identical
+//     code has measured ±20% run-to-run on the 1-core reference
+//     container — so only regressions beyond the band fail.
+//
+// Usage:
+//
+//	benchgate [-baseline BENCH_baseline.json] [-tolerance 0.40] [-benchtime 2s]
+//
+// Exit status 0 when every recorded benchmark is within its gate,
+// 1 otherwise. Stdlib-only by design: it must run anywhere `go test`
+// does.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+type metrics struct {
+	NsOp     float64 `json:"ns_op"`
+	BOp      float64 `json:"b_op"`
+	AllocsOp float64 `json:"allocs_op"`
+}
+
+type baselineEntry struct {
+	Current *metrics `json:"current"`
+}
+
+type baselineFile struct {
+	Benchmarks map[string]baselineEntry `json:"benchmarks"`
+}
+
+// benchLine matches one `go test -bench` result row, e.g.
+// BenchmarkSchedulerEventDispatch-4  84821144  14.12 ns/op  0 B/op  0 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		baseline  = flag.String("baseline", "BENCH_baseline.json", "baseline file")
+		tolerance = flag.Float64("tolerance", 0.40, "relative ns/op regression band")
+		benchtime = flag.String("benchtime", "2s", "go test -benchtime value")
+	)
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		return 1
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: parsing %s: %v\n", *baseline, err)
+		return 1
+	}
+
+	// Gate every baseline entry that is a Go benchmark with a recorded
+	// `current` column (other entries, like campaign wall-clock notes,
+	// are informational).
+	var names []string
+	for name, e := range base.Benchmarks {
+		if strings.HasPrefix(name, "Benchmark") && e.Current != nil {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: no gated benchmarks in %s\n", *baseline)
+		return 1
+	}
+
+	pattern := "^(" + strings.Join(names, "|") + ")$"
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", pattern,
+		"-benchtime", *benchtime, "-count", "1", ".")
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: go test: %v\n%s", err, out)
+		return 1
+	}
+
+	measured := make(map[string]metrics)
+	for _, line := range strings.Split(string(out), "\n") {
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, _ := strconv.ParseFloat(m[2], 64)
+		b, _ := strconv.ParseFloat(m[3], 64)
+		allocs, _ := strconv.ParseFloat(m[4], 64)
+		measured[m[1]] = metrics{NsOp: ns, BOp: b, AllocsOp: allocs}
+	}
+
+	failed := false
+	for _, name := range names {
+		want := *base.Benchmarks[name].Current
+		got, ok := measured[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL %s: benchmark did not run\n", name)
+			failed = true
+			continue
+		}
+		status := "ok  "
+		var reasons []string
+		if got.AllocsOp > want.AllocsOp*1.02 {
+			reasons = append(reasons, fmt.Sprintf("allocs/op %.0f > %.0f +2%%", got.AllocsOp, want.AllocsOp))
+		}
+		if got.BOp > want.BOp*(1+*tolerance) {
+			reasons = append(reasons, fmt.Sprintf("B/op %.0f > %.0f +%.0f%%", got.BOp, want.BOp, *tolerance*100))
+		}
+		if got.NsOp > want.NsOp*(1+*tolerance) {
+			reasons = append(reasons, fmt.Sprintf("ns/op %.2f > %.2f +%.0f%%", got.NsOp, want.NsOp, *tolerance*100))
+		}
+		if len(reasons) > 0 {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("benchgate: %s %-34s %12.2f ns/op (base %.2f)  %8.0f B/op (base %.0f)  %5.0f allocs/op (base %.0f)\n",
+			status, name, got.NsOp, want.NsOp, got.BOp, want.BOp, got.AllocsOp, want.AllocsOp)
+		for _, r := range reasons {
+			fmt.Printf("benchgate:      %s: %s\n", name, r)
+		}
+		if got.NsOp < want.NsOp*(1-*tolerance) {
+			fmt.Printf("benchgate:      %s: ns/op improved beyond the band — consider refreshing %s\n", name, *baseline)
+		}
+	}
+	if failed {
+		fmt.Println("benchgate: FAIL")
+		return 1
+	}
+	fmt.Println("benchgate: PASS")
+	return 0
+}

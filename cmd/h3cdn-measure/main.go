@@ -91,7 +91,10 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "h3cdn-measure: %v\n", err)
 		return 1
 	}
-	fmt.Fprintf(os.Stderr, "h3cdn-measure: done in %v\n", time.Since(start).Round(time.Second))
+	elapsed := time.Since(start)
+	fmt.Fprintf(os.Stderr, "h3cdn-measure: done in %v\n", elapsed.Round(time.Second))
+	fmt.Fprintf(os.Stderr, "h3cdn-measure: %d events executed (%.0f events/sec)\n",
+		ds.Stats.Events, float64(ds.Stats.Events)/elapsed.Seconds())
 
 	if memf != nil {
 		runtime.GC()

@@ -1,67 +1,98 @@
 package cdn
 
-import "container/list"
-
-// LRUCache is a bounded least-recently-used cache keyed by string. It
-// models a CDN edge's content cache: hits answer locally, misses trigger
-// an origin fetch.
-type LRUCache struct {
-	capacity int
-	order    *list.List // front = most recent
-	items    map[string]*list.Element
+// LRUCache is a bounded least-recently-used cache over any comparable
+// key. It models a CDN edge's content cache: hits answer locally, misses
+// trigger an origin fetch. Entries form an intrusive doubly-linked
+// recency list (front = most recent), so membership tests and recency
+// refreshes allocate nothing; keying by a struct lets callers avoid
+// building concatenated string keys on the per-request path.
+type LRUCache[K comparable] struct {
+	capacity    int
+	items       map[K]*lruNode[K]
+	front, back *lruNode[K]
 
 	hits, misses int64
 }
 
-type lruEntry struct {
-	key string
+type lruNode[K comparable] struct {
+	key        K
+	prev, next *lruNode[K]
 }
 
 // NewLRUCache returns a cache bounded to capacity entries (min 1).
-func NewLRUCache(capacity int) *LRUCache {
+func NewLRUCache[K comparable](capacity int) *LRUCache[K] {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &LRUCache{
+	return &LRUCache[K]{
 		capacity: capacity,
-		order:    list.New(),
-		items:    make(map[string]*list.Element, capacity),
+		items:    make(map[K]*lruNode[K], capacity),
 	}
 }
 
+func (c *LRUCache[K]) moveToFront(n *lruNode[K]) {
+	if c.front == n {
+		return
+	}
+	// Unlink (n is in the list and is not front, so n.prev != nil).
+	n.prev.next = n.next
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.back = n.prev
+	}
+	// Relink at front.
+	n.prev = nil
+	n.next = c.front
+	c.front.prev = n
+	c.front = n
+}
+
 // Contains checks membership and refreshes recency on hit.
-func (c *LRUCache) Contains(key string) bool {
-	el, ok := c.items[key]
+func (c *LRUCache[K]) Contains(key K) bool {
+	n, ok := c.items[key]
 	if !ok {
 		c.misses++
 		return false
 	}
-	c.order.MoveToFront(el)
+	c.moveToFront(n)
 	c.hits++
 	return true
 }
 
 // Add inserts key, evicting the least recently used entry if full.
-func (c *LRUCache) Add(key string) {
-	if el, ok := c.items[key]; ok {
-		c.order.MoveToFront(el)
+func (c *LRUCache[K]) Add(key K) {
+	if n, ok := c.items[key]; ok {
+		c.moveToFront(n)
 		return
 	}
-	if c.order.Len() >= c.capacity {
-		back := c.order.Back()
-		if back != nil {
-			c.order.Remove(back)
-			delete(c.items, back.Value.(*lruEntry).key)
+	n := &lruNode[K]{key: key}
+	if len(c.items) >= c.capacity && c.back != nil {
+		evict := c.back
+		c.back = evict.prev
+		if c.back != nil {
+			c.back.next = nil
+		} else {
+			c.front = nil
 		}
+		delete(c.items, evict.key)
 	}
-	c.items[key] = c.order.PushFront(&lruEntry{key: key})
+	n.next = c.front
+	if c.front != nil {
+		c.front.prev = n
+	}
+	c.front = n
+	if c.back == nil {
+		c.back = n
+	}
+	c.items[key] = n
 }
 
 // Len reports the number of cached entries.
-func (c *LRUCache) Len() int { return c.order.Len() }
+func (c *LRUCache[K]) Len() int { return len(c.items) }
 
 // HitRate reports hits/(hits+misses) since creation (0 when unused).
-func (c *LRUCache) HitRate() float64 {
+func (c *LRUCache[K]) HitRate() float64 {
 	total := c.hits + c.misses
 	if total == 0 {
 		return 0

@@ -72,7 +72,7 @@ func TestProviderByName(t *testing.T) {
 }
 
 func TestLRUCache(t *testing.T) {
-	c := NewLRUCache(2)
+	c := NewLRUCache[string](2)
 	if c.Contains("a") {
 		t.Fatal("empty cache hit")
 	}
@@ -97,7 +97,7 @@ func TestLRUCache(t *testing.T) {
 }
 
 func TestLRUCacheRecencyUpdate(t *testing.T) {
-	c := NewLRUCache(2)
+	c := NewLRUCache[string](2)
 	c.Add("a")
 	c.Add("b")
 	c.Contains("a") // refresh a
@@ -108,7 +108,7 @@ func TestLRUCacheRecencyUpdate(t *testing.T) {
 }
 
 func TestLRUCapacityFloor(t *testing.T) {
-	c := NewLRUCache(0)
+	c := NewLRUCache[string](0)
 	c.Add("x")
 	if c.Len() != 1 {
 		t.Fatal("capacity floor broken")

@@ -56,11 +56,17 @@ func (c EdgeConfig) withDefaults() EdgeConfig {
 	return c
 }
 
+// resourceKey identifies a cached resource without concatenating the
+// host and path strings on every request.
+type resourceKey struct {
+	host, path string
+}
+
 // Edge is a CDN edge server's request-handling state (cache plus
 // counters). One Edge backs one simnet host via httpsim.StartServer.
 type Edge struct {
 	cfg   EdgeConfig
-	cache *LRUCache
+	cache *LRUCache[resourceKey]
 
 	requests int64
 	h3Reqs   int64
@@ -69,7 +75,7 @@ type Edge struct {
 // NewEdge creates the edge state and returns it with its handler.
 func NewEdge(cfg EdgeConfig) *Edge {
 	cfg = cfg.withDefaults()
-	return &Edge{cfg: cfg, cache: NewLRUCache(cfg.CacheCapacity)}
+	return &Edge{cfg: cfg, cache: NewLRUCache[resourceKey](cfg.CacheCapacity)}
 }
 
 // Requests reports the number of requests served.
@@ -96,7 +102,7 @@ func (e *Edge) Handler() httpsim.Handler {
 			})
 			return
 		}
-		key := ctx.Req.Host + ctx.Req.Path
+		key := resourceKey{ctx.Req.Host, ctx.Req.Path}
 		hit := e.cache.Contains(key)
 		wait := e.cfg.HitWait
 		if !hit {

@@ -85,6 +85,18 @@ type Dataset struct {
 	Consecutive bool
 	Corpus      *webgen.Corpus
 	Logs        map[browser.Mode]*har.Log
+	// Stats carries campaign execution counters. It is not part of the
+	// serialized dataset (fixed-seed datasets stay byte-identical across
+	// engine changes) and is zero on loaded datasets.
+	Stats CampaignStats `json:"-"`
+}
+
+// CampaignStats aggregates execution counters across a campaign's
+// shards.
+type CampaignStats struct {
+	// Events is the total scheduler events executed (warm + measured
+	// passes) — the simulator's unit of work.
+	Events int64
 }
 
 // defaultPagesPerShard is the page-range granularity of one shard when
@@ -165,9 +177,10 @@ func RunCampaign(cfg CampaignConfig) (*Dataset, error) {
 
 	jobs := shardCampaign(cfg, corpus)
 	results := make([][]har.PageLog, len(jobs))
+	events := make([]int64, len(jobs))
 	errs := make([]error, len(jobs))
 	run := func(i int) {
-		results[i], errs[i] = runShard(cfg, corpus, jobs[i])
+		results[i], events[i], errs[i] = runShard(cfg, corpus, jobs[i])
 	}
 	if cfg.Sequential {
 		for i := range jobs {
@@ -217,6 +230,9 @@ func RunCampaign(cfg CampaignConfig) (*Dataset, error) {
 	for i, job := range jobs {
 		ds.Logs[job.mode].Pages = append(ds.Logs[job.mode].Pages, results[i]...)
 	}
+	for _, n := range events {
+		ds.Stats.Events += n
+	}
 	return ds, nil
 }
 
@@ -226,7 +242,8 @@ func RunCampaign(cfg CampaignConfig) (*Dataset, error) {
 // records HAR logs. The shard sees a sub-corpus view — only its page
 // range, with the full corpus's hostname maps — so each shard builds only
 // the origins it visits.
-func runShard(cfg CampaignConfig, corpus *webgen.Corpus, job shardJob) ([]har.PageLog, error) {
+// It also returns the number of scheduler events the shard executed.
+func runShard(cfg CampaignConfig, corpus *webgen.Corpus, job shardJob) ([]har.PageLog, int64, error) {
 	view := corpus
 	if job.lo != 0 || job.hi != len(corpus.Pages) {
 		view = &webgen.Corpus{
@@ -246,7 +263,7 @@ func runShard(cfg CampaignConfig, corpus *webgen.Corpus, job shardJob) ([]har.Pa
 		MaxEvents:      cfg.MaxEvents,
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 
 	// Chrome-realistic resumption: QUIC 0-RTT on, TLS 1.3 early data
@@ -263,7 +280,7 @@ func runShard(cfg CampaignConfig, corpus *webgen.Corpus, job shardJob) ([]har.Pa
 	// Warm pass (discarded): fills edge caches, as in §III-B.
 	for i := range view.Pages {
 		if _, err := u.RunVisit(b, &view.Pages[i]); err != nil {
-			return nil, fmt.Errorf("warm visit: %w", err)
+			return nil, u.Events(), fmt.Errorf("warm visit: %w", err)
 		}
 		b.ClearSessions()
 	}
@@ -273,7 +290,7 @@ func runShard(cfg CampaignConfig, corpus *webgen.Corpus, job shardJob) ([]har.Pa
 	for i := range view.Pages {
 		log, err := u.RunVisit(b, &view.Pages[i])
 		if err != nil {
-			return nil, fmt.Errorf("measured visit: %w", err)
+			return nil, u.Events(), fmt.Errorf("measured visit: %w", err)
 		}
 		log.Probe = probeName
 		logs = append(logs, *log)
@@ -281,5 +298,5 @@ func runShard(cfg CampaignConfig, corpus *webgen.Corpus, job shardJob) ([]har.Pa
 			b.ClearSessions()
 		}
 	}
-	return logs, nil
+	return logs, u.Events(), nil
 }

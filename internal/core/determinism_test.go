@@ -1,0 +1,65 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"h3cdn/internal/vantage"
+	"h3cdn/internal/webgen"
+)
+
+// goldenDatasetSHA256 pins the exact bytes of the bench-scale campaign
+// dataset (seed 2022, 64 pages, three vantages, one probe each). Any
+// engine change that perturbs event ordering — scheduler internals,
+// timer semantics, delivery scheduling — changes this hash. It was
+// recorded before the 4-ary heap + per-path queue rewrite and must
+// never drift: heap layout is an implementation detail, the (at, seq)
+// dispatch order is the contract.
+const goldenDatasetSHA256 = "3f7382241f28cf0cc6515dae8c1580281f7d2fb1f31b41458acc7e34ef95771c"
+
+// TestCampaignGoldenDataset runs the pinned campaign sequentially and at
+// two worker counts, asserting every run is byte-identical to the
+// recorded golden hash.
+func TestCampaignGoldenDataset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench-scale campaign (~30s); skipped with -short")
+	}
+	variants := []struct {
+		name string
+		mut  func(*CampaignConfig)
+	}{
+		{"Sequential", func(c *CampaignConfig) { c.Sequential = true }},
+		{"Workers1", func(c *CampaignConfig) { c.Workers = 1 }},
+		{"Workers4", func(c *CampaignConfig) { c.Workers = 4 }},
+	}
+	var events int64
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			cfg := CampaignConfig{
+				Seed:             2022,
+				CorpusConfig:     webgen.Config{NumPages: 64},
+				Vantages:         vantage.Points(),
+				ProbesPerVantage: 1,
+			}
+			v.mut(&cfg)
+			ds, err := RunCampaign(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum := sha256.Sum256(harJSON(t, ds))
+			if got := hex.EncodeToString(sum[:]); got != goldenDatasetSHA256 {
+				t.Fatalf("dataset hash %s, want golden %s", got, goldenDatasetSHA256)
+			}
+			// The event count is part of the deterministic trace too.
+			if ds.Stats.Events <= 0 {
+				t.Fatalf("Stats.Events = %d, want > 0", ds.Stats.Events)
+			}
+			if events == 0 {
+				events = ds.Stats.Events
+			} else if ds.Stats.Events != events {
+				t.Fatalf("Stats.Events = %d, want %d (independent of workers)", ds.Stats.Events, events)
+			}
+		})
+	}
+}

@@ -78,6 +78,7 @@ type Universe struct {
 	edges    map[string]*cdn.Edge // by provider name
 	servers  []*httpsim.Server
 	resolver browser.Resolver
+	events   int64 // scheduler events executed across RunVisit calls
 }
 
 type nodeClass struct {
@@ -93,17 +94,20 @@ func NewUniverse(cfg UniverseConfig) (*Universe, error) {
 	}
 	src := seqrand.New(cfg.Seed).Sub("universe", cfg.Vantage.Name)
 
-	// Content catalog: (host, path) → size.
-	content := make(map[string]int)
+	// Content catalog: (host, path) → size. Keyed by struct, not by
+	// host+path concatenation: the lookup runs once per simulated
+	// request, and a struct key hashes both strings without allocating.
+	type contentKey struct{ host, path string }
+	content := make(map[contentKey]int)
 	for i := range cfg.Corpus.Pages {
 		p := &cfg.Corpus.Pages[i]
 		for j := range p.Resources {
 			r := &p.Resources[j]
-			content[r.Host+r.Path] = r.Size
+			content[contentKey{r.Host, r.Path}] = r.Size
 		}
 	}
 	contentFn := func(host, path string) (int, bool) {
-		n, ok := content[host+path]
+		n, ok := content[contentKey{host, path}]
 		return n, ok
 	}
 
@@ -245,6 +249,11 @@ func (u *Universe) Resolver() browser.Resolver { return u.resolver }
 // Edge returns the edge state for a provider (nil if unknown).
 func (u *Universe) Edge(provider string) *cdn.Edge { return u.edges[provider] }
 
+// Events reports the total scheduler events executed by RunVisit calls
+// on this universe — the simulator's unit of work, cheap to aggregate
+// into a campaign-level events/sec throughput readout.
+func (u *Universe) Events() int64 { return u.events }
+
 // Close shuts down all servers.
 func (u *Universe) Close() {
 	for _, s := range u.servers {
@@ -265,7 +274,9 @@ func (u *Universe) RunVisit(b *browser.Browser, page *webgen.Page) (*har.PageLog
 		result = l
 		b.CloseAll()
 	})
-	if _, err := u.Sched.Run(); err != nil {
+	n, err := u.Sched.Run()
+	u.events += int64(n)
+	if err != nil {
 		return nil, fmt.Errorf("core: visit %s: %w", page.Site, err)
 	}
 	if result == nil {

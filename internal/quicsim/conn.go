@@ -1,7 +1,6 @@
 package quicsim
 
 import (
-	"sort"
 	"time"
 
 	"h3cdn/internal/simnet"
@@ -78,8 +77,13 @@ type Conn struct {
 	nextStreamID uint64
 	streamFn     func(*Stream)
 
-	nextPN        uint64
-	sent          map[uint64]*sentPacket
+	nextPN uint64
+	// sent holds in-flight ack-eliciting packets ordered by pn (packet
+	// numbers are assigned monotonically and appended in send order).
+	// The order makes ACK processing and packet-threshold loss
+	// detection single ordered passes — no map iteration, no sort — and
+	// keeps float arithmetic reproducible by construction.
+	sent          []*sentPacket
 	bytesInFlight int
 	cwnd          float64
 	ssthresh      float64
@@ -157,7 +161,6 @@ func newConn(host *simnet.Host, cfg Config) *Conn {
 		cfg:     cfg,
 		state:   stateHandshaking,
 		streams: make(map[uint64]*Stream),
-		sent:    make(map[uint64]*sentPacket),
 		cwnd:    float64(cfg.InitCwndPkts * maxPacketPayload),
 	}
 	c.ssthresh = float64(cfg.MaxCwndPkts * maxPacketPayload)
@@ -444,7 +447,7 @@ func (c *Conn) sendPacket(p *packet) {
 		ackEliciting: p.isAckEliciting(),
 	}
 	if sp.ackEliciting {
-		c.sent[p.pn] = sp
+		c.sent = append(c.sent, sp)
 		c.bytesInFlight += sp.size
 		c.armPTO()
 	}
@@ -492,21 +495,15 @@ func (c *Conn) onPTO() {
 	c.stats.PTOs++
 	// Probe: retransmit the oldest unacked ack-eliciting packet's
 	// frames in a fresh packet, bypassing the congestion window.
-	var oldest *sentPacket
-	for _, sp := range c.sent {
-		if oldest == nil || sp.pn < oldest.pn {
-			oldest = sp
-		}
-	}
-	if oldest != nil {
-		frames := retransmittable(oldest.frames)
+	if len(c.sent) > 0 {
+		frames := retransmittable(c.sent[0].frames)
 		if len(frames) > 0 {
 			p := newPacket()
 			p.pn = c.nextPN
 			p.frames = frames
 			c.nextPN++
 			sp := &sentPacket{pn: p.pn, frames: p.frames, size: p.wireSize(), sentAt: c.sched.Now(), ackEliciting: true}
-			c.sent[p.pn] = sp
+			c.sent = append(c.sent, sp)
 			c.bytesInFlight += sp.size
 			c.transmit(p)
 		}
@@ -542,24 +539,18 @@ func (c *Conn) handleAck(f *ackFrame) {
 		return false
 	}
 
-	var newlyAcked []*sentPacket
+	// c.sent is ordered by pn, so a single in-place partition pass
+	// processes newly acked packets in pn order — the order the old
+	// map+sort implementation produced — without collecting, sorting,
+	// or iterating a map.
 	var largest *sentPacket
-	for pn, sp := range c.sent {
-		if covered(pn) {
-			newlyAcked = append(newlyAcked, sp)
-			if largest == nil || pn > largest.pn {
-				largest = sp
-			}
+	keep := c.sent[:0]
+	for _, sp := range c.sent {
+		if !covered(sp.pn) {
+			keep = append(keep, sp)
+			continue
 		}
-	}
-	if len(newlyAcked) == 0 {
-		return
-	}
-	// Map iteration order is random; sort so float arithmetic and
-	// retransmission order are reproducible across runs.
-	sort.Slice(newlyAcked, func(i, j int) bool { return newlyAcked[i].pn < newlyAcked[j].pn })
-	for _, sp := range newlyAcked {
-		delete(c.sent, sp.pn)
+		largest = sp // pn increases along the slice: last covered = max
 		c.bytesInFlight -= sp.size
 		// Congestion window growth per acked bytes.
 		if c.cwnd < c.ssthresh {
@@ -568,23 +559,27 @@ func (c *Conn) handleAck(f *ackFrame) {
 			c.cwnd += maxPacketPayload * float64(sp.size) / c.cwnd
 		}
 	}
+	if largest == nil {
+		return
+	}
+	for i := len(keep); i < len(c.sent); i++ {
+		c.sent[i] = nil
+	}
+	c.sent = keep
 	if max := float64(c.cfg.MaxCwndPkts * maxPacketPayload); c.cwnd > max {
 		c.cwnd = max
 	}
 	c.rttSample(c.sched.Now() - largest.sentAt)
 	c.ptoCount = 0
 
-	// Packet-threshold loss detection.
+	// Packet-threshold loss detection: pn+threshold is increasing along
+	// the ordered slice, so lost packets form a prefix.
 	largestAcked := largest.pn
-	var lost []*sentPacket
-	for pn, sp := range c.sent {
-		if pn+c.cfg.ReorderThreshold <= largestAcked {
-			lost = append(lost, sp)
-		}
+	lost := 0
+	for lost < len(c.sent) && c.sent[lost].pn+c.cfg.ReorderThreshold <= largestAcked {
+		lost++
 	}
-	sort.Slice(lost, func(i, j int) bool { return lost[i].pn < lost[j].pn })
-	for _, sp := range lost {
-		delete(c.sent, sp.pn)
+	for _, sp := range c.sent[:lost] {
 		c.bytesInFlight -= sp.size
 		c.stats.PacketsDeclaredLost++
 		c.sendQ = append(c.sendQ, retransmittable(sp.frames)...)
@@ -597,6 +592,13 @@ func (c *Conn) handleAck(f *ackFrame) {
 			c.cwnd = c.ssthresh
 			c.recoveryStart = c.nextPN
 		}
+	}
+	if lost > 0 {
+		n := copy(c.sent, c.sent[lost:])
+		for i := n; i < len(c.sent); i++ {
+			c.sent[i] = nil
+		}
+		c.sent = c.sent[:n]
 	}
 
 	c.armPTO()

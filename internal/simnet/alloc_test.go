@@ -58,7 +58,7 @@ func TestEventFreeList(t *testing.T) {
 func TestCanceledEventsRecycled(t *testing.T) {
 	var s Scheduler
 	ev := s.After(time.Millisecond, func() {})
-	ev.canceled = true
+	s.cancelEvent(ev)
 	s.After(2*time.Millisecond, func() {})
 	if _, err := s.Run(); err != nil {
 		t.Fatal(err)
@@ -68,10 +68,10 @@ func TestCanceledEventsRecycled(t *testing.T) {
 	}
 
 	ev = s.After(time.Millisecond, func() {})
-	ev.canceled = true
+	s.cancelEvent(ev)
 	s.RunUntil(5 * time.Millisecond)
-	if s.events.Len() != 0 {
-		t.Fatalf("%d events still queued after RunUntil", s.events.Len())
+	if len(s.heap) != 0 {
+		t.Fatalf("%d events still queued after RunUntil", len(s.heap))
 	}
 }
 

@@ -1,0 +1,300 @@
+package simnet
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// --- reference model: container/heap over (at, seq), the seed
+// implementation this package's monomorphic 4-ary heap replaced. The
+// cross-check below drives the scheduler and the model with the same
+// operation sequence and asserts identical dispatch order, including
+// same-time FIFO ties and cancel/reschedule interleavings.
+
+type refItem struct {
+	at       time.Duration
+	seq      uint64
+	id       int
+	canceled bool
+}
+
+type refHeap []*refItem
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int)        { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)          { *h = append(*h, x.(*refItem)) }
+func (h *refHeap) Pop() any            { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+func (h *refHeap) popMin() *refItem    { return heap.Pop(h).(*refItem) }
+func (h *refHeap) pushItem(i *refItem) { heap.Push(h, i) }
+
+// refModel mirrors the scheduler's semantics: seq assigned at
+// push/reschedule time, times clamped to now, canceled items skipped at
+// dispatch.
+type refModel struct {
+	h   refHeap
+	now time.Duration
+	seq uint64
+}
+
+func (m *refModel) push(t time.Duration, id int) *refItem {
+	if t < m.now {
+		t = m.now
+	}
+	it := &refItem{at: t, seq: m.seq, id: id}
+	m.seq++
+	m.h.pushItem(it)
+	return it
+}
+
+func (m *refModel) reschedule(it *refItem, t time.Duration) {
+	if t < m.now {
+		t = m.now
+	}
+	it.at = t
+	it.seq = m.seq
+	m.seq++
+	heap.Init(&m.h) // lazy but correct: rebuild order
+}
+
+// step dispatches the next live item, returning its id (-1 when empty).
+func (m *refModel) step() int {
+	for m.h.Len() > 0 {
+		it := m.h.popMin()
+		if it.canceled {
+			continue
+		}
+		m.now = it.at
+		return it.id
+	}
+	return -1
+}
+
+// TestHeapCrossCheck drives the scheduler and the reference model with
+// an identical randomized sequence of push / queue-enqueue / cancel /
+// reschedule / dispatch operations and asserts the dispatch orders are
+// identical. Times are drawn on a coarse grid so same-time FIFO
+// tie-breaks are exercised constantly.
+func TestHeapCrossCheck(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var s Scheduler
+		var m refModel
+
+		const queues = 3
+		qs := make([]*EventQueue, queues)
+		qLast := make([]time.Duration, queues)
+		for i := range qs {
+			qs[i] = &EventQueue{}
+		}
+
+		type handle struct {
+			ev *event
+			it *refItem
+			// queued events must not be rescheduled (contract of
+			// Scheduler.reschedule); track eligibility.
+			standalone bool
+		}
+		live := map[int]*handle{}
+		nextID := 0
+		var got, want []int
+		fire := func(id int) func() {
+			return func() {
+				got = append(got, id)
+				delete(live, id)
+			}
+		}
+
+		grid := func() time.Duration {
+			// Coarse grid around now: heavy tie traffic plus occasional
+			// past times (exercising the clamp).
+			return s.Now() + time.Duration(rng.Intn(8)-1)*time.Millisecond
+		}
+
+		for op := 0; op < 4000; op++ {
+			switch r := rng.Intn(10); {
+			case r < 3: // standalone push
+				id := nextID
+				nextID++
+				at := grid()
+				ev := s.At(at, fire(id))
+				it := m.push(at, id)
+				live[id] = &handle{ev: ev, it: it, standalone: true}
+			case r < 6: // queue enqueue, mostly monotone, sometimes not
+				qi := rng.Intn(queues)
+				at := qLast[qi] + time.Duration(rng.Intn(3))*time.Millisecond
+				if rng.Intn(10) == 0 {
+					at = grid() // may violate monotonicity: fallback path
+				}
+				if at > qLast[qi] {
+					qLast[qi] = at
+				}
+				id := nextID
+				nextID++
+				cb := fire(id)
+				ev := s.QueueAtArg(qs[qi], at, func(any) { cb() }, nil)
+				it := m.push(at, id)
+				live[id] = &handle{ev: ev, it: it}
+			case r < 7: // cancel a random live event
+				for id, h := range live {
+					s.cancelEvent(h.ev)
+					h.it.canceled = true
+					delete(live, id)
+					break
+				}
+			case r < 8: // reschedule a random standalone live event
+				for _, h := range live {
+					if !h.standalone {
+						continue
+					}
+					at := grid()
+					s.reschedule(h.ev, at)
+					m.reschedule(h.it, at)
+					break
+				}
+			default: // dispatch one event
+				ran := s.Step()
+				id := m.step()
+				if ran != (id >= 0) {
+					t.Fatalf("seed %d op %d: Step=%v but model id=%d", seed, op, ran, id)
+				}
+				if id >= 0 {
+					want = append(want, id)
+				}
+			}
+			if s.Pending() != len(live) {
+				t.Fatalf("seed %d op %d: Pending=%d, want %d live", seed, op, s.Pending(), len(live))
+			}
+		}
+		// Drain both.
+		for s.Step() {
+		}
+		for id := m.step(); id >= 0; id = m.step() {
+			want = append(want, id)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: dispatched %d events, model %d", seed, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: dispatch order diverges at %d: got %d, want %d", seed, i, got[i], want[i])
+			}
+		}
+		if s.Pending() != 0 {
+			t.Fatalf("seed %d: Pending=%d after drain", seed, s.Pending())
+		}
+		if s.Now() != m.now {
+			t.Fatalf("seed %d: clock %v, model %v", seed, s.Now(), m.now)
+		}
+	}
+}
+
+// TestEventQueueCoalescing asserts the structural claim behind the
+// per-path delivery queues: N monotone enqueues on one queue occupy a
+// single heap slot, yet dispatch in exact (at, seq) order against
+// standalone events.
+func TestEventQueueCoalescing(t *testing.T) {
+	var s Scheduler
+	q := &EventQueue{}
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		s.QueueAtArg(q, time.Duration(i)*time.Millisecond, func(any) { got = append(got, i) }, nil)
+	}
+	if len(s.heap) != 1 {
+		t.Fatalf("heap holds %d entries for 100 queued events, want 1", len(s.heap))
+	}
+	if s.Pending() != 100 {
+		t.Fatalf("Pending=%d, want 100", s.Pending())
+	}
+	// A standalone event between queue entries must interleave exactly.
+	s.At(50*time.Millisecond+time.Microsecond, func() { got = append(got, -1) })
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 101 {
+		t.Fatalf("ran %d events, want 101", len(got))
+	}
+	for i := 0; i <= 50; i++ {
+		if got[i] != i {
+			t.Fatalf("got[%d]=%d, want %d", i, got[i], i)
+		}
+	}
+	if got[51] != -1 {
+		t.Fatalf("standalone event ran at position %v, want 51", got[51])
+	}
+	for i := 52; i < 101; i++ {
+		if got[i] != i-1 {
+			t.Fatalf("got[%d]=%d, want %d", i, got[i], i-1)
+		}
+	}
+}
+
+// TestEventQueueSameTimeFIFO asserts FIFO ordering among same-time
+// events across a queue and standalone scheduling: sequence numbers are
+// assigned at enqueue, so arrival order is preserved.
+func TestEventQueueSameTimeFIFO(t *testing.T) {
+	var s Scheduler
+	q := &EventQueue{}
+	var got []int
+	add := func(i int) func(any) { return func(any) { got = append(got, i) } }
+	s.QueueAtArg(q, time.Millisecond, add(0), nil)
+	s.AtArg(time.Millisecond, add(1), nil)
+	s.QueueAtArg(q, time.Millisecond, add(2), nil)
+	s.AtArg(time.Millisecond, add(3), nil)
+	s.QueueAtArg(q, time.Millisecond, add(4), nil)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time dispatch order %v, want FIFO [0 1 2 3 4]", got)
+		}
+	}
+}
+
+// TestEventQueueAllocationFree asserts queue enqueue+dispatch recycles
+// events like the standalone path.
+func TestEventQueueAllocationFree(t *testing.T) {
+	var s Scheduler
+	q := &EventQueue{}
+	fn := func(any) {}
+	s.QueueAtArg(q, 0, fn, nil)
+	s.Step()
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.QueueAtArg(q, s.Now()+time.Microsecond, fn, nil)
+		s.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("%v allocs per queue enqueue+dispatch, want 0", allocs)
+	}
+}
+
+// TestTimerRescheduleInPlace asserts Reset on an armed timer updates the
+// heap entry instead of churning a cancel tombstone: the heap must not
+// grow with repeated resets.
+func TestTimerRescheduleInPlace(t *testing.T) {
+	var s Scheduler
+	tm := s.NewTimer(func() {})
+	tm.Reset(time.Millisecond)
+	for i := 0; i < 100; i++ {
+		tm.Reset(time.Duration(i+2) * time.Millisecond)
+	}
+	if len(s.heap) != 1 {
+		t.Fatalf("heap holds %d entries after 101 resets of one timer, want 1", len(s.heap))
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending=%d, want 1", s.Pending())
+	}
+	tm.Stop()
+	if s.Pending() != 0 {
+		t.Fatalf("Pending=%d after Stop, want 0", s.Pending())
+	}
+}

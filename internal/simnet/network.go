@@ -75,6 +75,7 @@ type Network struct {
 	path   PathFunc
 	hosts  map[Addr]*Host
 	pairs  map[pairKey]*pathState
+	queues map[queueKey]*pathQueues
 	rng    *seqrand.Source
 	stats  Stats
 	filter func(Packet) bool
@@ -140,6 +141,32 @@ type pathState struct {
 	lossRng   *rand.Rand
 }
 
+// queueKey identifies one directed (src, dst) pair's delivery queues.
+// Unlike pairKey it never collapses onto a shared link: coalescing
+// relies on per-queue nondecreasing times, and on a shared link packets
+// from different sources carry different propagation delays.
+type queueKey struct {
+	src, dst Addr
+}
+
+// pathQueues coalesces one pair's scheduled completions into at most
+// two heap entries (see EventQueue). Arrivals (serialization end +
+// propagation delay) and loss completions (serialization end only)
+// follow different time laws, so each needs its own monotone queue.
+type pathQueues struct {
+	arrive EventQueue
+	drop   EventQueue
+}
+
+func (n *Network) pathQueues(src, dst Addr) *pathQueues {
+	q, ok := n.queues[queueKey{src, dst}]
+	if !ok {
+		q = &pathQueues{}
+		n.queues[queueKey{src, dst}] = q
+	}
+	return q
+}
+
 // NewNetwork creates a network driven by sched with paths from path and
 // loss randomness derived from rng.
 func NewNetwork(sched *Scheduler, path PathFunc, rng *seqrand.Source) *Network {
@@ -147,11 +174,12 @@ func NewNetwork(sched *Scheduler, path PathFunc, rng *seqrand.Source) *Network {
 		path = func(Addr, Addr) PathProps { return PathProps{} }
 	}
 	return &Network{
-		sched: sched,
-		path:  path,
-		hosts: make(map[Addr]*Host),
-		pairs: make(map[pairKey]*pathState),
-		rng:   rng,
+		sched:  sched,
+		path:   path,
+		hosts:  make(map[Addr]*Host),
+		pairs:  make(map[pairKey]*pathState),
+		queues: make(map[queueKey]*pathQueues),
+		rng:    rng,
 	}
 }
 
@@ -234,16 +262,23 @@ func (n *Network) send(pkt Packet) {
 	d.ps = ps
 	d.pkt = pkt
 
+	// Completions coalesce onto per-(src,dst) FIFO queues: successive
+	// sends on one pair serialize in order (busyUntil is monotone) and
+	// share one propagation delay, so each queue's times are
+	// nondecreasing and the whole pair occupies one heap slot instead of
+	// one per packet in flight.
+	q := n.pathQueues(pkt.Src, pkt.Dst)
+
 	// Loss is evaluated per transmission attempt. Dropped packets still
 	// consumed link time (they were serialized onto the wire).
 	if props.LossRate > 0 && ps.lossRng.Float64() < props.LossRate {
 		n.stats.LossDrops++
 		d.drop = true
-		n.sched.AtArg(start+tx, runDelivery, d)
+		n.sched.QueueAtArg(&q.drop, start+tx, runDelivery, d)
 		return
 	}
 
-	n.sched.AtArg(start+tx+props.Delay, runDelivery, d)
+	n.sched.QueueAtArg(&q.arrive, start+tx+props.Delay, runDelivery, d)
 }
 
 func (n *Network) deliver(pkt Packet) {

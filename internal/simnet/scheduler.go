@@ -10,7 +10,6 @@
 package simnet
 
 import (
-	"container/heap"
 	"errors"
 	"time"
 )
@@ -21,12 +20,15 @@ var ErrStopped = errors.New("simnet: scheduler stopped")
 // Scheduler owns the virtual clock and the pending event set.
 // The zero value is ready to use.
 //
-// Executed and canceled events are recycled through an intrusive free
-// list, so steady-state event dispatch performs no heap allocation.
+// The pending set is a monomorphic 4-ary min-heap (see heap.go) plus
+// per-queue FIFOs of coalesced events (EventQueue); executed and
+// canceled events are recycled through an intrusive free list, so
+// steady-state event dispatch performs no heap allocation.
 type Scheduler struct {
 	now     time.Duration
-	events  eventHeap
+	heap    []*event // 4-ary min-heap over (at, seq)
 	seq     uint64
+	live    int // scheduled, non-canceled, not-yet-executed events
 	stopped bool
 
 	free       *event // recycled events, linked through event.next
@@ -51,37 +53,9 @@ type event struct {
 	argFn    func(any)
 	arg      any
 	canceled bool
-	index    int    // heap index, -1 when popped
-	next     *event // free-list link
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+	index    int         // heap index; -1 when popped or FIFO-pending
+	q        *EventQueue // owning queue, nil for standalone events
+	next     *event      // FIFO link while queued; free-list link after
 }
 
 // Now returns the current virtual time.
@@ -120,7 +94,8 @@ func (s *Scheduler) schedule(t time.Duration, fn func(), argFn func(any), arg an
 	ev.argFn = argFn
 	ev.arg = arg
 	s.seq++
-	heap.Push(&s.events, ev)
+	s.live++
+	s.pushHeap(ev)
 	return ev
 }
 
@@ -146,29 +121,33 @@ func (s *Scheduler) AfterArg(delay time.Duration, fn func(any), arg any) *event 
 	return s.schedule(s.now+delay, nil, fn, arg)
 }
 
+// cancelEvent marks a pending event canceled. The event stays where it
+// is (heap or queue FIFO) and is recycled lazily when it surfaces.
+func (s *Scheduler) cancelEvent(ev *event) {
+	if !ev.canceled {
+		ev.canceled = true
+		s.live--
+	}
+}
+
 // Stop makes Run return after the current event.
 func (s *Scheduler) Stop() { s.stopped = true }
 
-// Pending reports the number of live (non-canceled) scheduled events.
-func (s *Scheduler) Pending() int {
-	n := 0
-	for _, ev := range s.events {
-		if !ev.canceled {
-			n++
-		}
-	}
-	return n
-}
+// Pending reports the number of live (non-canceled) scheduled events,
+// including events coalesced on queues. O(1).
+func (s *Scheduler) Pending() int { return s.live }
 
 // Step executes the next event, if any, advancing the clock.
 // It reports whether an event ran.
 func (s *Scheduler) Step() bool {
-	for s.events.Len() > 0 {
-		ev := heap.Pop(&s.events).(*event)
+	for len(s.heap) > 0 {
+		ev := s.popMin()
+		s.advanceQueue(ev)
 		if ev.canceled {
 			s.releaseEvent(ev)
 			continue
 		}
+		s.live--
 		s.now = ev.at
 		if ev.argFn != nil {
 			fn, arg := ev.argFn, ev.arg
@@ -205,10 +184,12 @@ func (s *Scheduler) Run() (int, error) {
 // It returns the number of events executed.
 func (s *Scheduler) RunUntil(t time.Duration) int {
 	n := 0
-	for s.events.Len() > 0 {
-		next := s.events[0]
+	for len(s.heap) > 0 {
+		next := s.heap[0]
 		if next.canceled {
-			s.releaseEvent(heap.Pop(&s.events).(*event))
+			ev := s.popMin()
+			s.advanceQueue(ev)
+			s.releaseEvent(ev)
 			continue
 		}
 		if next.at > t {

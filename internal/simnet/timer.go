@@ -43,16 +43,19 @@ func (t *Timer) Release() {
 	t.s.freeTimers = t
 }
 
-// Reset (re)arms the timer to fire delay from now, canceling any pending
-// expiry.
-func (t *Timer) Reset(delay time.Duration) {
-	t.Stop()
-	t.ev = t.s.AfterArg(delay, timerFire, t)
-}
+// Reset (re)arms the timer to fire delay from now, superseding any
+// pending expiry.
+func (t *Timer) Reset(delay time.Duration) { t.ResetAt(t.s.now + delay) }
 
-// ResetAt (re)arms the timer to fire at absolute virtual time at.
+// ResetAt (re)arms the timer to fire at absolute virtual time at. An
+// armed timer's event is rescheduled in place — a heap key update with a
+// fresh sequence number, ordering-identical to cancel+push but without
+// churning a cancel tombstone through the heap on every RTO/PTO re-arm.
 func (t *Timer) ResetAt(at time.Duration) {
-	t.Stop()
+	if t.ev != nil {
+		t.s.reschedule(t.ev, at)
+		return
+	}
 	t.ev = t.s.AtArg(at, timerFire, t)
 }
 
@@ -64,7 +67,7 @@ func (t *Timer) fire() {
 // Stop cancels a pending expiry. Stopping a stopped timer is a no-op.
 func (t *Timer) Stop() {
 	if t.ev != nil {
-		t.ev.canceled = true
+		t.s.cancelEvent(t.ev)
 		t.ev = nil
 	}
 }
