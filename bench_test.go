@@ -398,6 +398,32 @@ func BenchmarkRunVisitAllocs(b *testing.B) {
 	}
 }
 
+// BenchmarkRunVisitImpairedAllocs is BenchmarkRunVisitAllocs with the
+// full fault layer armed: bursty loss, jitter, and reordering. It
+// budgets the recovery machinery (GE draws, retransmissions, reorder
+// holds, fetch retries) — while BenchmarkRunVisitAllocs above pins the
+// nil-Impairment path to its unchanged zero-fault-layer budget.
+func BenchmarkRunVisitImpairedAllocs(b *testing.B) {
+	corpus := h3cdn.GenerateCorpus(h3cdn.CorpusConfig{Seed: 7, NumPages: 4, MeanResources: 111})
+	im := simnet.GilbertElliott(0.01, 4)
+	im.JitterMax = 2 * time.Millisecond
+	im.ReorderRate = 0.01
+	im.ReorderDelay = 2 * time.Millisecond
+	u, err := h3cdn.NewUniverse(h3cdn.UniverseConfig{Seed: 1, Corpus: corpus, Impair: &im})
+	if err != nil {
+		b.Fatal(err)
+	}
+	br := u.NewBrowser(h3cdn.BrowserConfig{Mode: h3cdn.ModeH3, EnableZeroRTT: true})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := u.RunVisit(br, &corpus.Pages[i%4]); err != nil {
+			b.Fatal(err)
+		}
+		br.ClearSessions()
+	}
+}
+
 // BenchmarkCorpusGeneration times the synthetic corpus generator.
 func BenchmarkCorpusGeneration(b *testing.B) {
 	for i := 0; i < b.N; i++ {

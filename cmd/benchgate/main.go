@@ -13,6 +13,11 @@
 //     code has measured ±20% run-to-run on the 1-core reference
 //     container — so only regressions beyond the band fail.
 //
+// The gated set includes BenchmarkRunVisitImpairedAllocs (fault layer
+// armed: bursty loss + jitter + reordering), budgeting the recovery
+// machinery, alongside BenchmarkRunVisitAllocs which pins the
+// nil-Impairment visit path to its pre-fault-layer allocation budget.
+//
 // Usage:
 //
 //	benchgate [-baseline BENCH_baseline.json] [-tolerance 0.40] [-benchtime 2s]

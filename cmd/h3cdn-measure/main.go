@@ -19,9 +19,11 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"h3cdn/internal/core"
+	"h3cdn/internal/simnet"
 	"h3cdn/internal/vantage"
 	"h3cdn/internal/webgen"
 )
@@ -39,9 +41,18 @@ func run() int {
 		consecutive = flag.Bool("consecutive", false, "consecutive-visit protocol (§VI-D)")
 		sequential  = flag.Bool("sequential", false, "disable shard parallelism")
 		workers     = flag.Int("workers", 0, "concurrent shard workers (0 = GOMAXPROCS)")
-		out         = flag.String("o", "", "output file (default stdout)")
-		cpuprofile  = flag.String("cpuprofile", "", "write CPU profile to file")
-		memprofile  = flag.String("memprofile", "", "write heap profile to file")
+
+		burstLoss    = flag.Float64("burst-loss", 0, "Gilbert–Elliott average loss rate (0 disables bursty loss)")
+		burstLen     = flag.Float64("burst-len", 4, "Gilbert–Elliott mean burst length in packets")
+		jitter       = flag.Duration("jitter", 0, "uniform extra per-packet delay in [0, jitter)")
+		reorder      = flag.Float64("reorder", 0, "probability a delivered packet is held back")
+		reorderDelay = flag.Duration("reorder-delay", 2*time.Millisecond, "hold-back duration for reordered packets")
+		outages      = flag.String("outage", "", "scheduled path outages, comma-separated start-end pairs (e.g. 2s-4s,10s-11s)")
+		retries      = flag.Int("retries", 0, "browser re-fetch budget per resource after transport errors")
+
+		out        = flag.String("o", "", "output file (default stdout)")
+		cpuprofile = flag.String("cpuprofile", "", "write CPU profile to file")
+		memprofile = flag.String("memprofile", "", "write heap profile to file")
 	)
 	flag.Parse()
 
@@ -72,6 +83,25 @@ func run() int {
 		memf = f
 	}
 
+	// Open the dataset file up front too: a bad -o path must fail
+	// before the campaign runs, not after minutes of simulation.
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "h3cdn-measure: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+
+	impair, err := buildImpairment(*burstLoss, *burstLen, *jitter, *reorder, *reorderDelay, *outages)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "h3cdn-measure: %v\n", err)
+		return 1
+	}
+
 	cfg := core.CampaignConfig{
 		Seed:             *seed,
 		CorpusConfig:     webgen.Config{NumPages: *pages},
@@ -81,6 +111,8 @@ func run() int {
 		Consecutive:      *consecutive,
 		Sequential:       *sequential,
 		Workers:          *workers,
+		Impairment:       impair,
+		FetchRetries:     *retries,
 	}
 
 	start := time.Now()
@@ -95,6 +127,14 @@ func run() int {
 	fmt.Fprintf(os.Stderr, "h3cdn-measure: done in %v\n", elapsed.Round(time.Second))
 	fmt.Fprintf(os.Stderr, "h3cdn-measure: %d events executed (%.0f events/sec)\n",
 		ds.Stats.Events, float64(ds.Stats.Events)/elapsed.Seconds())
+	if impair != nil {
+		r := ds.Stats.Recovery
+		fmt.Fprintf(os.Stderr, "h3cdn-measure: drops burst=%d outage=%d reordered=%d\n",
+			ds.Stats.BurstDrops, ds.Stats.OutageDrops, ds.Stats.Reordered)
+		fmt.Fprintf(os.Stderr, "h3cdn-measure: recovery rto=%d fastrtx=%d rtx=%d pto=%d lost=%d outage-crossings=%d conn-failures=%d fetch-retries=%d\n",
+			r.Timeouts, r.FastRetransmits, r.Retransmits, r.ProbeFires,
+			r.PacketsDeclaredLost, r.OutageCrossings, r.ConnFailures, r.FetchRetries)
+	}
 
 	if memf != nil {
 		runtime.GC()
@@ -104,19 +144,57 @@ func run() int {
 		}
 	}
 
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "h3cdn-measure: %v\n", err)
-			return 1
-		}
-		defer f.Close()
-		w = f
-	}
 	if err := ds.SaveJSON(w); err != nil {
 		fmt.Fprintf(os.Stderr, "h3cdn-measure: %v\n", err)
 		return 1
 	}
 	return 0
+}
+
+// buildImpairment assembles the fault profile from CLI knobs, or returns
+// nil when every knob is off so campaigns keep the unimpaired fast path.
+func buildImpairment(burstLoss, burstLen float64, jitter time.Duration, reorder float64, reorderDelay time.Duration, outageSpec string) (*simnet.Impairment, error) {
+	outages, err := parseOutages(outageSpec)
+	if err != nil {
+		return nil, err
+	}
+	if burstLoss <= 0 && jitter <= 0 && reorder <= 0 && len(outages) == 0 {
+		return nil, nil
+	}
+	im := simnet.GilbertElliott(burstLoss, burstLen)
+	im.JitterMax = jitter
+	if reorder > 0 {
+		im.ReorderRate = reorder
+		im.ReorderDelay = reorderDelay
+	}
+	im.Outages = outages
+	return &im, nil
+}
+
+// parseOutages parses comma-separated start-end duration pairs, e.g.
+// "2s-4s,10s-11s".
+func parseOutages(spec string) ([]simnet.Outage, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []simnet.Outage
+	for _, field := range strings.Split(spec, ",") {
+		lo, hi, ok := strings.Cut(strings.TrimSpace(field), "-")
+		if !ok {
+			return nil, fmt.Errorf("outage %q: want start-end", field)
+		}
+		start, err := time.ParseDuration(lo)
+		if err != nil {
+			return nil, fmt.Errorf("outage %q: %v", field, err)
+		}
+		end, err := time.ParseDuration(hi)
+		if err != nil {
+			return nil, fmt.Errorf("outage %q: %v", field, err)
+		}
+		if end <= start {
+			return nil, fmt.Errorf("outage %q: end must follow start", field)
+		}
+		out = append(out, simnet.Outage{Start: start, End: end})
+	}
+	return out, nil
 }

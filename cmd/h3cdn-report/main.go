@@ -2,12 +2,14 @@
 //
 // Usage:
 //
-//	h3cdn-report [-exp all|t1|t2|t3|f2|f3|f4|f5|f6a|f6b|f7|f8|f9] [flags]
+//	h3cdn-report [-exp all|t1|t2|t3|f2|f3|f4|f5|f6a|f6b|f7|f8|f9|lossprofile] [flags]
 //
 // Most experiments run their own campaigns at the configured scale;
 // alternatively point -dataset / -consecutive-dataset at files written by
 // h3cdn-measure to reuse existing measurements. Figure 9 always runs its
-// loss-sweep campaigns.
+// loss-sweep campaigns. The lossprofile experiment re-runs the Figure 9
+// sweep twice per rate — i.i.d. vs bursty Gilbert–Elliott loss at the
+// matched average — and is excluded from -exp all to bound runtime.
 package main
 
 import (
@@ -30,6 +32,7 @@ type reporter struct {
 	cfg      core.CampaignConfig
 	dsPath   string
 	consPath string
+	burstLen float64
 
 	std  *core.Dataset
 	cons *core.Dataset
@@ -38,10 +41,11 @@ type reporter struct {
 
 func run() int {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (t1,t2,t3,f2,f3,f4,f5,f6a,f6b,f7,f8,f9,all)")
+		exp      = flag.String("exp", "all", "experiment id (t1,t2,t3,f2,f3,f4,f5,f6a,f6b,f7,f8,f9,lossprofile,all)")
 		seed     = flag.Uint64("seed", 2022, "campaign seed")
 		pages    = flag.Int("pages", 325, "number of websites")
 		probes   = flag.Int("probes", 1, "probes per vantage point")
+		burstLen = flag.Float64("burstlen", 4, "lossprofile: Gilbert–Elliott mean burst length in packets")
 		dsPath   = flag.String("dataset", "", "standard-protocol dataset JSON (from h3cdn-measure)")
 		consPath = flag.String("consecutive-dataset", "", "consecutive-protocol dataset JSON")
 		plotDir  = flag.String("plot", "", "also export raw figure series as TSV into this directory")
@@ -49,6 +53,7 @@ func run() int {
 	flag.Parse()
 
 	r := &reporter{
+		burstLen: *burstLen,
 		cfg: core.CampaignConfig{
 			Seed:             *seed,
 			CorpusConfig:     webgen.Config{NumPages: *pages},
@@ -209,6 +214,13 @@ func (r *reporter) report(id string) error {
 		}
 		r.fig9 = series
 		fmt.Println(core.RenderFigure9(series))
+	case "lossprofile":
+		fmt.Fprintf(os.Stderr, "h3cdn-report: running loss-profile sweep (i.i.d. vs bursty, mean burst %.0f)...\n", r.burstLen)
+		rows, err := core.RunLossProfile(r.cfg, r.burstLen)
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.RenderLossProfile(rows))
 	default:
 		return fmt.Errorf("unknown experiment %q", id)
 	}

@@ -102,6 +102,19 @@ type Config struct {
 	// connections — the paper's 3-RTT "H2 + TLS/1.2" baseline suite
 	// (ablation knob; default is TLS 1.3).
 	TLS12 bool
+	// MaxFetchRetries bounds transparent re-fetches of a resource after
+	// a transport error (the dead connection is evicted from the pool
+	// and the retry dials fresh). Default 2; negative disables retries.
+	// Healthy paths never hit this, so the default changes nothing on
+	// baseline runs.
+	MaxFetchRetries int
+	// RetryBackoff is the delay before the first retry, doubling per
+	// attempt. Default 200ms.
+	RetryBackoff time.Duration
+	// Recovery, when non-nil, receives transport loss-recovery counters
+	// from every connection this browser opens, plus its own fetch-retry
+	// count.
+	Recovery *simnet.RecoveryStats
 }
 
 // Browser loads pages from one probe host.
@@ -122,25 +135,36 @@ type Browser struct {
 
 // Stats counts browser-level activity across visits.
 type Stats struct {
-	ConnsOpened   int64
-	H3Conns       int64
-	H2Conns       int64
-	H1Conns       int64
-	ResumedConns  int64
-	Requests      int64
-	FailedEntries int64
+	ConnsOpened    int64
+	H3Conns        int64
+	H2Conns        int64
+	H1Conns        int64
+	ResumedConns   int64
+	Requests       int64
+	RetriedEntries int64
+	FailedEntries  int64
 }
 
 type pooledConn struct {
 	conn   httpsim.ClientConn
 	used   int           // requests assigned so far
 	dialAt time.Duration // when the dial was initiated
+	key    string        // h2/h3 pool key, for eviction on error
+	h1Host string        // h1 pool key, for eviction on error
 }
 
 // New creates a browser on the probe host.
 func New(host *simnet.Host, cfg Config) *Browser {
 	if cfg.MaxH1ConnsPerHost == 0 {
 		cfg.MaxH1ConnsPerHost = 6
+	}
+	if cfg.MaxFetchRetries == 0 {
+		cfg.MaxFetchRetries = 2
+	} else if cfg.MaxFetchRetries < 0 {
+		cfg.MaxFetchRetries = 0
+	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = 200 * time.Millisecond
 	}
 	b := &Browser{
 		host:    host,
@@ -304,14 +328,6 @@ func (b *Browser) fetch(res *webgen.Resource, entry *har.Entry, done func()) {
 		return
 	}
 
-	pc, creator := b.connFor(res.Host, ep, res.H3Eligible)
-	creator = creator || pc.used == 0 // first user of a preconnected conn
-	pc.used++
-	entry.Protocol = pc.conn.Protocol().String()
-	entry.ReusedConn = !creator
-	h3Discoverable := b.wantsH3() && ep.SupportsH3 && !ep.H1Only
-
-	var sentAt, firstByte time.Duration
 	finished := false
 	finish := func() {
 		if finished {
@@ -320,6 +336,24 @@ func (b *Browser) fetch(res *webgen.Resource, entry *har.Entry, done func()) {
 		finished = true
 		done()
 	}
+	b.attempt(res, ep, entry, 0, finish)
+}
+
+// attempt runs one try of a resource fetch. A transport error evicts the
+// dead connection from the pool and, within Config.MaxFetchRetries,
+// re-issues the request on a fresh connection after exponential backoff;
+// the entry is marked failed only once the budget is exhausted. finish
+// is idempotent across attempts, so a completion can never double-count
+// against the page's barrier.
+func (b *Browser) attempt(res *webgen.Resource, ep Endpoint, entry *har.Entry, attempt int, finish func()) {
+	pc, creator := b.connFor(res.Host, ep, res.H3Eligible)
+	creator = creator || pc.used == 0 // first user of a preconnected conn
+	pc.used++
+	entry.Protocol = pc.conn.Protocol().String()
+	entry.ReusedConn = !creator
+	h3Discoverable := b.wantsH3() && ep.SupportsH3 && !ep.H1Only
+
+	var sentAt, firstByte time.Duration
 	pc.conn.Do(&httpsim.Request{
 		Host:   res.Host,
 		Path:   res.Path,
@@ -373,12 +407,47 @@ func (b *Browser) fetch(res *webgen.Resource, entry *har.Entry, done func()) {
 			finish()
 		},
 		OnError: func(err error) {
+			b.evict(pc)
+			if attempt < b.cfg.MaxFetchRetries {
+				entry.Retries++
+				b.stats.RetriedEntries++
+				if b.cfg.Recovery != nil {
+					b.cfg.Recovery.FetchRetries++
+				}
+				backoff := b.cfg.RetryBackoff << attempt
+				b.sched.After(backoff, func() {
+					b.attempt(res, ep, entry, attempt+1, finish)
+				})
+				return
+			}
 			entry.Failed = true
 			entry.Error = err.Error()
 			b.stats.FailedEntries++
 			finish()
 		},
 	})
+}
+
+// evict drops a connection that reported a transport error from the
+// pools, so subsequent fetches dial fresh instead of queueing onto a
+// dead connection (which would fail every request routed to it). The
+// identity check tolerates a pool slot already replaced by a retry.
+func (b *Browser) evict(pc *pooledConn) {
+	if pc.key != "" {
+		if cur, ok := b.conns[pc.key]; ok && cur == pc {
+			delete(b.conns, pc.key)
+		}
+		return
+	}
+	if pc.h1Host != "" {
+		list := b.h1[pc.h1Host]
+		for i, o := range list {
+			if o == pc {
+				b.h1[pc.h1Host] = append(list[:i], list[i+1:]...)
+				return
+			}
+		}
+	}
 }
 
 // wantsH3 reports whether this browsing mode ever uses HTTP/3.
@@ -396,7 +465,9 @@ func (b *Browser) preconnectH3(host string, ep Endpoint) {
 	if _, ok := b.conns[key]; ok {
 		return
 	}
-	b.conns[key] = b.dialH3(host, ep)
+	pc := b.dialH3(host, ep)
+	pc.key = key
+	b.conns[key] = pc
 }
 
 func (b *Browser) dialH3(host string, ep Endpoint) *pooledConn {
@@ -409,7 +480,7 @@ func (b *Browser) dialH3(host string, ep Endpoint) *pooledConn {
 			// Userspace QUIC retransmits lost handshakes from a
 			// cached RTT estimate (Chromium kInitialRtt), far
 			// sooner than kernel TCP's fixed 1s SYN timer.
-			QUIC: quicsim.Config{PTOInit: 150 * time.Millisecond},
+			QUIC: quicsim.Config{PTOInit: 150 * time.Millisecond, Recovery: b.cfg.Recovery},
 		}),
 	}
 	b.stats.ConnsOpened++
@@ -441,6 +512,7 @@ func (b *Browser) connFor(host string, ep Endpoint, h3Eligible bool) (*pooledCon
 			return pc, false
 		}
 		pc := b.dialH3(host, ep)
+		pc.key = key
 		b.conns[key] = pc
 		return pc, true
 
@@ -458,6 +530,7 @@ func (b *Browser) connFor(host string, ep Endpoint, h3Eligible bool) (*pooledCon
 		pc := &pooledConn{
 			dialAt: b.sched.Now(),
 			conn:   httpsim.DialH2(b.host, ep.Addr, httpsim.TCPPort, host, b.dialCfg()),
+			key:    key,
 		}
 		b.conns[key] = pc
 		b.stats.ConnsOpened++
@@ -471,6 +544,7 @@ func (b *Browser) dialCfg() httpsim.DialConfig {
 		TLSTickets:      b.tickets,
 		EnableEarlyData: b.cfg.EnableEarlyData,
 		HandshakeCPU:    b.cfg.HandshakeCPU,
+		TCP:             httpsim.TCPOptions{Recovery: b.cfg.Recovery},
 	}
 	if b.cfg.TLS12 {
 		cfg.TLSVersion = tlssim.TLS12
@@ -492,6 +566,7 @@ func (b *Browser) h1ConnFor(host string, ep Endpoint) (*pooledConn, bool) {
 		pc := &pooledConn{
 			dialAt: b.sched.Now(),
 			conn:   httpsim.DialH1(b.host, ep.Addr, httpsim.TCPPort, host, b.dialCfg()),
+			h1Host: key,
 		}
 		b.h1[key] = append(b.h1[key], pc)
 		b.stats.ConnsOpened++

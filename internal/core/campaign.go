@@ -9,6 +9,7 @@ import (
 
 	"h3cdn/internal/browser"
 	"h3cdn/internal/har"
+	"h3cdn/internal/simnet"
 	"h3cdn/internal/vantage"
 	"h3cdn/internal/webgen"
 )
@@ -37,6 +38,17 @@ type CampaignConfig struct {
 	// condition refers to *added* loss); pass a negative value for a
 	// genuinely lossless network.
 	LossRate float64
+	// Impairment, when non-nil, applies the fault-injection layer
+	// (bursty loss, jitter, reordering, outages) to every client↔server
+	// path in every shard, on top of LossRate. The struct is shared
+	// read-only across worker goroutines; each shard's universe derives
+	// its own impairment randomness from the shard seed, so datasets
+	// stay byte-identical across worker counts.
+	Impairment *simnet.Impairment
+	// FetchRetries bounds the browser's transparent re-fetches after a
+	// transport error. 0 keeps the browser default (2); negative
+	// disables retries.
+	FetchRetries int
 	// Consecutive keeps session caches across pages within a probe's
 	// measured pass (§VI-D); the standard protocol clears them after
 	// every visit.
@@ -92,11 +104,32 @@ type Dataset struct {
 }
 
 // CampaignStats aggregates execution counters across a campaign's
-// shards.
+// shards. Like Dataset.Stats it never serializes: recovery behavior is
+// observable here without perturbing fixed-seed dataset bytes.
 type CampaignStats struct {
 	// Events is the total scheduler events executed (warm + measured
 	// passes) — the simulator's unit of work.
 	Events int64
+	// Recovery aggregates client-side loss-recovery activity: RTO/PTO
+	// fires, retransmissions, fetch retries, blackout crossings.
+	Recovery simnet.RecoveryStats
+	// Network-level drop counters, summed over all shard networks.
+	LossDrops   int64 // ambient i.i.d. loss
+	BurstDrops  int64 // Gilbert–Elliott impairment loss
+	OutageDrops int64 // scheduled-outage drops
+	QueueDrops  int64 // tail drops at path queue limits
+	Reordered   int64 // packets held back by the reordering impairment
+}
+
+// add accumulates one shard's counters.
+func (s *CampaignStats) add(o CampaignStats) {
+	s.Events += o.Events
+	s.Recovery.Add(o.Recovery)
+	s.LossDrops += o.LossDrops
+	s.BurstDrops += o.BurstDrops
+	s.OutageDrops += o.OutageDrops
+	s.QueueDrops += o.QueueDrops
+	s.Reordered += o.Reordered
 }
 
 // defaultPagesPerShard is the page-range granularity of one shard when
@@ -177,10 +210,10 @@ func RunCampaign(cfg CampaignConfig) (*Dataset, error) {
 
 	jobs := shardCampaign(cfg, corpus)
 	results := make([][]har.PageLog, len(jobs))
-	events := make([]int64, len(jobs))
+	stats := make([]CampaignStats, len(jobs))
 	errs := make([]error, len(jobs))
 	run := func(i int) {
-		results[i], events[i], errs[i] = runShard(cfg, corpus, jobs[i])
+		results[i], stats[i], errs[i] = runShard(cfg, corpus, jobs[i])
 	}
 	if cfg.Sequential {
 		for i := range jobs {
@@ -230,8 +263,8 @@ func RunCampaign(cfg CampaignConfig) (*Dataset, error) {
 	for i, job := range jobs {
 		ds.Logs[job.mode].Pages = append(ds.Logs[job.mode].Pages, results[i]...)
 	}
-	for _, n := range events {
-		ds.Stats.Events += n
+	for i := range stats {
+		ds.Stats.add(stats[i])
 	}
 	return ds, nil
 }
@@ -242,8 +275,9 @@ func RunCampaign(cfg CampaignConfig) (*Dataset, error) {
 // records HAR logs. The shard sees a sub-corpus view — only its page
 // range, with the full corpus's hostname maps — so each shard builds only
 // the origins it visits.
-// It also returns the number of scheduler events the shard executed.
-func runShard(cfg CampaignConfig, corpus *webgen.Corpus, job shardJob) ([]har.PageLog, int64, error) {
+// It also returns the shard's execution counters (events, recovery
+// activity, network drops).
+func runShard(cfg CampaignConfig, corpus *webgen.Corpus, job shardJob) ([]har.PageLog, CampaignStats, error) {
 	view := corpus
 	if job.lo != 0 || job.hi != len(corpus.Pages) {
 		view = &webgen.Corpus{
@@ -258,12 +292,25 @@ func runShard(cfg CampaignConfig, corpus *webgen.Corpus, job shardJob) ([]har.Pa
 		Corpus:         view,
 		Vantage:        job.point,
 		LossRate:       cfg.LossRate,
+		Impair:         cfg.Impairment,
 		H3WaitOverhead: cfg.H3WaitOverhead,
 		MissPenalty:    cfg.MissPenalty,
 		MaxEvents:      cfg.MaxEvents,
 	})
 	if err != nil {
-		return nil, 0, err
+		return nil, CampaignStats{}, err
+	}
+	shardStats := func() CampaignStats {
+		ns := u.Net.Stats()
+		return CampaignStats{
+			Events:      u.Events(),
+			Recovery:    u.RecoveryStats(),
+			LossDrops:   ns.LossDrops,
+			BurstDrops:  ns.BurstDrops,
+			OutageDrops: ns.OutageDrops,
+			QueueDrops:  ns.QueueDrops,
+			Reordered:   ns.Reordered,
+		}
 	}
 
 	// Chrome-realistic resumption: QUIC 0-RTT on, TLS 1.3 early data
@@ -274,13 +321,14 @@ func runShard(cfg CampaignConfig, corpus *webgen.Corpus, job shardJob) ([]har.Pa
 		EnableEarlyData: false,
 		EnableZeroRTT:   true,
 		HandshakeCPU:    300 * time.Microsecond,
+		MaxFetchRetries: cfg.FetchRetries,
 	})
 	probeName := job.point.Name + "/" + strconv.Itoa(job.probe)
 
 	// Warm pass (discarded): fills edge caches, as in §III-B.
 	for i := range view.Pages {
 		if _, err := u.RunVisit(b, &view.Pages[i]); err != nil {
-			return nil, u.Events(), fmt.Errorf("warm visit: %w", err)
+			return nil, shardStats(), fmt.Errorf("warm visit: %w", err)
 		}
 		b.ClearSessions()
 	}
@@ -290,7 +338,7 @@ func runShard(cfg CampaignConfig, corpus *webgen.Corpus, job shardJob) ([]har.Pa
 	for i := range view.Pages {
 		log, err := u.RunVisit(b, &view.Pages[i])
 		if err != nil {
-			return nil, u.Events(), fmt.Errorf("measured visit: %w", err)
+			return nil, shardStats(), fmt.Errorf("measured visit: %w", err)
 		}
 		log.Probe = probeName
 		logs = append(logs, *log)
@@ -298,5 +346,5 @@ func runShard(cfg CampaignConfig, corpus *webgen.Corpus, job shardJob) ([]har.Pa
 			b.ClearSessions()
 		}
 	}
-	return logs, u.Events(), nil
+	return logs, shardStats(), nil
 }

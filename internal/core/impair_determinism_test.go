@@ -1,0 +1,68 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+	"time"
+
+	"h3cdn/internal/simnet"
+	"h3cdn/internal/vantage"
+	"h3cdn/internal/webgen"
+)
+
+// goldenImpairedSHA256 pins the campaign dataset with the fault layer
+// enabled: Gilbert–Elliott bursty loss (1% average, mean burst 4) plus
+// 2ms jitter. The impairment streams derive from the same seeded
+// hierarchy as ambient loss, so worker sharding must stay byte-identical
+// even with every fault knob active.
+const goldenImpairedSHA256 = "7d113dff140d9962f3a16a783ddfeb42c4c8652e2d5062820a74fa07edd17487"
+
+// TestImpairedCampaignGoldenDataset mirrors TestCampaignGoldenDataset
+// under bursty loss + jitter, across Sequential / Workers 1 / Workers 4.
+func TestImpairedCampaignGoldenDataset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench-scale impaired campaign; skipped with -short")
+	}
+	ge := simnet.GilbertElliott(0.01, 4)
+	ge.JitterMax = 2 * time.Millisecond
+	variants := []struct {
+		name string
+		mut  func(*CampaignConfig)
+	}{
+		{"Sequential", func(c *CampaignConfig) { c.Sequential = true }},
+		{"Workers1", func(c *CampaignConfig) { c.Workers = 1 }},
+		{"Workers4", func(c *CampaignConfig) { c.Workers = 4 }},
+	}
+	var recovery simnet.RecoveryStats
+	for i, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			cfg := CampaignConfig{
+				Seed:             2022,
+				CorpusConfig:     webgen.Config{NumPages: 24},
+				Vantages:         vantage.Points(),
+				ProbesPerVantage: 1,
+				Impairment:       &ge,
+			}
+			v.mut(&cfg)
+			ds, err := RunCampaign(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum := sha256.Sum256(harJSON(t, ds))
+			if got := hex.EncodeToString(sum[:]); got != goldenImpairedSHA256 {
+				t.Fatalf("impaired dataset hash %s, want golden %s", got, goldenImpairedSHA256)
+			}
+			if ds.Stats.BurstDrops == 0 {
+				t.Fatal("BurstDrops = 0: the fault layer never engaged")
+			}
+			// Recovery counters are per-shard sums, so they too must be
+			// independent of the sharding layout.
+			if i == 0 {
+				recovery = ds.Stats.Recovery
+			} else if ds.Stats.Recovery != recovery {
+				t.Fatalf("Recovery = %+v, want %+v (independent of workers)", ds.Stats.Recovery, recovery)
+			}
+		})
+	}
+}

@@ -36,6 +36,12 @@ type UniverseConfig struct {
 	// LossRate applies i.i.d. loss on client↔server paths (the Traffic
 	// Control knob of §VI-E).
 	LossRate float64
+	// Impair, when non-nil, applies the fault-injection layer (bursty
+	// loss, jitter, reordering, outages) to both directions of every
+	// client↔server path, on top of LossRate. The struct must be
+	// read-only: it is shared across paths and, in campaigns, across
+	// worker goroutines; per-path mutable state lives inside simnet.
+	Impair *simnet.Impairment
 	// AccessDownBps / AccessUpBps are the probe's access link rates.
 	// Defaults 200 / 50 Mbit/s.
 	AccessDownBps float64
@@ -79,6 +85,7 @@ type Universe struct {
 	servers  []*httpsim.Server
 	resolver browser.Resolver
 	events   int64 // scheduler events executed across RunVisit calls
+	recovery simnet.RecoveryStats
 }
 
 type nodeClass struct {
@@ -131,6 +138,7 @@ func NewUniverse(cfg UniverseConfig) (*Universe, error) {
 				BandwidthBps: minf(nc.bw, cfg.AccessDownBps),
 				LossRate:     cfg.LossRate,
 				LinkID:       "access-down",
+				Impair:       cfg.Impair,
 			}
 		case srcA == probeAddr: // upload direction
 			nc := nodes[dst]
@@ -139,6 +147,7 @@ func NewUniverse(cfg UniverseConfig) (*Universe, error) {
 				BandwidthBps: cfg.AccessUpBps,
 				LossRate:     cfg.LossRate,
 				LinkID:       "access-up",
+				Impair:       cfg.Impair,
 			}
 		}
 		return props
@@ -261,9 +270,19 @@ func (u *Universe) Close() {
 	}
 }
 
-// NewBrowser creates a page loader on the probe host.
+// RecoveryStats returns a snapshot of the loss-recovery counters
+// accumulated by browsers created via NewBrowser (and the transports
+// underneath them) in this universe.
+func (u *Universe) RecoveryStats() simnet.RecoveryStats { return u.recovery }
+
+// NewBrowser creates a page loader on the probe host. Unless the config
+// carries its own Recovery sink, the browser and its transports feed the
+// universe's recovery counters (see RecoveryStats).
 func (u *Universe) NewBrowser(cfg browser.Config) *browser.Browser {
 	cfg.Resolver = u.resolver
+	if cfg.Recovery == nil {
+		cfg.Recovery = &u.recovery
+	}
 	return browser.New(u.Client, cfg)
 }
 

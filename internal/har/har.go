@@ -41,9 +41,14 @@ type Entry struct {
 	ResumedConn bool `json:"resumedConn"`
 
 	// Failed records transport errors (excluded from timing analyses,
-	// matching the paper's treatment of incomplete entries).
-	Failed bool   `json:"failed,omitempty"`
-	Error  string `json:"error,omitempty"`
+	// matching the paper's treatment of incomplete entries). Retries
+	// counts transparent re-fetches after transport errors; an entry is
+	// Failed only once the retry budget is exhausted. Both are zero —
+	// and absent from the serialized form — on healthy paths, keeping
+	// fixed-seed baseline datasets byte-identical.
+	Failed  bool   `json:"failed,omitempty"`
+	Error   string `json:"error,omitempty"`
+	Retries int    `json:"retries,omitempty"`
 }
 
 // Total returns the entry's end-to-end duration.

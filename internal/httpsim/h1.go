@@ -31,6 +31,9 @@ type DialConfig struct {
 type TCPOptions struct {
 	RTOInit    time.Duration
 	MaxRetries int
+	// Recovery receives the endpoint's loss-recovery counters (nil
+	// disables; see simnet.RecoveryStats).
+	Recovery *simnet.RecoveryStats
 }
 
 type h1Pending struct {
@@ -92,7 +95,7 @@ func dialTLS(host *simnet.Host, addr simnet.Addr, port uint16, serverName string
 	if version == 0 {
 		version = tlssim.TLS13
 	}
-	tcpsim.Dial(host, addr, port, tcpCfg, func(tc *tcpsim.Conn) {
+	tc := tcpsim.Dial(host, addr, port, tcpCfg, func(tc *tcpsim.Conn) {
 		var tconn *tlssim.Conn
 		tconn = tlssim.Client(tc, tlssim.ClientConfig{
 			Version:         version,
@@ -106,6 +109,16 @@ func dialTLS(host *simnet.Host, addr simnet.Addr, port uint16, serverName string
 		if early != nil {
 			early(tconn)
 		}
+	})
+	// Cover the SYN window: until the TLS layer takes over the close
+	// callback (on establishment), a connection that dies dialing — SYN
+	// retry exhaustion, RST — would otherwise vanish without ever
+	// resolving the dial.
+	tc.SetCloseFunc(func(err error) {
+		if err == nil {
+			err = ErrConnClosed
+		}
+		done(nil, err)
 	})
 }
 

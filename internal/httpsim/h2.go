@@ -1,6 +1,7 @@
 package httpsim
 
 import (
+	"sort"
 	"time"
 
 	"h3cdn/internal/simnet"
@@ -9,7 +10,7 @@ import (
 )
 
 func tcpsimConfig(o TCPOptions) tcpsim.Config {
-	return tcpsim.Config{RTOInit: o.RTOInit, MaxRetries: o.MaxRetries}
+	return tcpsim.Config{RTOInit: o.RTOInit, MaxRetries: o.MaxRetries, Recovery: o.Recovery}
 }
 
 type h2Pending struct {
@@ -162,8 +163,15 @@ func (c *h2Client) fail(err error) {
 		return
 	}
 	c.closed = true
-	for _, p := range c.streams {
-		if p.ev.OnError != nil {
+	// Fail pending streams in id (send) order: map iteration would
+	// scramble the error fan-out, and with it retry scheduling.
+	ids := make([]uint32, 0, len(c.streams))
+	for id := range c.streams {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if p := c.streams[id]; p.ev.OnError != nil {
 			p.ev.OnError(err)
 		}
 	}

@@ -36,14 +36,16 @@ type h3Client struct {
 	established bool
 	closed      bool
 	queue       []h3Stream
-	actives     map[*h3Stream]struct{}
+	// actives keeps send order: failure fan-out must visit streams
+	// deterministically (map iteration would scramble retry scheduling).
+	actives []*h3Stream
 }
 
 var _ ClientConn = (*h3Client)(nil)
 
 // DialH3 opens an HTTP/3 connection to addr:port (the QUIC port).
 func DialH3(host *simnet.Host, addr simnet.Addr, port uint16, serverName string, cfg H3DialConfig) ClientConn {
-	c := &h3Client{sched: host.Scheduler(), actives: make(map[*h3Stream]struct{})}
+	c := &h3Client{sched: host.Scheduler()}
 	c.conn = quicsim.Dial(host, addr, port, quicsim.ClientConfig{
 		Config:        cfg.QUIC,
 		ServerName:    serverName,
@@ -95,7 +97,7 @@ func (c *h3Client) flush() {
 
 func (c *h3Client) send(p h3Stream) {
 	st := &p
-	c.actives[st] = struct{}{}
+	c.actives = append(c.actives, st)
 	s := c.conn.OpenStream()
 	s.SetDataFunc(func(data []byte) { c.onStreamData(st, data) })
 	writeBlock(s, blockHeadersReq, 0, flagEndStream, requestHeaderBlock(p.req))
@@ -141,7 +143,12 @@ func (c *h3Client) finish(st *h3Stream) {
 		return
 	}
 	st.done = true
-	delete(c.actives, st)
+	for i, a := range c.actives {
+		if a == st {
+			c.actives = append(c.actives[:i], c.actives[i+1:]...)
+			break
+		}
+	}
 	if st.ev.OnComplete != nil {
 		st.ev.OnComplete()
 	}
@@ -165,13 +172,13 @@ func (c *h3Client) fail(err error) {
 		}
 	}
 	c.queue = nil
-	for st := range c.actives {
+	for _, st := range c.actives {
 		st.done = true
 		if st.ev.OnError != nil {
 			st.ev.OnError(err)
 		}
 	}
-	c.actives = make(map[*h3Stream]struct{})
+	c.actives = nil
 }
 
 func (c *h3Client) Close() {

@@ -1,0 +1,126 @@
+package quicsim
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"h3cdn/internal/simnet"
+)
+
+// TestArmPTOAfterCloseIsNoOp is the satellite-2 nil-guard regression:
+// teardown releases the PTO timer, so a stray re-arm or a PTO callback
+// racing connection close must be a no-op, not a nil dereference.
+func TestArmPTOAfterCloseIsNoOp(t *testing.T) {
+	w := newWorld(t, time.Millisecond, 0, 0, 7)
+	echoListen(t, w)
+	var conn *Conn
+	Dial(w.client, "server", 443, ClientConfig{ServerName: "server"}, func(c *Conn) {
+		conn = c
+		c.Close()
+	})
+	w.run(t)
+	if conn == nil {
+		t.Fatal("connection never established")
+	}
+	// Both entry points after teardown: must not panic.
+	conn.armPTO()
+	conn.onPTO()
+}
+
+// TestBlackoutSurvivesBeyondMaxPTOs covers the PTO bugfix: with a tiny
+// SRTT the backoff base clamps to PTOMin (2ms), so MaxPTOs consecutive
+// expirations exhaust in ~1s of virtual time. A 3s blackout must not
+// kill the connection — failure requires the ProbeTimeout real-time
+// floor (default 15s) as well as the count.
+func TestBlackoutSurvivesBeyondMaxPTOs(t *testing.T) {
+	w := newWorld(t, 200*time.Microsecond, 0, 0, 7)
+	echoListen(t, w)
+	var rec simnet.RecoveryStats
+
+	var conn *Conn
+	var got bytes.Buffer
+	eof := false
+	payload := make([]byte, 800)
+	Dial(w.client, "server", 443, ClientConfig{ServerName: "server", Config: Config{Recovery: &rec}}, func(c *Conn) {
+		conn = c
+		c.SetCloseFunc(func(err error) {
+			if err != nil {
+				t.Errorf("connection failed during blackout: %v", err)
+			}
+		})
+		s := c.OpenStream()
+		s.SetDataFunc(func(p []byte) { got.Write(p) })
+		s.SetFinFunc(func() { eof = true })
+		w.sched.At(5*time.Millisecond, func() {
+			w.net.SetFilter(func(simnet.Packet) bool { return false })
+		})
+		w.sched.At(6*time.Millisecond, func() {
+			s.Write(payload)
+			s.CloseWrite()
+		})
+		w.sched.At(3*time.Second, func() { w.net.SetFilter(nil) })
+	})
+	w.run(t)
+
+	if conn == nil {
+		t.Fatal("connection never established")
+	}
+	if !eof || got.Len() != len(payload) {
+		t.Fatalf("echo incomplete after blackout: %d bytes, eof=%v", got.Len(), eof)
+	}
+	if !conn.Established() {
+		t.Fatal("connection did not survive the blackout")
+	}
+	if rec.ProbeFires <= int64(defaultMaxPTOs()) {
+		t.Fatalf("ProbeFires = %d, want > MaxPTOs (%d): the blackout must outlast the old failure point", rec.ProbeFires, defaultMaxPTOs())
+	}
+	if rec.OutageCrossings < 1 {
+		t.Fatalf("OutageCrossings = %d, want ≥ 1", rec.OutageCrossings)
+	}
+	if rec.ConnFailures != 0 {
+		t.Fatalf("ConnFailures = %d, want 0", rec.ConnFailures)
+	}
+}
+
+func defaultMaxPTOs() int {
+	var c Config
+	return c.withDefaults().MaxPTOs
+}
+
+// TestProbeTimeoutFailsUnderPermanentBlackout checks the give-up path is
+// still reachable: once both MaxPTOs and ProbeTimeout are exceeded with
+// no connectivity, the connection errors out with ErrTimeout and counts
+// a ConnFailure.
+func TestProbeTimeoutFailsUnderPermanentBlackout(t *testing.T) {
+	w := newWorld(t, 200*time.Microsecond, 0, 0, 7)
+	echoListen(t, w)
+	var rec simnet.RecoveryStats
+
+	var closeErr error
+	closed := false
+	cfg := Config{ProbeTimeout: 500 * time.Millisecond, Recovery: &rec}
+	Dial(w.client, "server", 443, ClientConfig{ServerName: "server", Config: cfg}, func(c *Conn) {
+		c.SetCloseFunc(func(err error) { closeErr = err; closed = true })
+		s := c.OpenStream()
+		w.sched.At(5*time.Millisecond, func() {
+			w.net.SetFilter(func(simnet.Packet) bool { return false })
+		})
+		w.sched.At(6*time.Millisecond, func() {
+			s.Write(make([]byte, 800))
+			s.CloseWrite()
+		})
+	})
+	w.run(t)
+
+	if !closed {
+		t.Fatal("connection never gave up under a permanent blackout")
+	}
+	if !errors.Is(closeErr, ErrTimeout) {
+		t.Fatalf("close error = %v, want ErrTimeout", closeErr)
+	}
+	if rec.ConnFailures != 1 {
+		t.Fatalf("ConnFailures = %d, want 1", rec.ConnFailures)
+	}
+}

@@ -90,11 +90,12 @@ type Conn struct {
 	recoveryStart uint64
 	sendQ         []frame // control + retransmitted frames, FIFO
 
-	srtt     time.Duration
-	rttvar   time.Duration
-	hasRTT   bool
-	ptoTimer *simnet.Timer
-	ptoCount int
+	srtt       time.Duration
+	rttvar     time.Duration
+	hasRTT     bool
+	ptoTimer   *simnet.Timer
+	ptoCount   int
+	probeStart time.Duration // first PTO fire of the current episode
 
 	recvd     rangeSet
 	ackQueued bool
@@ -257,6 +258,39 @@ func (c *Conn) shutdown(err error) {
 	c.transmit(p)
 	c.nextPN++
 	c.teardown()
+}
+
+// closeProbeLimit bounds CONNECTION_CLOSE re-sends after a PTO abort.
+const closeProbeLimit = 12
+
+// startCloseProbes re-sends CONNECTION_CLOSE with exponential spacing
+// after an established connection aborts on probe-timeout exhaustion.
+// The peer may be mid-receive with nothing in flight, so a single close
+// lost to the same burst or outage that killed the connection would
+// strand it forever. Real QUIC bounds this with the transport idle
+// timeout; the simulator arms no timers on healthy paths, so the abort
+// itself carries the persistence.
+func (c *Conn) startCloseProbes() {
+	gap := c.cfg.PTOInit
+	n := 0
+	var fire func()
+	fire = func() {
+		p := newPacket()
+		p.pn = c.nextPN
+		p.frames = []frame{&closeFrame{err: ErrTimeout}}
+		c.nextPN++
+		c.transmit(p)
+		n++
+		if n >= closeProbeLimit {
+			return
+		}
+		c.sched.After(gap, fire)
+		gap *= 2
+		if gap > c.cfg.PTOMax {
+			gap = c.cfg.PTOMax
+		}
+	}
+	fire()
 }
 
 func (c *Conn) teardown() {
@@ -476,6 +510,12 @@ func (c *Conn) ptoDuration() time.Duration {
 }
 
 func (c *Conn) armPTO() {
+	if c.ptoTimer == nil {
+		// Teardown released the timer (see teardown). A stray re-arm —
+		// e.g. from an establishment callback that closed the connection
+		// — must be a no-op, not a nil dereference.
+		return
+	}
 	if len(c.sent) == 0 {
 		c.ptoTimer.Stop()
 		return
@@ -487,12 +527,29 @@ func (c *Conn) onPTO() {
 	if c.state == stateClosed {
 		return
 	}
+	if c.ptoCount == 0 {
+		c.probeStart = c.sched.Now()
+	}
 	c.ptoCount++
-	if c.ptoCount > c.cfg.MaxPTOs {
+	// Exhausting MaxPTOs alone is not fatal: the backoff base can be as
+	// small as PTOMin, so the count must be paired with a real-time
+	// floor (ProbeTimeout) before the connection gives up — this is what
+	// lets a connection survive a multi-second blackout.
+	if c.ptoCount > c.cfg.MaxPTOs && c.sched.Now()-c.probeStart >= c.cfg.ProbeTimeout {
+		if c.cfg.Recovery != nil {
+			c.cfg.Recovery.ConnFailures++
+		}
+		wasEstablished := c.state == stateEstablished
 		c.fail(ErrTimeout)
+		if wasEstablished {
+			c.startCloseProbes()
+		}
 		return
 	}
 	c.stats.PTOs++
+	if c.cfg.Recovery != nil {
+		c.cfg.Recovery.ProbeFires++
+	}
 	// Probe: retransmit the oldest unacked ack-eliciting packet's
 	// frames in a fresh packet, bypassing the congestion window.
 	if len(c.sent) > 0 {
@@ -570,6 +627,11 @@ func (c *Conn) handleAck(f *ackFrame) {
 		c.cwnd = max
 	}
 	c.rttSample(c.sched.Now() - largest.sentAt)
+	if c.ptoCount >= 2 && c.cfg.Recovery != nil {
+		// Progress after ≥2 consecutive probe fires: the connection rode
+		// out a blackout rather than an isolated drop.
+		c.cfg.Recovery.OutageCrossings++
+	}
 	c.ptoCount = 0
 
 	// Packet-threshold loss detection: pn+threshold is increasing along
@@ -582,6 +644,9 @@ func (c *Conn) handleAck(f *ackFrame) {
 	for _, sp := range c.sent[:lost] {
 		c.bytesInFlight -= sp.size
 		c.stats.PacketsDeclaredLost++
+		if c.cfg.Recovery != nil {
+			c.cfg.Recovery.PacketsDeclaredLost++
+		}
 		c.sendQ = append(c.sendQ, retransmittable(sp.frames)...)
 		if sp.pn >= c.recoveryStart {
 			// One cwnd reduction per recovery epoch.

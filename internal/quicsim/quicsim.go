@@ -16,6 +16,8 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"h3cdn/internal/simnet"
 )
 
 // Wire overheads in bytes.
@@ -53,9 +55,21 @@ type Config struct {
 	// MaxPTOs bounds consecutive probe timeouts before the connection
 	// errors out. Default 8.
 	MaxPTOs int
+	// ProbeTimeout is the minimum wall (virtual) time a connection keeps
+	// probing before MaxPTOs consecutive expirations may fail it.
+	// Failure requires both conditions: with a tiny SRTT the PTO base is
+	// PTOMin (2ms), so MaxPTOs backoffs alone can exhaust in well under
+	// a second — without this floor a multi-second blackout would kill
+	// every active connection instead of being ridden out. Default 15s.
+	ProbeTimeout time.Duration
 	// ReorderThreshold is the packet-number distance that declares a
 	// packet lost (RFC 9002 kPacketThreshold). Default 3.
 	ReorderThreshold uint64
+	// Recovery, when non-nil, accumulates loss-recovery counters for
+	// this endpoint (probe fires, declared losses, blackout crossings).
+	// Increments happen in scheduler context; the pointer is typically
+	// shared by every client connection of one simulated probe.
+	Recovery *simnet.RecoveryStats
 }
 
 func (c Config) withDefaults() Config {
@@ -76,6 +90,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxPTOs == 0 {
 		c.MaxPTOs = 8
+	}
+	if c.ProbeTimeout == 0 {
+		c.ProbeTimeout = 15 * time.Second
 	}
 	if c.ReorderThreshold == 0 {
 		c.ReorderThreshold = 3

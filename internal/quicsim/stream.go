@@ -81,29 +81,38 @@ func (s *Stream) receive(f *streamFrame) {
 
 func (s *Stream) advance() {
 	for {
-		progressed := false
-		for off, data := range s.chunks {
-			end := off + uint64(len(data))
+		// Pick the LOWEST eligible chunk, not any map-order one: with
+		// loss and reordering, trimming can leave several overlapping
+		// chunks at or below rcvOff, and the choice decides delivery
+		// granularity — map iteration would make the trace
+		// nondeterministic.
+		var best uint64
+		found := false
+		for off := range s.chunks {
 			if off > s.rcvOff {
 				continue
 			}
-			delete(s.chunks, off)
-			if end <= s.rcvOff {
-				progressed = true
-				break // stale duplicate
+			if !found || off < best {
+				best = off
+				found = true
 			}
-			chunk := data[s.rcvOff-off:]
-			s.rcvOff = end
-			s.nRecved += int64(len(chunk))
-			s.conn.stats.BytesDelivered += int64(len(chunk))
-			if s.dataFn != nil {
-				s.dataFn(chunk)
-			}
-			progressed = true
+		}
+		if !found {
 			break
 		}
-		if !progressed {
-			break
+		off := best
+		data := s.chunks[off]
+		end := off + uint64(len(data))
+		delete(s.chunks, off)
+		if end <= s.rcvOff {
+			continue // stale duplicate
+		}
+		chunk := data[s.rcvOff-off:]
+		s.rcvOff = end
+		s.nRecved += int64(len(chunk))
+		s.conn.stats.BytesDelivered += int64(len(chunk))
+		if s.dataFn != nil {
+			s.dataFn(chunk)
 		}
 	}
 	if s.hasFin && !s.gotEOF && s.rcvOff >= s.finOff {

@@ -1,0 +1,129 @@
+package simnet
+
+import "time"
+
+// Impairment is the fault-injection profile of a directed path: bursty
+// loss (a Gilbert–Elliott two-state chain), bounded delay jitter, bounded
+// packet reordering, and scheduled outages. The struct is read-only after
+// construction — all mutable state (the chain position, the impairment
+// RNG) lives in the network's per-path state, seeded by path label from
+// the network's seqrand source, so identical seeds yield identical fault
+// sequences regardless of unrelated traffic and of worker sharding. A
+// nil *Impairment in PathProps keeps the unimpaired fast path byte- and
+// allocation-identical to a network without the fault layer.
+type Impairment struct {
+	// Gilbert–Elliott loss. The chain starts in Good; each transmission
+	// attempt draws a drop with the current state's rate, then performs
+	// the state transition. LossGood/LossBad are per-packet drop
+	// probabilities in each state; PGoodBad/PBadGood are the per-packet
+	// transition probabilities. All zero disables the chain (draws no
+	// randomness), so jitter-only profiles stay independent of loss.
+	LossGood float64
+	LossBad  float64
+	PGoodBad float64
+	PBadGood float64
+
+	// JitterMax adds a uniform [0, JitterMax) extra propagation delay
+	// per delivered packet. Zero disables (no draw).
+	JitterMax time.Duration
+
+	// ReorderRate holds a delivered packet back by ReorderDelay with
+	// this probability, letting later-sent packets overtake it. The
+	// scheduler's (time, seq) order keeps even equal-time arrivals
+	// deterministic.
+	ReorderRate  float64
+	ReorderDelay time.Duration
+
+	// Outages are down windows: any packet whose serialization starts in
+	// [Start, End) is dropped after consuming its link time, exactly
+	// like a loss drop. Windows should be disjoint and sorted.
+	Outages []Outage
+}
+
+// Outage is one scheduled down window of a path, in virtual time.
+type Outage struct {
+	Start time.Duration
+	End   time.Duration
+}
+
+// hasGE reports whether the Gilbert–Elliott chain is configured.
+func (im *Impairment) hasGE() bool {
+	return im.LossGood > 0 || im.LossBad > 0 || im.PGoodBad > 0 || im.PBadGood > 0
+}
+
+// down reports whether t falls inside an outage window.
+func (im *Impairment) down(t time.Duration) bool {
+	for _, o := range im.Outages {
+		if t >= o.Start && t < o.End {
+			return true
+		}
+	}
+	return false
+}
+
+// GilbertElliott builds a bursty-loss profile whose stationary average
+// loss matches avgLoss with mean burst length meanBurst (consecutive
+// drops). It uses the classic degenerate parameterization — Good never
+// drops, Bad always drops — so the Bad-state sojourn is the burst:
+// PBadGood = 1/meanBurst, and the stationary Bad probability equals
+// avgLoss, giving PGoodBad = avgLoss·PBadGood/(1−avgLoss). This is the
+// matched-average counterpart of an i.i.d. Bernoulli LossRate=avgLoss
+// path: same long-run drop rate, different clustering.
+func GilbertElliott(avgLoss, meanBurst float64) Impairment {
+	if avgLoss <= 0 {
+		return Impairment{}
+	}
+	if avgLoss > 0.5 {
+		avgLoss = 0.5
+	}
+	if meanBurst < 1 {
+		meanBurst = 1
+	}
+	r := 1 / meanBurst
+	return Impairment{
+		LossBad:  1,
+		PBadGood: r,
+		PGoodBad: avgLoss * r / (1 - avgLoss),
+	}
+}
+
+// RecoveryStats aggregates loss-recovery and retry activity across the
+// client-side connections wired to it (see tcpsim.Config.Recovery,
+// quicsim.Config.Recovery, browser.Config.Recovery). Field names are
+// transport-neutral; each transport maps its own machinery onto them.
+// All increments happen in scheduler context, so a per-universe instance
+// needs no locking.
+type RecoveryStats struct {
+	// Timeouts counts TCP RTO expirations.
+	Timeouts int64
+	// FastRetransmits counts TCP dupack-triggered retransmissions.
+	FastRetransmits int64
+	// Retransmits counts TCP retransmitted segments (all causes).
+	Retransmits int64
+	// ProbeFires counts QUIC PTO expirations.
+	ProbeFires int64
+	// PacketsDeclaredLost counts QUIC packet-threshold loss detections.
+	PacketsDeclaredLost int64
+	// OutageCrossings counts recovery episodes where a connection
+	// received a valid ACK after ≥2 consecutive timeouts/probes — the
+	// signature of surviving a blackout rather than isolated loss.
+	OutageCrossings int64
+	// ConnFailures counts connections torn down by their transport
+	// (timeout / refused), i.e. retryable errors surfaced upward.
+	ConnFailures int64
+	// FetchRetries counts browser resource re-fetches after a transport
+	// error.
+	FetchRetries int64
+}
+
+// Add accumulates o into r (shard aggregation).
+func (r *RecoveryStats) Add(o RecoveryStats) {
+	r.Timeouts += o.Timeouts
+	r.FastRetransmits += o.FastRetransmits
+	r.Retransmits += o.Retransmits
+	r.ProbeFires += o.ProbeFires
+	r.PacketsDeclaredLost += o.PacketsDeclaredLost
+	r.OutageCrossings += o.OutageCrossings
+	r.ConnFailures += o.ConnFailures
+	r.FetchRetries += o.FetchRetries
+}

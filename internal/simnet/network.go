@@ -54,6 +54,10 @@ type PathProps struct {
 	// client's access link shared by all its downloads). Empty keeps
 	// per-(src,dst)-pair serialization.
 	LinkID string
+	// Impair, when non-nil, applies the fault-injection layer (bursty
+	// loss, jitter, reordering, outages) on top of LossRate. The struct
+	// must be read-only; per-path mutable state lives in the network.
+	Impair *Impairment
 }
 
 // PathFunc resolves the directed path properties between two hosts.
@@ -61,12 +65,15 @@ type PathFunc func(src, dst Addr) PathProps
 
 // Stats counts network-level activity for a Network.
 type Stats struct {
-	Sent       int64
-	Delivered  int64
-	LossDrops  int64
-	QueueDrops int64
-	NoRoute    int64 // destination host or port not bound
-	BytesSent  int64
+	Sent        int64
+	Delivered   int64
+	LossDrops   int64
+	QueueDrops  int64
+	BurstDrops  int64 // Gilbert–Elliott (impairment) drops
+	OutageDrops int64 // scheduled-outage drops
+	Reordered   int64 // deliveries held back by the reordering impairment
+	NoRoute     int64 // destination host or port not bound
+	BytesSent   int64
 }
 
 // Network connects hosts over paths resolved by a PathFunc.
@@ -139,6 +146,13 @@ type pathState struct {
 	busyUntil time.Duration
 	inFlight  int
 	lossRng   *rand.Rand
+	label     string // stream label, for lazily derived impairment RNG
+
+	// Fault-injection state (see Impairment). impairRng is derived on
+	// the first impaired send; unimpaired paths never create it, keeping
+	// the fast path identical to a network without the fault layer.
+	impairRng *rand.Rand
+	geBad     bool // Gilbert–Elliott chain position
 }
 
 // queueKey identifies one directed (src, dst) pair's delivery queues.
@@ -220,7 +234,7 @@ func (n *Network) pairState(src, dst Addr, link string) *pathState {
 		if label == "" {
 			label = string(src) + "|" + string(dst)
 		}
-		ps = &pathState{lossRng: n.rng.Stream("loss", label)}
+		ps = &pathState{lossRng: n.rng.Stream("loss", label), label: label}
 		n.pairs[k] = ps
 	}
 	return ps
@@ -269,6 +283,22 @@ func (n *Network) send(pkt Packet) {
 	// one per packet in flight.
 	q := n.pathQueues(pkt.Src, pkt.Dst)
 
+	// The impairment layer runs first (the path's condition evolves per
+	// transmission attempt, independent of ambient loss); its randomness
+	// comes from a separate stream, so unimpaired paths — and the whole
+	// network when no Impairment is configured — draw the exact loss
+	// sequence they always did.
+	var extra time.Duration
+	if props.Impair != nil {
+		drop, delta := n.impair(ps, props.Impair, start)
+		if drop {
+			d.drop = true
+			n.sched.QueueAtArg(&q.drop, start+tx, runDelivery, d)
+			return
+		}
+		extra = delta
+	}
+
 	// Loss is evaluated per transmission attempt. Dropped packets still
 	// consumed link time (they were serialized onto the wire).
 	if props.LossRate > 0 && ps.lossRng.Float64() < props.LossRate {
@@ -278,7 +308,52 @@ func (n *Network) send(pkt Packet) {
 		return
 	}
 
-	n.sched.QueueAtArg(&q.arrive, start+tx+props.Delay, runDelivery, d)
+	n.sched.QueueAtArg(&q.arrive, start+tx+props.Delay+extra, runDelivery, d)
+}
+
+// impair applies the fault-injection layer to one transmission attempt
+// starting serialization at start. It reports whether the packet is
+// dropped (outage or Gilbert–Elliott loss) and, for deliveries, the
+// extra delay from jitter and reordering. Dropped packets are scheduled
+// by the caller on the same drop queue as ambient loss, so they consume
+// their serialization slot and release pooled payloads exactly once via
+// runDelivery.
+func (n *Network) impair(ps *pathState, im *Impairment, start time.Duration) (bool, time.Duration) {
+	if len(im.Outages) > 0 && im.down(start) {
+		n.stats.OutageDrops++
+		return true, 0
+	}
+	if ps.impairRng == nil {
+		ps.impairRng = n.rng.Stream("impair", ps.label)
+	}
+	if im.hasGE() {
+		rate := im.LossGood
+		if ps.geBad {
+			rate = im.LossBad
+		}
+		drop := rate > 0 && (rate >= 1 || ps.impairRng.Float64() < rate)
+		// State transition after the attempt's drop draw.
+		if ps.geBad {
+			if im.PBadGood > 0 && ps.impairRng.Float64() < im.PBadGood {
+				ps.geBad = false
+			}
+		} else if im.PGoodBad > 0 && ps.impairRng.Float64() < im.PGoodBad {
+			ps.geBad = true
+		}
+		if drop {
+			n.stats.BurstDrops++
+			return true, 0
+		}
+	}
+	var extra time.Duration
+	if im.JitterMax > 0 {
+		extra = time.Duration(ps.impairRng.Int63n(int64(im.JitterMax)))
+	}
+	if im.ReorderRate > 0 && ps.impairRng.Float64() < im.ReorderRate {
+		n.stats.Reordered++
+		extra += im.ReorderDelay
+	}
+	return false, extra
 }
 
 func (n *Network) deliver(pkt Packet) {

@@ -209,6 +209,44 @@ func (c *Conn) Abort() {
 	c.teardown()
 }
 
+// resetProbeLimit bounds the RST re-sends after a timeout abort.
+const resetProbeLimit = 12
+
+func (c *Conn) sendReset() {
+	seg := newSegment()
+	seg.flags = flagRST | flagACK
+	seg.seq = c.sndNxt
+	seg.ack = c.rcvNxt
+	c.stats.SegsSent++
+	c.host.Send(c.localPort, c.remote, c.remotePort, seg.wireSize(), seg)
+}
+
+// startResetProbes re-sends RST with exponential spacing after an
+// established connection aborts on max retries. The peer may be
+// mid-receive with nothing of its own in flight, so a single RST lost to
+// the same loss burst or outage that killed the connection would strand
+// it — and the page load above it — forever. Real stacks escape via
+// application read timeouts; the simulator deliberately arms no timers
+// on healthy paths, so the abort itself carries the persistence.
+func (c *Conn) startResetProbes() {
+	gap := c.cfg.RTOInit
+	n := 0
+	var fire func()
+	fire = func() {
+		c.sendReset()
+		n++
+		if n >= resetProbeLimit {
+			return
+		}
+		c.sched.After(gap, fire)
+		gap *= 2
+		if gap > c.cfg.RTOMax {
+			gap = c.cfg.RTOMax
+		}
+	}
+	fire()
+}
+
 func (c *Conn) teardown() {
 	c.state = stateClosed
 	c.rtoTimer.Release()
@@ -285,7 +323,7 @@ func (c *Conn) handleSegment(seg *segment) {
 			if !c.synRetrans {
 				c.rttSample(c.sched.Now() - c.synSentAt)
 			}
-			c.retries = 0
+			c.noteRecovered()
 			c.rtoTimer.Stop()
 			c.sendFlags(flagACK)
 			if c.onEstablished != nil {
@@ -297,7 +335,7 @@ func (c *Conn) handleSegment(seg *segment) {
 	case stateSynRcvd:
 		if seg.flags&flagACK != 0 && seg.flags&flagSYN == 0 {
 			c.state = stateEstablished
-			c.retries = 0
+			c.noteRecovered()
 			c.rtoTimer.Stop()
 			if !c.synRetrans {
 				c.rttSample(c.sched.Now() - c.synSentAt)
@@ -419,7 +457,7 @@ func (c *Conn) processAck(seg *segment) {
 			c.rttSample(c.sched.Now() - c.timedSentAt)
 			c.timedValid = false
 		}
-		c.retries = 0
+		c.noteRecovered()
 		if c.flight() == 0 {
 			c.rtoTimer.Stop()
 		} else {
@@ -457,6 +495,9 @@ func (c *Conn) processAck(seg *segment) {
 			c.cwnd += mss // window inflation
 		case c.dupAcks == 3:
 			c.stats.FastRetransmits++
+			if c.cfg.Recovery != nil {
+				c.cfg.Recovery.FastRetransmits++
+			}
 			c.enterRecovery()
 		}
 	}
@@ -475,8 +516,24 @@ func (c *Conn) enterRecovery() {
 	c.cwnd = c.ssthresh + 3*mss
 }
 
+// noteRecovered records forward progress (a valid ACK or handshake
+// completion) after consecutive RTO fires. Two or more fires before the
+// peer answered mark the episode as an outage crossing: the connection
+// survived a blackout instead of isolated loss. The backed-off RTO is
+// intentionally kept (Karn) — the next valid RTT sample fully re-seeds
+// it from srtt + 4·rttvar in rttSample.
+func (c *Conn) noteRecovered() {
+	if c.retries >= 2 && c.cfg.Recovery != nil {
+		c.cfg.Recovery.OutageCrossings++
+	}
+	c.retries = 0
+}
+
 func (c *Conn) retransmitFirst() {
 	c.stats.Retransmits++
+	if c.cfg.Recovery != nil {
+		c.cfg.Recovery.Retransmits++
+	}
 	c.timedValid = false // Karn: no sampling across retransmission
 	if c.sentFin && c.sndUna == c.finSeq {
 		seg := newSegment()
@@ -509,14 +566,31 @@ func (c *Conn) onRTO() {
 	}
 	c.retries++
 	if c.retries > c.cfg.MaxRetries {
+		// Max-retry abort: a retryable transport error (the application
+		// may redial), not a silent drop.
 		err := ErrTimeout
 		if c.state == stateSynSent {
 			err = ErrRefused
 		}
+		// Probe only mid-conversation aborts: a conn aborting after Close
+		// (lost final FIN/ACK against a peer that already tore down) has
+		// nothing the peer still waits for, and baseline traces contain
+		// such zombies — probing them would perturb healthy-path event
+		// ordering.
+		notify := c.state == stateEstablished && !c.closing
+		if c.cfg.Recovery != nil {
+			c.cfg.Recovery.ConnFailures++
+		}
 		c.fail(err)
+		if notify {
+			c.startResetProbes()
+		}
 		return
 	}
 	c.stats.Timeouts++
+	if c.cfg.Recovery != nil {
+		c.cfg.Recovery.Timeouts++
+	}
 	c.rto *= 2
 	if c.rto > c.cfg.RTOMax {
 		c.rto = c.cfg.RTOMax
@@ -599,38 +673,47 @@ func (c *Conn) processData(seg *segment) {
 
 func (c *Conn) advanceReceive() {
 	for {
-		advanced := false
-		for start, chunk := range c.recvBuf {
-			end := start + uint64(len(chunk.data))
+		// Pick the LOWEST eligible chunk, not any map-order one: with
+		// reordering in the path, retransmission trimming can leave
+		// several overlapping chunks at or below rcvNxt, and the choice
+		// decides delivery granularity — map iteration would make the
+		// byte stream's event trace nondeterministic.
+		var best uint64
+		found := false
+		for start := range c.recvBuf {
 			if start > c.rcvNxt {
 				continue
 			}
-			if end > c.rcvNxt || (chunk.fin && !c.peerEOF && end == c.rcvNxt) {
-				data := chunk.data[c.rcvNxt-start:]
-				delete(c.recvBuf, start)
-				if len(data) > 0 {
-					c.rcvNxt = end
-					c.stats.BytesDelivered += int64(len(data))
-					if c.dataFn != nil {
-						c.dataFn(data)
-					}
-				}
-				bufpool.Put(chunk.data)
-				if chunk.fin {
-					c.rcvNxt++ // consume the FIN offset
-					c.peerEOF = true
-				}
-				advanced = true
-				break
+			if !found || start < best {
+				best = start
+				found = true
 			}
-			delete(c.recvBuf, start) // stale duplicate
-			bufpool.Put(chunk.data)
-			advanced = true
-			break
 		}
-		if !advanced {
+		if !found {
 			return
 		}
+		start := best
+		chunk := c.recvBuf[start]
+		end := start + uint64(len(chunk.data))
+		if end > c.rcvNxt || (chunk.fin && !c.peerEOF && end == c.rcvNxt) {
+			data := chunk.data[c.rcvNxt-start:]
+			delete(c.recvBuf, start)
+			if len(data) > 0 {
+				c.rcvNxt = end
+				c.stats.BytesDelivered += int64(len(data))
+				if c.dataFn != nil {
+					c.dataFn(data)
+				}
+			}
+			bufpool.Put(chunk.data)
+			if chunk.fin {
+				c.rcvNxt++ // consume the FIN offset
+				c.peerEOF = true
+			}
+			continue
+		}
+		delete(c.recvBuf, start) // stale duplicate
+		bufpool.Put(chunk.data)
 	}
 }
 

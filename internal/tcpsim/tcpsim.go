@@ -10,6 +10,8 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"h3cdn/internal/simnet"
 )
 
 // Wire overhead charged per segment (IPv4 20 + TCP 20), in bytes.
@@ -35,6 +37,11 @@ type Config struct {
 	// MaxCwndSegs caps the congestion window, standing in for the
 	// receive window. Default 512.
 	MaxCwndSegs int
+	// Recovery, when non-nil, accumulates loss-recovery counters for
+	// this endpoint (timeouts, retransmissions, blackout crossings).
+	// Increments happen in scheduler context; the pointer is typically
+	// shared by every client connection of one simulated probe.
+	Recovery *simnet.RecoveryStats
 }
 
 func (c Config) withDefaults() Config {
