@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check vet race bench bench-alloc benchgate fmt
+.PHONY: all build test check vet race bench bench-alloc bench-smoke benchgate fmt
 
 all: check
 
@@ -20,9 +20,10 @@ vet:
 race:
 	$(GO) test -race -timeout 40m ./...
 
-# The repo's gate: static checks, the race-enabled suite, and the
-# benchmark regression gate.
-check: vet race benchgate
+# The repo's gate: static checks, a fast allocation smoke pass, the
+# race-enabled suite, and the benchmark regression gate. bench-smoke
+# runs before the (slow) race suite so allocation regressions fail fast.
+check: vet bench-smoke race benchgate
 
 # Analysis/figure regeneration benchmarks (shares one campaign per run).
 bench:
@@ -38,6 +39,11 @@ bench-alloc:
 # exactly; ns/op and B/op within a tolerance band).
 benchgate:
 	$(GO) run ./cmd/benchgate
+
+# Fast allocation smoke pass: one short run of the gated benchmarks,
+# gating allocs/op only (ns/op and B/op are too noisy at 100ms).
+bench-smoke:
+	$(GO) run ./cmd/benchgate -benchtime 100ms -smoke
 
 fmt:
 	gofmt -l -w .

@@ -18,9 +18,16 @@
 // machinery, alongside BenchmarkRunVisitAllocs which pins the
 // nil-Impairment visit path to its pre-fault-layer allocation budget.
 //
+// Baseline entries may name their package with a "pkg" field (a go-test
+// path like "./internal/core"); benchmarks are grouped and run with one
+// `go test -bench` invocation per package. `-smoke` gates allocs/op
+// only (with a widened 15% band — short runs amortize pool warm-up over
+// fewer iterations), for the fast `make bench-smoke` pass where ns/op
+// and B/op are too noisy to judge.
+//
 // Usage:
 //
-//	benchgate [-baseline BENCH_baseline.json] [-tolerance 0.40] [-benchtime 2s]
+//	benchgate [-baseline BENCH_baseline.json] [-tolerance 0.40] [-benchtime 2s] [-smoke]
 //
 // Exit status 0 when every recorded benchmark is within its gate,
 // 1 otherwise. Stdlib-only by design: it must run anywhere `go test`
@@ -45,6 +52,9 @@ type metrics struct {
 }
 
 type baselineEntry struct {
+	// Pkg is the package the benchmark lives in, as a go-test path
+	// relative to the repo root; empty means the root package.
+	Pkg     string   `json:"pkg"`
 	Current *metrics `json:"current"`
 }
 
@@ -65,6 +75,7 @@ func run() int {
 		baseline  = flag.String("baseline", "BENCH_baseline.json", "baseline file")
 		tolerance = flag.Float64("tolerance", 0.40, "relative ns/op regression band")
 		benchtime = flag.String("benchtime", "2s", "go test -benchtime value")
+		smoke     = flag.Bool("smoke", false, "gate allocs/op only (short-benchtime smoke pass: ns/op and B/op are too noisy to judge)")
 	)
 	flag.Parse()
 
@@ -81,11 +92,18 @@ func run() int {
 
 	// Gate every baseline entry that is a Go benchmark with a recorded
 	// `current` column (other entries, like campaign wall-clock notes,
-	// are informational).
+	// are informational). Benchmarks are grouped by their package — one
+	// `go test -bench` invocation per package.
 	var names []string
+	byPkg := make(map[string][]string)
 	for name, e := range base.Benchmarks {
 		if strings.HasPrefix(name, "Benchmark") && e.Current != nil {
 			names = append(names, name)
+			pkg := e.Pkg
+			if pkg == "" {
+				pkg = "."
+			}
+			byPkg[pkg] = append(byPkg[pkg], name)
 		}
 	}
 	if len(names) == 0 {
@@ -93,26 +111,36 @@ func run() int {
 		return 1
 	}
 
-	pattern := "^(" + strings.Join(names, "|") + ")$"
-	cmd := exec.Command("go", "test", "-run", "^$", "-bench", pattern,
-		"-benchtime", *benchtime, "-count", "1", ".")
-	cmd.Stderr = os.Stderr
-	out, err := cmd.Output()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchgate: go test: %v\n%s", err, out)
-		return 1
+	measured := make(map[string]metrics)
+	for pkg, pkgNames := range byPkg {
+		pattern := "^(" + strings.Join(pkgNames, "|") + ")$"
+		cmd := exec.Command("go", "test", "-run", "^$", "-bench", pattern,
+			"-benchtime", *benchtime, "-count", "1", pkg)
+		cmd.Stderr = os.Stderr
+		out, err := cmd.Output()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: go test %s: %v\n%s", pkg, err, out)
+			return 1
+		}
+		for _, line := range strings.Split(string(out), "\n") {
+			m := benchLine.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			ns, _ := strconv.ParseFloat(m[2], 64)
+			b, _ := strconv.ParseFloat(m[3], 64)
+			allocs, _ := strconv.ParseFloat(m[4], 64)
+			measured[m[1]] = metrics{NsOp: ns, BOp: b, AllocsOp: allocs}
+		}
 	}
 
-	measured := make(map[string]metrics)
-	for _, line := range strings.Split(string(out), "\n") {
-		m := benchLine.FindStringSubmatch(line)
-		if m == nil {
-			continue
-		}
-		ns, _ := strconv.ParseFloat(m[2], 64)
-		b, _ := strconv.ParseFloat(m[3], 64)
-		allocs, _ := strconv.ParseFloat(m[4], 64)
-		measured[m[1]] = metrics{NsOp: ns, BOp: b, AllocsOp: allocs}
+	// Short-benchtime smoke runs amortize pool and free-list warm-up
+	// over far fewer iterations, so allocs/op reads ~10% above the 2s
+	// baseline on identical code; the smoke band is wide enough to
+	// absorb that while still catching real regressions.
+	allocsBand := 1.02
+	if *smoke {
+		allocsBand = 1.15
 	}
 
 	failed := false
@@ -126,13 +154,13 @@ func run() int {
 		}
 		status := "ok  "
 		var reasons []string
-		if got.AllocsOp > want.AllocsOp*1.02 {
-			reasons = append(reasons, fmt.Sprintf("allocs/op %.0f > %.0f +2%%", got.AllocsOp, want.AllocsOp))
+		if got.AllocsOp > want.AllocsOp*allocsBand {
+			reasons = append(reasons, fmt.Sprintf("allocs/op %.0f > %.0f +%.0f%%", got.AllocsOp, want.AllocsOp, (allocsBand-1)*100))
 		}
-		if got.BOp > want.BOp*(1+*tolerance) {
+		if !*smoke && got.BOp > want.BOp*(1+*tolerance) {
 			reasons = append(reasons, fmt.Sprintf("B/op %.0f > %.0f +%.0f%%", got.BOp, want.BOp, *tolerance*100))
 		}
-		if got.NsOp > want.NsOp*(1+*tolerance) {
+		if !*smoke && got.NsOp > want.NsOp*(1+*tolerance) {
 			reasons = append(reasons, fmt.Sprintf("ns/op %.2f > %.2f +%.0f%%", got.NsOp, want.NsOp, *tolerance*100))
 		}
 		if len(reasons) > 0 {

@@ -39,6 +39,9 @@ type (
 	UniverseConfig = core.UniverseConfig
 	// Universe is one probe's simulated Internet.
 	Universe = core.Universe
+	// Topology is the build-once, share-everywhere slice of universe
+	// construction (content catalog, provider and resolver tables).
+	Topology = core.Topology
 	// BrowserConfig tunes the page loader.
 	BrowserConfig = browser.Config
 	// Browser is the simulated page loader.
@@ -97,6 +100,10 @@ func Run(cfg CampaignConfig) (*Dataset, error) { return core.RunCampaign(cfg) }
 
 // NewUniverse builds one probe's simulated Internet.
 func NewUniverse(cfg UniverseConfig) (*Universe, error) { return core.NewUniverse(cfg) }
+
+// NewTopology builds the shared campaign topology for a corpus; pass it
+// via UniverseConfig.Topology to amortize setup across many universes.
+func NewTopology(corpus *Corpus) *Topology { return core.NewTopology(corpus) }
 
 // GenerateCorpus builds the synthetic website population.
 func GenerateCorpus(cfg CorpusConfig) *Corpus { return webgen.Generate(cfg) }

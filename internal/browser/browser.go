@@ -130,7 +130,74 @@ type Browser struct {
 	conns map[string]*pooledConn   // h2/h3 pools
 	h1    map[string][]*pooledConn // h1 pools per address
 
+	// Per-fetch state arena. Finished states are reclaimed at the next
+	// visit start — by then the scheduler has run dry, so no transport
+	// callback can still reference them; unfinished states (a visit cut
+	// short by a scheduler error) are never reused.
+	freeStates []*fetchState
+	liveStates []*fetchState
+
 	stats Stats
+}
+
+// sharedReqHeader is the constant header set every browser request
+// carries. httpsim treats Request.Header as read-only, so one immutable
+// map serves all requests.
+var sharedReqHeader = map[string]string{"accept": "*/*", "user-agent": "simbrowser/1.0"}
+
+// fetchState carries one resource fetch across its transport callbacks
+// and retries. States are pooled per browser: the four RequestEvents
+// closures are bound once, when the state object is first created, and
+// every later fetch through the same object reuses them — the hot path
+// allocates neither closures nor request structs.
+type fetchState struct {
+	b       *Browser
+	res     *webgen.Resource
+	ep      Endpoint
+	entry   *har.Entry
+	attempt int
+	done    func() // wave barrier callback
+	pc      *pooledConn
+
+	finished       bool
+	creator        bool
+	h3Discoverable bool
+	sentAt         time.Duration
+	firstByte      time.Duration
+
+	req    httpsim.Request
+	events httpsim.RequestEvents
+}
+
+func (b *Browser) newFetchState() *fetchState {
+	if n := len(b.freeStates); n > 0 {
+		st := b.freeStates[n-1]
+		b.freeStates = b.freeStates[:n-1]
+		return st
+	}
+	st := &fetchState{b: b}
+	st.req.Header = sharedReqHeader
+	st.events = httpsim.RequestEvents{
+		OnSent:     st.onSent,
+		OnHeaders:  st.onHeaders,
+		OnComplete: st.onComplete,
+		OnError:    st.onError,
+	}
+	return st
+}
+
+// reclaimStates returns finished fetch states to the free list.
+func (b *Browser) reclaimStates() {
+	live := b.liveStates[:0]
+	for _, st := range b.liveStates {
+		if st.finished {
+			st.res, st.entry, st.done, st.pc = nil, nil, nil, nil
+			b.freeStates = append(b.freeStates, st)
+		} else {
+			live = append(live, st)
+		}
+	}
+	b.liveStates = live
 }
 
 // Stats counts browser-level activity across visits.
@@ -236,12 +303,31 @@ func (b *Browser) CloseAll() {
 // completed HAR page log; PLT is the time from visit start until the last
 // entry finishes — the onLoad analogue.
 func (b *Browser) Visit(page *webgen.Page, onDone func(*har.PageLog)) {
-	start := b.sched.Now()
-	log := &har.PageLog{
-		Site:     page.Site,
-		Protocol: b.cfg.Mode.String(),
-		Entries:  make([]har.Entry, len(page.Resources)),
+	b.visit(page, &har.PageLog{Entries: make([]har.Entry, len(page.Resources))}, onDone)
+}
+
+// VisitInto is Visit with a caller-owned scratch log: the struct is reset
+// and its Entries backing array reused when capacity allows. Intended for
+// discarded warm passes — the log and its entries are only valid until
+// the next VisitInto call with the same scratch.
+func (b *Browser) VisitInto(page *webgen.Page, log *har.PageLog, onDone func(*har.PageLog)) {
+	n := len(page.Resources)
+	entries := log.Entries
+	if cap(entries) < n {
+		entries = make([]har.Entry, n)
+	} else {
+		entries = entries[:n]
+		clear(entries)
 	}
+	*log = har.PageLog{Entries: entries}
+	b.visit(page, log, onDone)
+}
+
+func (b *Browser) visit(page *webgen.Page, log *har.PageLog, onDone func(*har.PageLog)) {
+	b.reclaimStates()
+	start := b.sched.Now()
+	log.Site = page.Site
+	log.Protocol = b.cfg.Mode.String()
 	if len(page.Resources) == 0 {
 		onDone(log)
 		return
@@ -328,104 +414,114 @@ func (b *Browser) fetch(res *webgen.Resource, entry *har.Entry, done func()) {
 		return
 	}
 
-	finished := false
-	finish := func() {
-		if finished {
-			return
-		}
-		finished = true
-		done()
-	}
-	b.attempt(res, ep, entry, 0, finish)
+	st := b.newFetchState()
+	st.res, st.ep, st.entry, st.done = res, ep, entry, done
+	st.attempt = 0
+	st.finished = false
+	st.sentAt, st.firstByte = 0, 0
+	b.liveStates = append(b.liveStates, st)
+	st.run()
 }
 
-// attempt runs one try of a resource fetch. A transport error evicts the
-// dead connection from the pool and, within Config.MaxFetchRetries,
-// re-issues the request on a fresh connection after exponential backoff;
-// the entry is marked failed only once the budget is exhausted. finish
-// is idempotent across attempts, so a completion can never double-count
-// against the page's barrier.
-func (b *Browser) attempt(res *webgen.Resource, ep Endpoint, entry *har.Entry, attempt int, finish func()) {
-	pc, creator := b.connFor(res.Host, ep, res.H3Eligible)
+// finish reports the fetch to the page barrier exactly once; it is
+// idempotent across attempts, so a completion can never double-count.
+func (st *fetchState) finish() {
+	if st.finished {
+		return
+	}
+	st.finished = true
+	st.done()
+}
+
+// run starts one try of the fetch. A transport error evicts the dead
+// connection from the pool and, within Config.MaxFetchRetries, re-issues
+// the request on a fresh connection after exponential backoff; the entry
+// is marked failed only once the budget is exhausted.
+func (st *fetchState) run() {
+	b := st.b
+	pc, creator := b.connFor(st.res.Host, st.ep, st.res.H3Eligible)
 	creator = creator || pc.used == 0 // first user of a preconnected conn
 	pc.used++
-	entry.Protocol = pc.conn.Protocol().String()
-	entry.ReusedConn = !creator
-	h3Discoverable := b.wantsH3() && ep.SupportsH3 && !ep.H1Only
+	st.pc = pc
+	st.creator = creator
+	st.entry.Protocol = pc.conn.Protocol().String()
+	st.entry.ReusedConn = !creator
+	st.h3Discoverable = b.wantsH3() && st.ep.SupportsH3 && !st.ep.H1Only
 
-	var sentAt, firstByte time.Duration
-	pc.conn.Do(&httpsim.Request{
-		Host:   res.Host,
-		Path:   res.Path,
-		Header: map[string]string{"accept": "*/*", "user-agent": "simbrowser/1.0"},
-	}, httpsim.RequestEvents{
-		OnSent: func() { sentAt = b.sched.Now() },
-		OnHeaders: func(m httpsim.ResponseMeta) {
-			firstByte = b.sched.Now()
-			entry.Status = m.Status
-			entry.BodySize = m.BodySize
-			entry.Header = m.Header
-			if b.cfg.Mode == ModeAdaptive && b.cfg.Selector != nil && !entry.Failed {
-				proto := adaptive.H2
-				if entry.Protocol == "h3" {
-					proto = adaptive.H3
-				}
-				if entry.Protocol != "http/1.1" {
-					b.cfg.Selector.Record(res.Host, proto, firstByte-entry.Started)
-				}
-			}
-			if h3Discoverable && !b.altSvc[res.Host] {
-				// Alt-Svc: the response advertises H3. Chrome
-				// establishes the QUIC connection in the
-				// background so later requests use it without
-				// paying the handshake inline.
-				b.altSvc[res.Host] = true
-				b.preconnectH3(res.Host, ep)
-			}
-		},
-		OnComplete: func() {
-			now := b.sched.Now()
-			if creator {
-				// Connect charges only the handshake portion this
-				// request actually waited for; a background
-				// preconnect that finished earlier costs zero.
-				hsEnd := pc.dialAt + pc.conn.HandshakeDuration()
-				if hsEnd > entry.Started {
-					entry.Connect = hsEnd - entry.Started
-				}
-				entry.ResumedConn = pc.conn.Resumed()
-				if entry.ResumedConn {
-					b.stats.ResumedConns++
-				}
-			}
-			entry.Blocked = sentAt - entry.Started - entry.Connect
-			if entry.Blocked < 0 {
-				entry.Blocked = 0
-			}
-			entry.Wait = firstByte - sentAt
-			entry.Receive = now - firstByte
-			finish()
-		},
-		OnError: func(err error) {
-			b.evict(pc)
-			if attempt < b.cfg.MaxFetchRetries {
-				entry.Retries++
-				b.stats.RetriedEntries++
-				if b.cfg.Recovery != nil {
-					b.cfg.Recovery.FetchRetries++
-				}
-				backoff := b.cfg.RetryBackoff << attempt
-				b.sched.After(backoff, func() {
-					b.attempt(res, ep, entry, attempt+1, finish)
-				})
-				return
-			}
-			entry.Failed = true
-			entry.Error = err.Error()
-			b.stats.FailedEntries++
-			finish()
-		},
-	})
+	st.req.Host = st.res.Host
+	st.req.Path = st.res.Path
+	pc.conn.Do(&st.req, st.events)
+}
+
+func (st *fetchState) onSent() { st.sentAt = st.b.sched.Now() }
+
+func (st *fetchState) onHeaders(m httpsim.ResponseMeta) {
+	b, entry := st.b, st.entry
+	st.firstByte = b.sched.Now()
+	entry.Status = m.Status
+	entry.BodySize = m.BodySize
+	entry.Header = m.Header
+	if b.cfg.Mode == ModeAdaptive && b.cfg.Selector != nil && !entry.Failed {
+		proto := adaptive.H2
+		if entry.Protocol == "h3" {
+			proto = adaptive.H3
+		}
+		if entry.Protocol != "http/1.1" {
+			b.cfg.Selector.Record(st.res.Host, proto, st.firstByte-entry.Started)
+		}
+	}
+	if st.h3Discoverable && !b.altSvc[st.res.Host] {
+		// Alt-Svc: the response advertises H3. Chrome establishes the
+		// QUIC connection in the background so later requests use it
+		// without paying the handshake inline.
+		b.altSvc[st.res.Host] = true
+		b.preconnectH3(st.res.Host, st.ep)
+	}
+}
+
+func (st *fetchState) onComplete() {
+	b, entry, pc := st.b, st.entry, st.pc
+	now := b.sched.Now()
+	if st.creator {
+		// Connect charges only the handshake portion this request
+		// actually waited for; a background preconnect that finished
+		// earlier costs zero.
+		hsEnd := pc.dialAt + pc.conn.HandshakeDuration()
+		if hsEnd > entry.Started {
+			entry.Connect = hsEnd - entry.Started
+		}
+		entry.ResumedConn = pc.conn.Resumed()
+		if entry.ResumedConn {
+			b.stats.ResumedConns++
+		}
+	}
+	entry.Blocked = st.sentAt - entry.Started - entry.Connect
+	if entry.Blocked < 0 {
+		entry.Blocked = 0
+	}
+	entry.Wait = st.firstByte - st.sentAt
+	entry.Receive = now - st.firstByte
+	st.finish()
+}
+
+func (st *fetchState) onError(err error) {
+	b := st.b
+	b.evict(st.pc)
+	if st.attempt < b.cfg.MaxFetchRetries {
+		st.entry.Retries++
+		b.stats.RetriedEntries++
+		if b.cfg.Recovery != nil {
+			b.cfg.Recovery.FetchRetries++
+		}
+		backoff := b.cfg.RetryBackoff << st.attempt
+		st.attempt++
+		b.sched.After(backoff, st.run)
+		return
+	}
+	st.entry.Failed = true
+	st.entry.Error = err.Error()
+	b.stats.FailedEntries++
+	st.finish()
 }
 
 // evict drops a connection that reported a transport error from the

@@ -17,6 +17,11 @@ const (
 
 var pools [numClasses]sync.Pool
 
+// boxes recycles the *[]byte header boxes the class pools store, so a
+// steady-state Get/Put cycle moves buffers without allocating a fresh
+// box (and its escaping slice header) on every Put.
+var boxes sync.Pool
+
 // classFor returns the pool index whose capacity fits n, or -1 when n is
 // out of the pooled range.
 func classFor(n int) int {
@@ -37,7 +42,11 @@ func Get(n int) []byte {
 		return make([]byte, n)
 	}
 	if v := pools[c].Get(); v != nil {
-		return (*v.(*[]byte))[:n]
+		box := v.(*[]byte)
+		buf := *box
+		*box = nil
+		boxes.Put(box)
+		return buf[:n]
 	}
 	buf := make([]byte, 1<<(minClassBits+c))
 	return buf[:n]
@@ -50,8 +59,12 @@ func Put(buf []byte) {
 	if c < 0 {
 		return
 	}
-	full := buf[:cap(buf)]
-	pools[c].Put(&full)
+	box, _ := boxes.Get().(*[]byte)
+	if box == nil {
+		box = new([]byte)
+	}
+	*box = buf[:cap(buf)]
+	pools[c].Put(box)
 }
 
 // capClass maps an exact power-of-two capacity to its class, or -1.

@@ -169,7 +169,16 @@ func shardCampaign(cfg CampaignConfig, corpus *webgen.Corpus) []shardJob {
 	if cfg.Consecutive || per > len(corpus.Pages) {
 		per = len(corpus.Pages)
 	}
-	var jobs []shardJob
+	probesTotal := 0
+	for _, point := range cfg.Vantages {
+		if cfg.ProbesPerVantage > 0 {
+			probesTotal += cfg.ProbesPerVantage
+		} else {
+			probesTotal += point.ProbesPerSite
+		}
+	}
+	shardsPerProbe := (len(corpus.Pages) + per - 1) / per
+	jobs := make([]shardJob, 0, len(cfg.Modes)*probesTotal*shardsPerProbe)
 	for _, mode := range cfg.Modes {
 		for _, point := range cfg.Vantages {
 			probes := point.ProbesPerSite
@@ -208,12 +217,16 @@ func RunCampaign(cfg CampaignConfig) (*Dataset, error) {
 		return nil, fmt.Errorf("core: RunCampaign: empty corpus")
 	}
 
+	// The topology — content catalog, provider tables, resolver maps —
+	// depends only on the corpus and registry, so build it once and
+	// share it read-only across every shard on every worker.
+	topo := NewTopology(corpus)
 	jobs := shardCampaign(cfg, corpus)
 	results := make([][]har.PageLog, len(jobs))
 	stats := make([]CampaignStats, len(jobs))
 	errs := make([]error, len(jobs))
 	run := func(i int) {
-		results[i], stats[i], errs[i] = runShard(cfg, corpus, jobs[i])
+		results[i], stats[i], errs[i] = runShard(cfg, topo, jobs[i])
 	}
 	if cfg.Sequential {
 		for i := range jobs {
@@ -251,33 +264,51 @@ func RunCampaign(cfg CampaignConfig) (*Dataset, error) {
 		}
 	}
 
-	ds := &Dataset{
-		Seed:        cfg.Seed,
-		Consecutive: cfg.Consecutive,
-		Corpus:      corpus,
-		Logs:        make(map[browser.Mode]*har.Log, len(cfg.Modes)),
-	}
-	for _, mode := range cfg.Modes {
-		ds.Logs[mode] = &har.Log{Seed: cfg.Seed}
-	}
-	for i, job := range jobs {
-		ds.Logs[job.mode].Pages = append(ds.Logs[job.mode].Pages, results[i]...)
-	}
+	ds := stitchDataset(cfg, corpus, jobs, results)
 	for i := range stats {
 		ds.Stats.add(stats[i])
 	}
 	return ds, nil
 }
 
+// stitchDataset assembles the per-mode HAR logs from per-shard results,
+// in job order. Each mode's Pages slice is sized to its summed shard
+// counts up front, so stitching a large campaign performs one allocation
+// per mode instead of append-regrowing a slice of page logs.
+func stitchDataset(cfg CampaignConfig, corpus *webgen.Corpus, jobs []shardJob, results [][]har.PageLog) *Dataset {
+	ds := &Dataset{
+		Seed:        cfg.Seed,
+		Consecutive: cfg.Consecutive,
+		Corpus:      corpus,
+		Logs:        make(map[browser.Mode]*har.Log, len(cfg.Modes)),
+	}
+	perMode := make(map[browser.Mode]int, len(cfg.Modes))
+	for i, job := range jobs {
+		perMode[job.mode] += len(results[i])
+	}
+	for _, mode := range cfg.Modes {
+		ds.Logs[mode] = &har.Log{
+			Seed:  cfg.Seed,
+			Pages: make([]har.PageLog, 0, perMode[mode]),
+		}
+	}
+	for i, job := range jobs {
+		ds.Logs[job.mode].Pages = append(ds.Logs[job.mode].Pages, results[i]...)
+	}
+	return ds
+}
+
 // runShard executes the visit protocol for one shard: a warm pass caches
 // the shard's resources at the edges (and, implicitly, teaches the
 // browser each host's H3 support, like Alt-Svc), then the measured pass
 // records HAR logs. The shard sees a sub-corpus view — only its page
-// range, with the full corpus's hostname maps — so each shard builds only
-// the origins it visits.
+// range, with the full corpus's hostname maps — while the shared
+// campaign topology supplies the content catalog and resolver tables, so
+// each shard instantiates only the servers its pages contact.
 // It also returns the shard's execution counters (events, recovery
 // activity, network drops).
-func runShard(cfg CampaignConfig, corpus *webgen.Corpus, job shardJob) ([]har.PageLog, CampaignStats, error) {
+func runShard(cfg CampaignConfig, topo *Topology, job shardJob) ([]har.PageLog, CampaignStats, error) {
+	corpus := topo.Corpus()
 	view := corpus
 	if job.lo != 0 || job.hi != len(corpus.Pages) {
 		view = &webgen.Corpus{
@@ -290,6 +321,7 @@ func runShard(cfg CampaignConfig, corpus *webgen.Corpus, job shardJob) ([]har.Pa
 	u, err := NewUniverse(UniverseConfig{
 		Seed:           shardSeed(cfg, job),
 		Corpus:         view,
+		Topology:       topo,
 		Vantage:        job.point,
 		LossRate:       cfg.LossRate,
 		Impair:         cfg.Impairment,
@@ -300,6 +332,7 @@ func runShard(cfg CampaignConfig, corpus *webgen.Corpus, job shardJob) ([]har.Pa
 	if err != nil {
 		return nil, CampaignStats{}, err
 	}
+	defer u.Close()
 	shardStats := func() CampaignStats {
 		ns := u.Net.Stats()
 		return CampaignStats{
@@ -327,7 +360,7 @@ func runShard(cfg CampaignConfig, corpus *webgen.Corpus, job shardJob) ([]har.Pa
 
 	// Warm pass (discarded): fills edge caches, as in §III-B.
 	for i := range view.Pages {
-		if _, err := u.RunVisit(b, &view.Pages[i]); err != nil {
+		if err := u.RunVisitDiscard(b, &view.Pages[i]); err != nil {
 			return nil, shardStats(), fmt.Errorf("warm visit: %w", err)
 		}
 		b.ClearSessions()

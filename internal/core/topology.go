@@ -1,0 +1,97 @@
+package core
+
+import (
+	"h3cdn/internal/browser"
+	"h3cdn/internal/cdn"
+	"h3cdn/internal/simnet"
+	"h3cdn/internal/webgen"
+)
+
+// contentKey identifies one resource body. Keyed by struct, not by
+// host+path concatenation: the lookup runs once per simulated request,
+// and a struct key hashes both strings without allocating.
+type contentKey struct{ host, path string }
+
+// Topology is the campaign-wide, shard-independent slice of universe
+// construction: everything computable from the immutable corpus and the
+// CDN registry alone. A campaign builds it once and shares it read-only
+// across every worker goroutine; each shard's Universe then only pays
+// for its own randomness (origin delays, path streams) and the servers
+// it actually contacts.
+//
+// All fields are written during NewTopology and never mutated again —
+// concurrent readers need no synchronization.
+type Topology struct {
+	corpus *webgen.Corpus
+
+	// content is the (host, path) → size catalog over the full corpus.
+	content map[contentKey]int
+
+	// providers snapshots the CDN registry by name; edgeAddr and
+	// preloaded are the resolver's provider-level lookups.
+	providers map[string]cdn.Provider
+	edgeAddr  map[string]simnet.Addr
+	preloaded map[string]bool
+}
+
+// NewTopology builds the shared topology for a corpus. The corpus must
+// not be mutated afterwards.
+func NewTopology(corpus *webgen.Corpus) *Topology {
+	nRes := 0
+	for i := range corpus.Pages {
+		nRes += len(corpus.Pages[i].Resources)
+	}
+	reg := cdn.Registry()
+	t := &Topology{
+		corpus:    corpus,
+		content:   make(map[contentKey]int, nRes),
+		providers: make(map[string]cdn.Provider, len(reg)),
+		edgeAddr:  make(map[string]simnet.Addr, len(reg)),
+		preloaded: make(map[string]bool, len(reg)),
+	}
+	for i := range corpus.Pages {
+		p := &corpus.Pages[i]
+		for j := range p.Resources {
+			r := &p.Resources[j]
+			t.content[contentKey{r.Host, r.Path}] = r.Size
+		}
+	}
+	for _, p := range reg {
+		t.providers[p.Name] = p
+		t.edgeAddr[p.Name] = simnet.Addr("edge." + slug(p.Name))
+		t.preloaded[p.Name] = p.H3Preloaded
+	}
+	return t
+}
+
+// Corpus returns the corpus the topology was built from.
+func (t *Topology) Corpus() *webgen.Corpus { return t.corpus }
+
+// ContentSize resolves a resource's body size (the cdn.ContentFunc shared
+// by every edge and origin server built from this topology).
+func (t *Topology) ContentSize(host, path string) (int, bool) {
+	n, ok := t.content[contentKey{host, path}]
+	return n, ok
+}
+
+// Endpoint resolves a hostname to its serving endpoint. The answer is
+// shard-independent: which simulated server backs the address — and
+// whether it exists yet — is the Universe's concern, not the topology's.
+func (t *Topology) Endpoint(hostname string) (browser.Endpoint, bool) {
+	prov, ok := t.corpus.HostProvider[hostname]
+	if !ok {
+		return browser.Endpoint{}, false
+	}
+	if prov == "" {
+		return browser.Endpoint{
+			Addr:       simnet.Addr("origin." + hostname),
+			SupportsH3: t.corpus.H3Support[hostname],
+			H1Only:     t.corpus.H1Only[hostname],
+		}, true
+	}
+	return browser.Endpoint{
+		Addr:        t.edgeAddr[prov],
+		SupportsH3:  t.corpus.H3Support[hostname],
+		H3Preloaded: t.preloaded[prov],
+	}, true
+}

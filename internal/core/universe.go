@@ -29,8 +29,14 @@ const probeAddr simnet.Addr = "probe"
 type UniverseConfig struct {
 	// Seed drives path randomness (per probe).
 	Seed uint64
-	// Corpus supplies pages, hostnames, and H3 support.
+	// Corpus supplies pages, hostnames, and H3 support. In a sharded
+	// campaign this is the shard's page-range view.
 	Corpus *webgen.Corpus
+	// Topology, when non-nil, is the shared campaign-wide topology
+	// (content catalog, provider maps, resolver tables) built once from
+	// the full corpus. It must have been built from a corpus sharing
+	// this config's hostname maps; nil builds a private one from Corpus.
+	Topology *Topology
 	// Vantage scales path delays.
 	Vantage vantage.Point
 	// LossRate applies i.i.d. loss on client↔server paths (the Traffic
@@ -71,9 +77,17 @@ func (c UniverseConfig) withDefaults() UniverseConfig {
 	return c
 }
 
-// Universe is one probe's simulated Internet: the probe host, one edge
-// per CDN provider, one origin per site, and the resolver tying hostnames
-// to servers.
+// Universe is one probe's simulated Internet: the probe host, the
+// resolver tying hostnames to servers, and the servers themselves —
+// instantiated lazily, on the first resolver hit for an address, so a
+// shard only ever builds the edges and origins its pages contact.
+//
+// Laziness cannot perturb determinism: every random stream a server
+// consumes ("edgewait"/provider, "originwait"/site) is derived by label
+// from the universe seed, so its state sequence is independent of
+// instantiation order; the only construction-time draws — per-page
+// origin delays from the "origindelay" stream — happen eagerly in
+// corpus-page order, exactly as they did when construction was eager.
 type Universe struct {
 	Sched  *simnet.Scheduler
 	Net    *simnet.Network
@@ -81,11 +95,18 @@ type Universe struct {
 
 	cfg      UniverseConfig
 	corpus   *webgen.Corpus
-	edges    map[string]*cdn.Edge // by provider name
-	servers  []*httpsim.Server
+	topo     *Topology
+	src      *seqrand.Source
+	nodes    map[simnet.Addr]nodeClass
+	edges    map[string]*cdn.Edge            // by provider name
+	servers  map[simnet.Addr]*httpsim.Server // instantiated so far
 	resolver browser.Resolver
+	startErr error // first lazy StartServer failure, surfaced by RunVisit
 	events   int64 // scheduler events executed across RunVisit calls
 	recovery simnet.RecoveryStats
+
+	// warmLog is the reusable scratch log for RunVisitDiscard.
+	warmLog har.PageLog
 }
 
 type nodeClass struct {
@@ -93,46 +114,57 @@ type nodeClass struct {
 	bw    float64
 }
 
-// NewUniverse builds the topology and starts every server.
+// NewUniverse builds the probe's network and the per-shard randomness;
+// servers are instantiated on first contact (see Universe).
 func NewUniverse(cfg UniverseConfig) (*Universe, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Corpus == nil {
 		return nil, fmt.Errorf("core: NewUniverse: nil corpus")
 	}
+	topo := cfg.Topology
+	if topo == nil {
+		topo = NewTopology(cfg.Corpus)
+	}
 	src := seqrand.New(cfg.Seed).Sub("universe", cfg.Vantage.Name)
 
-	// Content catalog: (host, path) → size. Keyed by struct, not by
-	// host+path concatenation: the lookup runs once per simulated
-	// request, and a struct key hashes both strings without allocating.
-	type contentKey struct{ host, path string }
-	content := make(map[contentKey]int)
-	for i := range cfg.Corpus.Pages {
-		p := &cfg.Corpus.Pages[i]
-		for j := range p.Resources {
-			r := &p.Resources[j]
-			content[contentKey{r.Host, r.Path}] = r.Size
-		}
-	}
-	contentFn := func(host, path string) (int, bool) {
-		n, ok := content[contentKey{host, path}]
-		return n, ok
+	u := &Universe{
+		cfg:     cfg,
+		corpus:  cfg.Corpus,
+		topo:    topo,
+		src:     src,
+		nodes:   make(map[simnet.Addr]nodeClass, len(cfg.Corpus.Pages)+len(topo.providers)),
+		edges:   make(map[string]*cdn.Edge, len(topo.providers)),
+		servers: make(map[simnet.Addr]*httpsim.Server, len(cfg.Corpus.Pages)+len(topo.providers)),
 	}
 
-	// Node classes: per server address, its one-way delay and rate.
-	nodes := make(map[simnet.Addr]nodeClass)
+	// Node classes for every address the shard can reach. Edge delays
+	// are pure registry + vantage arithmetic; origin delays draw from
+	// the "origindelay" stream once per page, in corpus-page order —
+	// the same order eager construction drew them, which is what keeps
+	// fixed-seed datasets byte-identical under lazy instantiation.
+	for name, p := range topo.providers {
+		u.nodes[topo.edgeAddr[name]] = nodeClass{
+			delay: time.Duration(float64(p.EdgeDelay) * cfg.Vantage.DelayFactor),
+			bw:    p.EdgeBandwidth,
+		}
+	}
+	originDelayRng := src.Stream("origindelay")
+	for i := range cfg.Corpus.Pages {
+		site := cfg.Corpus.Pages[i].Site
+		delay := 15*time.Millisecond + time.Duration(originDelayRng.Int63n(int64(30*time.Millisecond)))
+		u.nodes[simnet.Addr("origin."+site)] = nodeClass{
+			delay: time.Duration(float64(delay) * cfg.Vantage.DelayFactor),
+			bw:    100e6,
+		}
+	}
 
 	// Path function: probe ↔ server with the server's delay; the
 	// probe's access link is shared in each direction.
-	u := &Universe{
-		cfg:    cfg,
-		corpus: cfg.Corpus,
-		edges:  make(map[string]*cdn.Edge),
-	}
 	pf := func(srcA, dst simnet.Addr) simnet.PathProps {
 		var props simnet.PathProps
 		switch {
 		case dst == probeAddr: // download direction
-			nc := nodes[srcA]
+			nc := u.nodes[srcA]
 			props = simnet.PathProps{
 				Delay:        nc.delay,
 				BandwidthBps: minf(nc.bw, cfg.AccessDownBps),
@@ -141,7 +173,7 @@ func NewUniverse(cfg UniverseConfig) (*Universe, error) {
 				Impair:       cfg.Impair,
 			}
 		case srcA == probeAddr: // upload direction
-			nc := nodes[dst]
+			nc := u.nodes[dst]
 			props = simnet.PathProps{
 				Delay:        nc.delay,
 				BandwidthBps: cfg.AccessUpBps,
@@ -159,103 +191,107 @@ func NewUniverse(cfg UniverseConfig) (*Universe, error) {
 	u.Net = net
 	u.Client = net.AddHost(probeAddr)
 
-	// One edge host per provider.
-	edgeAddrByProvider := make(map[string]simnet.Addr)
-	preloaded := make(map[string]bool)
-	for _, p := range cdn.Registry() {
-		addr := simnet.Addr("edge." + slug(p.Name))
-		host := net.AddHost(addr)
-		nodes[addr] = nodeClass{
-			delay: time.Duration(float64(p.EdgeDelay) * cfg.Vantage.DelayFactor),
-			bw:    p.EdgeBandwidth,
-		}
-		edge := cdn.NewEdge(cdn.EdgeConfig{
-			Provider:       p,
-			Sched:          sched,
-			Content:        contentFn,
-			H3WaitOverhead: cfg.H3WaitOverhead,
-			MissPenalty:    cfg.MissPenalty,
-			Rng:            src.Stream("edgewait", p.Name),
-		})
-		srv, err := httpsim.StartServer(host, httpsim.ServerConfig{
-			Handler:      edge.Handler(),
-			TLSSessions:  tlssim.NewServerSessionState(),
-			QUICSessions: quicsim.NewServerSessions(),
-			EnableH3:     true,
-			HandshakeCPU: 500 * time.Microsecond,
-			// Production QUIC stacks ship large initial windows
-			// (Google uses IW32), softening the cold-start cost of
-			// Alt-Svc-switched connections, and retransmit lost
-			// handshake flights from a cached RTT estimate rather
-			// than the RFC's conservative 1s initial PTO.
-			QUIC: quicsim.Config{InitCwndPkts: 32, PTOInit: 300 * time.Millisecond},
-		})
-		if err != nil {
-			return nil, fmt.Errorf("core: edge %s: %w", p.Name, err)
-		}
-		u.edges[p.Name] = edge
-		u.servers = append(u.servers, srv)
-		edgeAddrByProvider[p.Name] = addr
-		preloaded[p.Name] = p.H3Preloaded
-	}
-
-	// One origin host per site.
-	originDelayRng := src.Stream("origindelay")
-	for i := range cfg.Corpus.Pages {
-		site := cfg.Corpus.Pages[i].Site
-		addr := simnet.Addr("origin." + site)
-		host := net.AddHost(addr)
-		delay := 15*time.Millisecond + time.Duration(originDelayRng.Int63n(int64(30*time.Millisecond)))
-		nodes[addr] = nodeClass{
-			delay: time.Duration(float64(delay) * cfg.Vantage.DelayFactor),
-			bw:    100e6,
-		}
-		handler := cdn.NewOriginHandler(cdn.OriginConfig{
-			Sched:          sched,
-			Content:        contentFn,
-			H3WaitOverhead: cfg.H3WaitOverhead,
-			Rng:            src.Stream("originwait", site),
-		})
-		srv, err := httpsim.StartServer(host, httpsim.ServerConfig{
-			Handler:      handler,
-			TLSSessions:  tlssim.NewServerSessionState(),
-			QUICSessions: quicsim.NewServerSessions(),
-			EnableH3:     cfg.Corpus.H3Support[site],
-			HandshakeCPU: 800 * time.Microsecond,
-			QUIC:         quicsim.Config{InitCwndPkts: 32, PTOInit: 300 * time.Millisecond},
-		})
-		if err != nil {
-			return nil, fmt.Errorf("core: origin %s: %w", site, err)
-		}
-		u.servers = append(u.servers, srv)
-	}
-
-	// Resolver: hostname → serving endpoint.
+	// Resolver: hostname → serving endpoint, instantiating the backing
+	// server on first contact.
 	u.resolver = func(hostname string) (browser.Endpoint, bool) {
-		prov, ok := cfg.Corpus.HostProvider[hostname]
+		ep, ok := topo.Endpoint(hostname)
 		if !ok {
 			return browser.Endpoint{}, false
 		}
-		if prov == "" {
-			return browser.Endpoint{
-				Addr:       simnet.Addr("origin." + hostname),
-				SupportsH3: cfg.Corpus.H3Support[hostname],
-				H1Only:     cfg.Corpus.H1Only[hostname],
-			}, true
+		if _, up := u.servers[ep.Addr]; !up {
+			if err := u.startServer(ep.Addr, hostname); err != nil {
+				if u.startErr == nil {
+					u.startErr = err
+				}
+				return browser.Endpoint{}, false
+			}
 		}
-		return browser.Endpoint{
-			Addr:        edgeAddrByProvider[prov],
-			SupportsH3:  cfg.Corpus.H3Support[hostname],
-			H3Preloaded: preloaded[prov],
-		}, true
+		return ep, true
 	}
 	return u, nil
+}
+
+// startServer instantiates the server behind addr: a provider edge for
+// CDN hostnames, the site's origin otherwise. Instantiation draws no
+// randomness — the server's jitter streams are label-derived — so the
+// moment it happens cannot perturb the simulation.
+func (u *Universe) startServer(addr simnet.Addr, hostname string) error {
+	if prov := u.topo.corpus.HostProvider[hostname]; prov != "" {
+		return u.startEdge(prov, addr)
+	}
+	return u.startOrigin(hostname, addr)
+}
+
+func (u *Universe) startEdge(provider string, addr simnet.Addr) error {
+	p := u.topo.providers[provider]
+	host := u.Net.AddHost(addr)
+	edge := cdn.NewEdge(cdn.EdgeConfig{
+		Provider:       p,
+		Sched:          u.Sched,
+		Content:        u.topo.ContentSize,
+		H3WaitOverhead: u.cfg.H3WaitOverhead,
+		MissPenalty:    u.cfg.MissPenalty,
+		Rng:            u.src.Stream("edgewait", p.Name),
+	})
+	srv, err := httpsim.StartServer(host, httpsim.ServerConfig{
+		Handler:      edge.Handler(),
+		TLSSessions:  tlssim.NewServerSessionState(),
+		QUICSessions: quicsim.NewServerSessions(),
+		EnableH3:     true,
+		HandshakeCPU: 500 * time.Microsecond,
+		// Production QUIC stacks ship large initial windows
+		// (Google uses IW32), softening the cold-start cost of
+		// Alt-Svc-switched connections, and retransmit lost
+		// handshake flights from a cached RTT estimate rather
+		// than the RFC's conservative 1s initial PTO.
+		QUIC: quicsim.Config{InitCwndPkts: 32, PTOInit: 300 * time.Millisecond},
+	})
+	if err != nil {
+		return fmt.Errorf("core: edge %s: %w", p.Name, err)
+	}
+	u.edges[p.Name] = edge
+	u.servers[addr] = srv
+	return nil
+}
+
+func (u *Universe) startOrigin(site string, addr simnet.Addr) error {
+	host := u.Net.AddHost(addr)
+	if _, ok := u.nodes[addr]; !ok {
+		// A site outside the shard's page range (a cross-site origin
+		// reference). No "origindelay" draw was budgeted for it, so it
+		// gets the stream's mean deterministically rather than a draw
+		// that would shift every later site's delay.
+		u.nodes[addr] = nodeClass{
+			delay: time.Duration(float64(30*time.Millisecond) * u.cfg.Vantage.DelayFactor),
+			bw:    100e6,
+		}
+	}
+	handler := cdn.NewOriginHandler(cdn.OriginConfig{
+		Sched:          u.Sched,
+		Content:        u.topo.ContentSize,
+		H3WaitOverhead: u.cfg.H3WaitOverhead,
+		Rng:            u.src.Stream("originwait", site),
+	})
+	srv, err := httpsim.StartServer(host, httpsim.ServerConfig{
+		Handler:      handler,
+		TLSSessions:  tlssim.NewServerSessionState(),
+		QUICSessions: quicsim.NewServerSessions(),
+		EnableH3:     u.topo.corpus.H3Support[site],
+		HandshakeCPU: 800 * time.Microsecond,
+		QUIC:         quicsim.Config{InitCwndPkts: 32, PTOInit: 300 * time.Millisecond},
+	})
+	if err != nil {
+		return fmt.Errorf("core: origin %s: %w", site, err)
+	}
+	u.servers[addr] = srv
+	return nil
 }
 
 // Resolver returns the hostname resolver for browsers in this universe.
 func (u *Universe) Resolver() browser.Resolver { return u.resolver }
 
-// Edge returns the edge state for a provider (nil if unknown).
+// Edge returns the edge state for a provider (nil if unknown or not yet
+// contacted — edges instantiate on first resolver hit).
 func (u *Universe) Edge(provider string) *cdn.Edge { return u.edges[provider] }
 
 // Events reports the total scheduler events executed by RunVisit calls
@@ -298,10 +334,36 @@ func (u *Universe) RunVisit(b *browser.Browser, page *webgen.Page) (*har.PageLog
 	if err != nil {
 		return nil, fmt.Errorf("core: visit %s: %w", page.Site, err)
 	}
+	if u.startErr != nil {
+		return nil, fmt.Errorf("core: visit %s: %w", page.Site, u.startErr)
+	}
 	if result == nil {
 		return nil, fmt.Errorf("core: visit %s never completed", page.Site)
 	}
 	return result, nil
+}
+
+// RunVisitDiscard drives one page load whose log is thrown away (a cache
+// warming pass). The entries land in a universe-owned scratch log reused
+// across calls, so warm visits allocate no per-visit log state.
+func (u *Universe) RunVisitDiscard(b *browser.Browser, page *webgen.Page) error {
+	completed := false
+	b.VisitInto(page, &u.warmLog, func(l *har.PageLog) {
+		completed = true
+		b.CloseAll()
+	})
+	n, err := u.Sched.Run()
+	u.events += int64(n)
+	if err != nil {
+		return fmt.Errorf("core: visit %s: %w", page.Site, err)
+	}
+	if u.startErr != nil {
+		return fmt.Errorf("core: visit %s: %w", page.Site, u.startErr)
+	}
+	if !completed {
+		return fmt.Errorf("core: visit %s never completed", page.Site)
+	}
+	return nil
 }
 
 func minf(a, b float64) float64 {

@@ -230,6 +230,7 @@ func writeBodyBlock(w blockWriter, streamID uint32, flags uint8, n int) {
 // blockParser incrementally decodes framed blocks from a byte stream.
 type blockParser struct {
 	acc []byte
+	off int // consumed prefix of acc; compacted before each append
 }
 
 type block struct {
@@ -239,26 +240,34 @@ type block struct {
 	payload  []byte
 }
 
-// feed appends data and returns all complete blocks.
+// feed appends data and returns all complete blocks. Returned payloads
+// alias the parser's accumulator and are only valid until the next feed:
+// the consumed prefix is compacted in place before each append so one
+// backing array is reused across the connection's lifetime.
 func (p *blockParser) feed(data []byte) []block {
+	if p.off > 0 {
+		n := copy(p.acc, p.acc[p.off:])
+		p.acc = p.acc[:n]
+		p.off = 0
+	}
 	p.acc = append(p.acc, data...)
 	var out []block
 	for {
-		if len(p.acc) < blockHeaderSize {
+		acc := p.acc[p.off:]
+		if len(acc) < blockHeaderSize {
 			return out
 		}
-		plen := int(binary.BigEndian.Uint32(p.acc[6:10]))
-		if len(p.acc) < blockHeaderSize+plen {
+		plen := int(binary.BigEndian.Uint32(acc[6:10]))
+		if len(acc) < blockHeaderSize+plen {
 			return out
 		}
-		b := block{
-			typ:      blockType(p.acc[0]),
-			streamID: binary.BigEndian.Uint32(p.acc[1:5]),
-			flags:    p.acc[5],
-			payload:  p.acc[blockHeaderSize : blockHeaderSize+plen],
-		}
-		p.acc = p.acc[blockHeaderSize+plen:]
-		out = append(out, b)
+		out = append(out, block{
+			typ:      blockType(acc[0]),
+			streamID: binary.BigEndian.Uint32(acc[1:5]),
+			flags:    acc[5],
+			payload:  acc[blockHeaderSize : blockHeaderSize+plen],
+		})
+		p.off += blockHeaderSize + plen
 	}
 }
 

@@ -100,6 +100,18 @@ type Conn struct {
 	recvd     rangeSet
 	ackQueued bool
 
+	// Free lists for the send path's per-packet records. All reuse is
+	// scoped to this connection (one scheduler goroutine), and recycling
+	// happens only when a record is provably dead: a sentPacket retires
+	// on ack or loss-declaration with no other holder, while frames
+	// arrays and ackFrames recycle on ack only — an acked packet was
+	// delivered and fully processed, whereas a loss-declared one may be
+	// a reordering false positive still in flight, its wire copy aliasing
+	// the array.
+	freeFrames [][]frame
+	freeSents  []*sentPacket
+	freeAcks   []*ackFrame
+
 	onEstablished func(*Conn)
 	closeFn       func(error)
 	stats         ConnStats
@@ -381,6 +393,12 @@ func (c *Conn) trySend() {
 }
 
 func (c *Conn) buildAck() *ackFrame {
+	if n := len(c.freeAcks); n > 0 {
+		af := c.freeAcks[n-1]
+		c.freeAcks = c.freeAcks[:n-1]
+		af.ranges = c.recvd.snapshotInto(af.ranges[:0], 32)
+		return af
+	}
 	return &ackFrame{ranges: c.recvd.snapshot(32)}
 }
 
@@ -389,11 +407,16 @@ func (c *Conn) buildAck() *ackFrame {
 // Returns nil when there is nothing ack-eliciting to send.
 func (c *Conn) buildPacket() *packet {
 	var frames []frame
+	if n := len(c.freeFrames); n > 0 {
+		frames = c.freeFrames[n-1][:0]
+		c.freeFrames = c.freeFrames[:n-1]
+	}
 	budget := maxPacketPayload
 	eliciting := false
 
+	var ack *ackFrame
 	if c.ackQueued {
-		ack := c.buildAck()
+		ack = c.buildAck()
 		frames = append(frames, ack)
 		budget -= ack.wireSize()
 	}
@@ -425,6 +448,15 @@ func (c *Conn) buildPacket() *packet {
 	}
 
 	if !eliciting {
+		// Nothing to send: recycle the speculative ACK (the trySend
+		// flush path emits a pooled ack-only packet instead) and the
+		// frames array.
+		if ack != nil {
+			c.freeAcks = append(c.freeAcks, ack)
+		}
+		if cap(frames) > 0 {
+			c.freeFrames = append(c.freeFrames, frames[:0])
+		}
 		return nil
 	}
 	if c.ackQueued {
@@ -473,19 +505,44 @@ func (c *Conn) pullStreamFrame(maxData int) *streamFrame {
 }
 
 func (c *Conn) sendPacket(p *packet) {
-	sp := &sentPacket{
-		pn:           p.pn,
-		frames:       p.frames,
-		size:         p.wireSize(),
-		sentAt:       c.sched.Now(),
-		ackEliciting: p.isAckEliciting(),
-	}
-	if sp.ackEliciting {
+	if p.isAckEliciting() {
+		sp := c.newSentPacket()
+		sp.pn = p.pn
+		sp.frames = p.frames
+		sp.size = p.wireSize()
+		sp.sentAt = c.sched.Now()
+		sp.ackEliciting = true
 		c.sent = append(c.sent, sp)
 		c.bytesInFlight += sp.size
 		c.armPTO()
 	}
 	c.transmit(p)
+}
+
+// newSentPacket takes a retired record from the free list, or allocates.
+func (c *Conn) newSentPacket() *sentPacket {
+	if n := len(c.freeSents); n > 0 {
+		sp := c.freeSents[n-1]
+		c.freeSents = c.freeSents[:n-1]
+		return sp
+	}
+	return &sentPacket{}
+}
+
+// retireAcked recycles an acked sentPacket: the packet was delivered and
+// processed, so its frames array and any embedded ackFrame have no other
+// holder. Frame structs themselves are NOT pooled — a PTO probe may have
+// copied their pointers into another in-flight record.
+func (c *Conn) retireAcked(sp *sentPacket) {
+	for i, f := range sp.frames {
+		if af, ok := f.(*ackFrame); ok {
+			c.freeAcks = append(c.freeAcks, af)
+		}
+		sp.frames[i] = nil
+	}
+	c.freeFrames = append(c.freeFrames, sp.frames[:0])
+	sp.frames = nil
+	c.freeSents = append(c.freeSents, sp)
 }
 
 // --- loss detection & congestion ---
@@ -553,16 +610,28 @@ func (c *Conn) onPTO() {
 	// Probe: retransmit the oldest unacked ack-eliciting packet's
 	// frames in a fresh packet, bypassing the congestion window.
 	if len(c.sent) > 0 {
-		frames := retransmittable(c.sent[0].frames)
+		var frames []frame
+		if n := len(c.freeFrames); n > 0 {
+			frames = c.freeFrames[n-1][:0]
+			c.freeFrames = c.freeFrames[:n-1]
+		}
+		frames = appendRetransmittable(frames, c.sent[0].frames)
 		if len(frames) > 0 {
 			p := newPacket()
 			p.pn = c.nextPN
 			p.frames = frames
 			c.nextPN++
-			sp := &sentPacket{pn: p.pn, frames: p.frames, size: p.wireSize(), sentAt: c.sched.Now(), ackEliciting: true}
+			sp := c.newSentPacket()
+			sp.pn = p.pn
+			sp.frames = p.frames
+			sp.size = p.wireSize()
+			sp.sentAt = c.sched.Now()
+			sp.ackEliciting = true
 			c.sent = append(c.sent, sp)
 			c.bytesInFlight += sp.size
 			c.transmit(p)
+		} else if cap(frames) > 0 {
+			c.freeFrames = append(c.freeFrames, frames[:0])
 		}
 	}
 	if c.ptoCount >= 2 {
@@ -572,18 +641,17 @@ func (c *Conn) onPTO() {
 	c.armPTO()
 }
 
-// retransmittable filters out ACK and CLOSE frames, which are never
-// retransmitted as-is.
-func retransmittable(frames []frame) []frame {
-	out := make([]frame, 0, len(frames))
+// appendRetransmittable appends frames to dst, filtering out ACK and
+// CLOSE frames, which are never retransmitted as-is.
+func appendRetransmittable(dst, frames []frame) []frame {
 	for _, f := range frames {
 		switch f.(type) {
 		case *ackFrame, *closeFrame:
 		default:
-			out = append(out, f)
+			dst = append(dst, f)
 		}
 	}
-	return out
+	return dst
 }
 
 func (c *Conn) handleAck(f *ackFrame) {
@@ -615,6 +683,9 @@ func (c *Conn) handleAck(f *ackFrame) {
 		} else {
 			c.cwnd += maxPacketPayload * float64(sp.size) / c.cwnd
 		}
+		// Recycle now; pn and sentAt stay readable through largest until
+		// the first post-loop send reuses the record.
+		c.retireAcked(sp)
 	}
 	if largest == nil {
 		return
@@ -647,7 +718,7 @@ func (c *Conn) handleAck(f *ackFrame) {
 		if c.cfg.Recovery != nil {
 			c.cfg.Recovery.PacketsDeclaredLost++
 		}
-		c.sendQ = append(c.sendQ, retransmittable(sp.frames)...)
+		c.sendQ = appendRetransmittable(c.sendQ, sp.frames)
 		if sp.pn >= c.recoveryStart {
 			// One cwnd reduction per recovery epoch.
 			c.ssthresh = c.cwnd / 2
@@ -657,6 +728,10 @@ func (c *Conn) handleAck(f *ackFrame) {
 			c.cwnd = c.ssthresh
 			c.recoveryStart = c.nextPN
 		}
+		// The record retires, but its frames array may still be aliased
+		// by a reorder-delayed wire copy: recycle the struct only.
+		sp.frames = nil
+		c.freeSents = append(c.freeSents, sp)
 	}
 	if lost > 0 {
 		n := copy(c.sent, c.sent[lost:])

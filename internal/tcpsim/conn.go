@@ -36,10 +36,16 @@ type Conn struct {
 	isClient   bool
 	listener   *Listener // server side only; for conn-table cleanup
 
-	// Sender state. sendBuf holds bytes [sndUna, sndUna+len(sendBuf)).
+	// Sender state. sendBuf[sendOff:] holds bytes [sndUna, sndUna+pending).
+	// Acked bytes advance sendOff instead of re-slicing the buffer, so a
+	// long-lived connection keeps appending into one backing array; the
+	// buffer resets to its start only once fully drained. In-flight
+	// segment payloads alias sendBuf, so acked prefix bytes are never
+	// compacted away while data is outstanding.
 	sndUna  uint64
 	sndNxt  uint64
 	sendBuf []byte
+	sendOff int
 	sentFin bool
 	finSeq  uint64
 	closing bool // Close() called: FIN queued after pending data
@@ -149,11 +155,14 @@ func (c *Conn) SetDataFunc(fn func([]byte)) { c.dataFn = fn }
 // UnsentBytes reports bytes accepted by Write but not yet transmitted.
 func (c *Conn) UnsentBytes() int {
 	sent := c.sndNxt - c.sndUna
-	if bl := uint64(len(c.sendBuf)); sent > bl {
+	if bl := uint64(c.pending()); sent > bl {
 		sent = bl
 	}
-	return len(c.sendBuf) - int(sent)
+	return c.pending() - int(sent)
 }
+
+// pending reports un-acked bytes still held in sendBuf.
+func (c *Conn) pending() int { return len(c.sendBuf) - c.sendOff }
 
 // SetDrainFunc registers fn, invoked whenever the unsent backlog falls to
 // or below threshold after transmission progress (bytestream.Throttled).
@@ -259,6 +268,7 @@ func (c *Conn) teardown() {
 		c.listener.remove(c.remote, c.remotePort)
 	}
 	c.sendBuf = nil
+	c.sendOff = 0
 	for _, chunk := range c.recvBuf {
 		bufpool.Put(chunk.data)
 	}
@@ -371,7 +381,7 @@ func (c *Conn) handleSegment(seg *segment) {
 
 func (c *Conn) flight() uint64 { return c.sndNxt - c.sndUna }
 
-func (c *Conn) streamEnd() uint64 { return c.sndUna + uint64(len(c.sendBuf)) }
+func (c *Conn) streamEnd() uint64 { return c.sndUna + uint64(c.pending()) }
 
 func (c *Conn) trySend() {
 	if c.state != stateEstablished {
@@ -387,14 +397,14 @@ func (c *Conn) trySend() {
 			return
 		}
 		off := c.sndNxt - c.sndUna
-		if off < uint64(len(c.sendBuf)) {
+		if off < uint64(c.pending()) {
 			end := off + mss
-			if end > uint64(len(c.sendBuf)) {
-				end = uint64(len(c.sendBuf))
+			if end > uint64(c.pending()) {
+				end = uint64(c.pending())
 			}
 			seg := newSegment()
 			seg.seq = c.sndNxt
-			seg.payload = c.sendBuf[off:end]
+			seg.payload = c.sendBuf[c.sendOff+int(off) : c.sendOff+int(end)]
 			c.markTimed(seg)
 			c.sndNxt = c.sndUna + end
 			c.sendSeg(seg)
@@ -440,12 +450,20 @@ func (c *Conn) processAck(seg *segment) {
 	switch {
 	case seg.ack > c.sndUna:
 		acked := seg.ack - c.sndUna
-		// Trim acked bytes (the FIN offset is not in sendBuf).
+		// Trim acked bytes (the FIN offset is not in sendBuf). The
+		// prefix is released by advancing sendOff; the backing array
+		// rewinds only when fully drained, because in-flight segments
+		// alias it and duplicate segments covering acked bytes are
+		// dropped by the receiver without reading their payload.
 		trim := acked
-		if bl := uint64(len(c.sendBuf)); trim > bl {
+		if bl := uint64(c.pending()); trim > bl {
 			trim = bl
 		}
-		c.sendBuf = c.sendBuf[trim:]
+		c.sendOff += int(trim)
+		if c.sendOff == len(c.sendBuf) {
+			c.sendBuf = c.sendBuf[:0]
+			c.sendOff = 0
+		}
 		c.sndUna = seg.ack
 		if c.sndNxt < c.sndUna {
 			c.sndNxt = c.sndUna
@@ -544,7 +562,7 @@ func (c *Conn) retransmitFirst() {
 		return
 	}
 	avail := c.sndNxt - c.sndUna
-	if bl := uint64(len(c.sendBuf)); avail > bl {
+	if bl := uint64(c.pending()); avail > bl {
 		avail = bl
 	}
 	if avail == 0 {
@@ -555,7 +573,7 @@ func (c *Conn) retransmitFirst() {
 	}
 	seg := newSegment()
 	seg.seq = c.sndUna
-	seg.payload = c.sendBuf[:avail]
+	seg.payload = c.sendBuf[c.sendOff : c.sendOff+int(avail)]
 	c.sendSeg(seg)
 	c.armRTO()
 }

@@ -59,6 +59,7 @@ type Conn struct {
 	hsDone      time.Duration
 
 	recvAcc   []byte
+	recvOff   int      // consumed prefix of recvAcc; compacted before each append
 	pending   [][]byte // app writes queued until the handshake allows them
 	pendingIn [][]byte // plaintext received before a data callback exists
 
@@ -299,18 +300,29 @@ func (c *Conn) onTransportClose(err error) {
 }
 
 func (c *Conn) onTransportData(p []byte) {
+	// Compact the consumed prefix before appending so the accumulator
+	// reuses one backing array instead of migrating forward with every
+	// re-slice. Record payloads handed to handleRecord are only valid
+	// for the duration of that call, so moving bytes here — between
+	// transport deliveries — cannot invalidate a live payload.
+	if c.recvOff > 0 {
+		n := copy(c.recvAcc, c.recvAcc[c.recvOff:])
+		c.recvAcc = c.recvAcc[:n]
+		c.recvOff = 0
+	}
 	c.recvAcc = append(c.recvAcc, p...)
 	for {
-		if len(c.recvAcc) < recordHeader {
+		acc := c.recvAcc[c.recvOff:]
+		if len(acc) < recordHeader {
 			return
 		}
-		plen := int(c.recvAcc[1])<<16 | int(c.recvAcc[2])<<8 | int(c.recvAcc[3])
-		if len(c.recvAcc) < recordHeader+plen {
+		plen := int(acc[1])<<16 | int(acc[2])<<8 | int(acc[3])
+		if len(acc) < recordHeader+plen {
 			return
 		}
-		rt := recordType(c.recvAcc[0])
-		payload := c.recvAcc[recordHeader : recordHeader+plen]
-		c.recvAcc = c.recvAcc[recordHeader+plen:]
+		rt := recordType(acc[0])
+		payload := acc[recordHeader : recordHeader+plen]
+		c.recvOff += recordHeader + plen
 		c.handleRecord(rt, payload)
 		if c.closed {
 			return
