@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check vet race bench bench-alloc bench-smoke benchgate fmt
+.PHONY: all build test check vet race bench bench-alloc bench-smoke benchgate trace-smoke fmt
 
 all: check
 
@@ -21,9 +21,10 @@ race:
 	$(GO) test -race -timeout 40m ./...
 
 # The repo's gate: static checks, a fast allocation smoke pass, the
-# race-enabled suite, and the benchmark regression gate. bench-smoke
-# runs before the (slow) race suite so allocation regressions fail fast.
-check: vet bench-smoke race benchgate
+# tracing smoke pass, the race-enabled suite, and the benchmark
+# regression gate. The smoke passes run before the (slow) race suite so
+# allocation and trace-pipeline regressions fail fast.
+check: vet bench-smoke trace-smoke race benchgate
 
 # Analysis/figure regeneration benchmarks (shares one campaign per run).
 bench:
@@ -44,6 +45,14 @@ benchgate:
 # gating allocs/op only (ns/op and B/op are too noisy at 100ms).
 bench-smoke:
 	$(GO) run ./cmd/benchgate -benchtime 100ms -smoke
+
+# Tracing smoke pass: run a small traced campaign through h3cdn-measure
+# -qlog and validate every emitted qlog line with qlogcheck.
+trace-smoke:
+	rm -rf .trace-smoke && mkdir -p .trace-smoke
+	$(GO) run ./cmd/h3cdn-measure -pages 4 -qlog .trace-smoke -o .trace-smoke/dataset.json
+	$(GO) run ./cmd/qlogcheck -dir .trace-smoke
+	rm -rf .trace-smoke
 
 fmt:
 	gofmt -l -w .

@@ -424,6 +424,29 @@ func BenchmarkRunVisitImpairedAllocs(b *testing.B) {
 	}
 }
 
+// BenchmarkRunVisitTraceDisabled is BenchmarkRunVisitAllocs with the
+// trace hooks explicitly disabled (Trace: nil, the production default).
+// Every layer of the stack carries emit call sites, and each one takes
+// the nil-receiver early return; the gate pins this benchmark to the
+// same allocs/op budget as BenchmarkRunVisitAllocs — the disabled
+// tracing path costs zero allocations per visit.
+func BenchmarkRunVisitTraceDisabled(b *testing.B) {
+	corpus := h3cdn.GenerateCorpus(h3cdn.CorpusConfig{Seed: 7, NumPages: 4, MeanResources: 111})
+	u, err := h3cdn.NewUniverse(h3cdn.UniverseConfig{Seed: 1, Corpus: corpus, Trace: nil})
+	if err != nil {
+		b.Fatal(err)
+	}
+	br := u.NewBrowser(h3cdn.BrowserConfig{Mode: h3cdn.ModeH3, EnableZeroRTT: true})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := u.RunVisit(br, &corpus.Pages[i%4]); err != nil {
+			b.Fatal(err)
+		}
+		br.ClearSessions()
+	}
+}
+
 // BenchmarkCorpusGeneration times the synthetic corpus generator.
 func BenchmarkCorpusGeneration(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -50,6 +50,7 @@ func run() int {
 		outages      = flag.String("outage", "", "scheduled path outages, comma-separated start-end pairs (e.g. 2s-4s,10s-11s)")
 		retries      = flag.Int("retries", 0, "browser re-fetch budget per resource after transport errors")
 
+		qlogDir    = flag.String("qlog", "", "write per-shard qlog JSONL trace files into this directory (created if missing)")
 		out        = flag.String("o", "", "output file (default stdout)")
 		cpuprofile = flag.String("cpuprofile", "", "write CPU profile to file")
 		memprofile = flag.String("memprofile", "", "write heap profile to file")
@@ -102,6 +103,15 @@ func run() int {
 		return 1
 	}
 
+	// The campaign expects the qlog directory to exist; create it before
+	// the run so a bad path fails fast.
+	if *qlogDir != "" {
+		if err := os.MkdirAll(*qlogDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "h3cdn-measure: %v\n", err)
+			return 1
+		}
+	}
+
 	cfg := core.CampaignConfig{
 		Seed:             *seed,
 		CorpusConfig:     webgen.Config{NumPages: *pages},
@@ -113,6 +123,7 @@ func run() int {
 		Workers:          *workers,
 		Impairment:       impair,
 		FetchRetries:     *retries,
+		QlogDir:          *qlogDir,
 	}
 
 	start := time.Now()
@@ -127,6 +138,9 @@ func run() int {
 	fmt.Fprintf(os.Stderr, "h3cdn-measure: done in %v\n", elapsed.Round(time.Second))
 	fmt.Fprintf(os.Stderr, "h3cdn-measure: %d events executed (%.0f events/sec)\n",
 		ds.Stats.Events, float64(ds.Stats.Events)/elapsed.Seconds())
+	if *qlogDir != "" {
+		fmt.Fprintf(os.Stderr, "h3cdn-measure: qlog traces written to %s\n", *qlogDir)
+	}
 	if impair != nil {
 		r := ds.Stats.Recovery
 		fmt.Fprintf(os.Stderr, "h3cdn-measure: drops burst=%d outage=%d reordered=%d\n",

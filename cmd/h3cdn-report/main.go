@@ -2,14 +2,17 @@
 //
 // Usage:
 //
-//	h3cdn-report [-exp all|t1|t2|t3|f2|f3|f4|f5|f6a|f6b|f7|f8|f9|lossprofile] [flags]
+//	h3cdn-report [-exp all|t1|t2|t3|f2|f3|f4|f5|f6a|f6b|f7|f8|f9|phases|lossprofile] [flags]
 //
 // Most experiments run their own campaigns at the configured scale;
 // alternatively point -dataset / -consecutive-dataset at files written by
 // h3cdn-measure to reuse existing measurements. Figure 9 always runs its
 // loss-sweep campaigns. The lossprofile experiment re-runs the Figure 9
 // sweep twice per rate — i.i.d. vs bursty Gilbert–Elliott loss at the
-// matched average — and is excluded from -exp all to bound runtime.
+// matched average — and is excluded from -exp all to bound runtime. The
+// phases experiment folds live event traces into per-mode phase
+// breakdowns; phase attributions are never serialized, so it always runs
+// its own traced campaign and is likewise excluded from -exp all.
 package main
 
 import (
@@ -34,14 +37,15 @@ type reporter struct {
 	consPath string
 	burstLen float64
 
-	std  *core.Dataset
-	cons *core.Dataset
-	fig9 []core.Fig9Series
+	std    *core.Dataset
+	cons   *core.Dataset
+	traced *core.Dataset
+	fig9   []core.Fig9Series
 }
 
 func run() int {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (t1,t2,t3,f2,f3,f4,f5,f6a,f6b,f7,f8,f9,lossprofile,all)")
+		exp      = flag.String("exp", "all", "experiment id (t1,t2,t3,f2,f3,f4,f5,f6a,f6b,f7,f8,f9,phases,lossprofile,all)")
 		seed     = flag.Uint64("seed", 2022, "campaign seed")
 		pages    = flag.Int("pages", 325, "number of websites")
 		probes   = flag.Int("probes", 1, "probes per vantage point")
@@ -118,6 +122,28 @@ func (r *reporter) consecutive() (*core.Dataset, error) {
 	var err error
 	r.cons, err = r.campaign(true)
 	return r.cons, err
+}
+
+// tracedStandard returns a standard-protocol dataset carrying phase
+// attributions. Phases are folded from live event traces and never
+// serialized, so a -dataset file cannot supply them: this always runs a
+// campaign (with tracing on), even when -dataset is set.
+func (r *reporter) tracedStandard() (*core.Dataset, error) {
+	if r.traced != nil {
+		return r.traced, nil
+	}
+	cfg := r.cfg
+	cfg.TracePhases = true
+	fmt.Fprintf(os.Stderr, "h3cdn-report: running traced standard campaign (%d pages, %d probes/vantage)...\n",
+		cfg.CorpusConfig.NumPages, cfg.ProbesPerVantage)
+	start := time.Now()
+	ds, err := core.RunCampaign(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "h3cdn-report: traced campaign done in %v\n", time.Since(start).Round(time.Second))
+	r.traced = ds
+	return ds, nil
 }
 
 func (r *reporter) campaign(consecutive bool) (*core.Dataset, error) {
@@ -214,6 +240,16 @@ func (r *reporter) report(id string) error {
 		}
 		r.fig9 = series
 		fmt.Println(core.RenderFigure9(series))
+	case "phases":
+		ds, err := r.tracedStandard()
+		if err != nil {
+			return err
+		}
+		rows, err := core.ComputePhaseReport(ds)
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.RenderPhaseReport(rows))
 	case "lossprofile":
 		fmt.Fprintf(os.Stderr, "h3cdn-report: running loss-profile sweep (i.i.d. vs bursty, mean burst %.0f)...\n", r.burstLen)
 		rows, err := core.RunLossProfile(r.cfg, r.burstLen)

@@ -1,0 +1,128 @@
+// Command qlogcheck validates qlog JSONL trace files written by
+// h3cdn-measure -qlog and prints per-file summaries.
+//
+// Usage:
+//
+//	qlogcheck file.qlog...
+//	qlogcheck -dir traces/
+//
+// Every line must parse as standalone JSON (the JSON-SEQ text framing
+// qlog tools consume). The checker verifies the header line, pairs
+// visit_start/visit_end records, and reports event counts and any
+// ring-overflow drops. It exits nonzero on the first malformed file.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	dir := flag.String("dir", "", "check every .qlog file under this directory")
+	flag.Parse()
+
+	files := flag.Args()
+	if *dir != "" {
+		found, err := filepath.Glob(filepath.Join(*dir, "*.qlog"))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qlogcheck: %v\n", err)
+			return 1
+		}
+		sort.Strings(found)
+		files = append(files, found...)
+	}
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "qlogcheck: no input files (pass paths or -dir)")
+		return 2
+	}
+
+	var totalVisits, totalEvents int
+	for _, name := range files {
+		sum, err := checkFile(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qlogcheck: %s: %v\n", name, err)
+			return 1
+		}
+		fmt.Printf("%s: %d visits, %d events, %d dropped\n",
+			filepath.Base(name), sum.visits, sum.events, sum.dropped)
+		totalVisits += sum.visits
+		totalEvents += sum.events
+	}
+	fmt.Printf("total: %d files, %d visits, %d events\n", len(files), totalVisits, totalEvents)
+	return 0
+}
+
+type summary struct {
+	visits  int
+	events  int
+	dropped int
+}
+
+// checkFile validates one qlog file line by line.
+func checkFile(name string) (summary, error) {
+	var sum summary
+	f, err := os.Open(name)
+	if err != nil {
+		return sum, err
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(nil, 1<<20)
+	line := 0
+	openVisit := false
+	for sc.Scan() {
+		line++
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return sum, fmt.Errorf("line %d: invalid JSON: %v", line, err)
+		}
+		if line == 1 {
+			if rec["qlog_format"] != "JSON-SEQ" {
+				return sum, fmt.Errorf("line 1: missing qlog JSON-SEQ header")
+			}
+			continue
+		}
+		switch rec["name"] {
+		case "sim:visit_start":
+			if openVisit {
+				return sum, fmt.Errorf("line %d: visit_start inside an open visit", line)
+			}
+			openVisit = true
+			sum.visits++
+			if data, ok := rec["data"].(map[string]any); ok {
+				if d, _ := data["dropped_events"].(float64); d > 0 {
+					sum.dropped += int(d)
+				}
+			}
+		case "sim:visit_end":
+			if !openVisit {
+				return sum, fmt.Errorf("line %d: visit_end without visit_start", line)
+			}
+			openVisit = false
+		case nil:
+			return sum, fmt.Errorf("line %d: event record without a name", line)
+		default:
+			if !openVisit {
+				return sum, fmt.Errorf("line %d: event outside a visit", line)
+			}
+			sum.events++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return sum, err
+	}
+	if openVisit {
+		return sum, fmt.Errorf("unterminated visit at end of file")
+	}
+	return sum, nil
+}

@@ -18,6 +18,7 @@ import (
 	"h3cdn/internal/quicsim"
 	"h3cdn/internal/simnet"
 	"h3cdn/internal/tlssim"
+	"h3cdn/internal/trace"
 	"h3cdn/internal/webgen"
 )
 
@@ -115,6 +116,10 @@ type Config struct {
 	// from every connection this browser opens, plus its own fetch-retry
 	// count.
 	Recovery *simnet.RecoveryStats
+	// Trace, when non-nil, receives browser-level fetch lifecycle events
+	// and is threaded into every connection this browser opens. Nil-safe:
+	// every emit is a no-op when nil.
+	Trace *trace.Tracer
 }
 
 // Browser loads pages from one probe host.
@@ -136,6 +141,10 @@ type Browser struct {
 	// short by a scheduler error) are never reused.
 	freeStates []*fetchState
 	liveStates []*fetchState
+
+	// fetchSeq numbers fetches for trace correlation (monotonic across
+	// visits; incremented only when tracing is active).
+	fetchSeq int64
 
 	stats Stats
 }
@@ -162,6 +171,7 @@ type fetchState struct {
 	finished       bool
 	creator        bool
 	h3Discoverable bool
+	seq            int64
 	sentAt         time.Duration
 	firstByte      time.Duration
 
@@ -404,11 +414,14 @@ func (b *Browser) fetch(res *webgen.Resource, entry *har.Entry, done func()) {
 	entry.Path = res.Path
 	entry.Started = b.sched.Now()
 	b.stats.Requests++
+	b.fetchSeq++
+	b.cfg.Trace.FetchStart(entry.Started, b.fetchSeq, res.Host, res.Path)
 
 	ep, ok := b.cfg.Resolver(res.Host)
 	if !ok {
 		entry.Failed = true
 		entry.Error = "no route to host"
+		b.cfg.Trace.FetchFail(b.sched.Now(), b.fetchSeq, entry.Error)
 		b.stats.FailedEntries++
 		done()
 		return
@@ -418,6 +431,7 @@ func (b *Browser) fetch(res *webgen.Resource, entry *har.Entry, done func()) {
 	st.res, st.ep, st.entry, st.done = res, ep, entry, done
 	st.attempt = 0
 	st.finished = false
+	st.seq = b.fetchSeq
 	st.sentAt, st.firstByte = 0, 0
 	b.liveStates = append(b.liveStates, st)
 	st.run()
@@ -453,7 +467,10 @@ func (st *fetchState) run() {
 	pc.conn.Do(&st.req, st.events)
 }
 
-func (st *fetchState) onSent() { st.sentAt = st.b.sched.Now() }
+func (st *fetchState) onSent() {
+	st.sentAt = st.b.sched.Now()
+	st.b.cfg.Trace.FetchSent(st.sentAt, st.pc.conn.TraceID(), st.seq)
+}
 
 func (st *fetchState) onHeaders(m httpsim.ResponseMeta) {
 	b, entry := st.b, st.entry
@@ -475,6 +492,7 @@ func (st *fetchState) onHeaders(m httpsim.ResponseMeta) {
 		// QUIC connection in the background so later requests use it
 		// without paying the handshake inline.
 		b.altSvc[st.res.Host] = true
+		b.cfg.Trace.AltSvcLearned(b.sched.Now(), st.res.Host)
 		b.preconnectH3(st.res.Host, st.ep)
 	}
 }
@@ -490,6 +508,14 @@ func (st *fetchState) onComplete() {
 		if hsEnd > entry.Started {
 			entry.Connect = hsEnd - entry.Started
 		}
+		// HAR 1.2: ssl is the TLS portion of connect (included in it,
+		// never exceeding it). A preconnect that finished early charges
+		// zero connect and therefore zero ssl.
+		if ssl := pc.conn.SSLDuration(); ssl > entry.Connect {
+			entry.SSL = entry.Connect
+		} else {
+			entry.SSL = ssl
+		}
 		entry.ResumedConn = pc.conn.Resumed()
 		if entry.ResumedConn {
 			b.stats.ResumedConns++
@@ -501,6 +527,7 @@ func (st *fetchState) onComplete() {
 	}
 	entry.Wait = st.firstByte - st.sentAt
 	entry.Receive = now - st.firstByte
+	b.cfg.Trace.FetchDone(now, pc.conn.TraceID(), st.seq, entry.Status, entry.BodySize)
 	st.finish()
 }
 
@@ -515,11 +542,13 @@ func (st *fetchState) onError(err error) {
 		}
 		backoff := b.cfg.RetryBackoff << st.attempt
 		st.attempt++
+		b.cfg.Trace.FetchRetry(b.sched.Now(), st.seq, st.attempt, err.Error())
 		b.sched.After(backoff, st.run)
 		return
 	}
 	st.entry.Failed = true
 	st.entry.Error = err.Error()
+	b.cfg.Trace.FetchFail(b.sched.Now(), st.seq, st.entry.Error)
 	b.stats.FailedEntries++
 	st.finish()
 }
@@ -561,6 +590,7 @@ func (b *Browser) preconnectH3(host string, ep Endpoint) {
 	if _, ok := b.conns[key]; ok {
 		return
 	}
+	b.cfg.Trace.Preconnect(b.sched.Now(), host)
 	pc := b.dialH3(host, ep)
 	pc.key = key
 	b.conns[key] = pc
@@ -576,7 +606,8 @@ func (b *Browser) dialH3(host string, ep Endpoint) *pooledConn {
 			// Userspace QUIC retransmits lost handshakes from a
 			// cached RTT estimate (Chromium kInitialRtt), far
 			// sooner than kernel TCP's fixed 1s SYN timer.
-			QUIC: quicsim.Config{PTOInit: 150 * time.Millisecond, Recovery: b.cfg.Recovery},
+			QUIC:  quicsim.Config{PTOInit: 150 * time.Millisecond, Recovery: b.cfg.Recovery},
+			Trace: b.cfg.Trace,
 		}),
 	}
 	b.stats.ConnsOpened++
@@ -606,6 +637,9 @@ func (b *Browser) connFor(host string, ep Endpoint, h3Eligible bool) (*pooledCon
 		key := "h3|" + host
 		if pc, ok := b.conns[key]; ok {
 			return pc, false
+		}
+		if ep.H3Preloaded && !b.altSvc[host] {
+			b.cfg.Trace.PreloadHit(b.sched.Now(), host)
 		}
 		pc := b.dialH3(host, ep)
 		pc.key = key
@@ -641,6 +675,7 @@ func (b *Browser) dialCfg() httpsim.DialConfig {
 		EnableEarlyData: b.cfg.EnableEarlyData,
 		HandshakeCPU:    b.cfg.HandshakeCPU,
 		TCP:             httpsim.TCPOptions{Recovery: b.cfg.Recovery},
+		Trace:           b.cfg.Trace,
 	}
 	if b.cfg.TLS12 {
 		cfg.TLSVersion = tlssim.TLS12

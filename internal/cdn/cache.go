@@ -91,6 +91,12 @@ func (c *LRUCache[K]) Add(key K) {
 // Len reports the number of cached entries.
 func (c *LRUCache[K]) Len() int { return len(c.items) }
 
+// Hits reports how many Contains calls found their key.
+func (c *LRUCache[K]) Hits() int64 { return c.hits }
+
+// Misses reports how many Contains calls missed.
+func (c *LRUCache[K]) Misses() int64 { return c.misses }
+
 // HitRate reports hits/(hits+misses) since creation (0 when unused).
 func (c *LRUCache[K]) HitRate() float64 {
 	total := c.hits + c.misses

@@ -107,6 +107,101 @@ func TestLRUCacheRecencyUpdate(t *testing.T) {
 	}
 }
 
+// TestLRUCacheCountersUnderChurn drives the cache with a deterministic
+// mixed workload at 4x its capacity and checks the hit/miss counters
+// against an independent reference model of LRU recency. Eviction churn
+// is constant (every miss-then-Add evicts), which is exactly where
+// counter bookkeeping could drift from list surgery.
+func TestLRUCacheCountersUnderChurn(t *testing.T) {
+	const capacity, universe, rounds = 8, 32, 2048
+	c := NewLRUCache[int](capacity)
+
+	// Reference model: slice ordered most→least recent.
+	var ref []int
+	refContains := func(k int) bool {
+		for i, v := range ref {
+			if v == k {
+				ref = append(ref[:i], ref[i+1:]...)
+				ref = append([]int{k}, ref...)
+				return true
+			}
+		}
+		return false
+	}
+	refAdd := func(k int) {
+		if refContains(k) {
+			return
+		}
+		if len(ref) >= capacity {
+			ref = ref[:capacity-1]
+		}
+		ref = append([]int{k}, ref...)
+	}
+
+	var wantHits, wantMisses int64
+	// An LCG keeps the access pattern deterministic but aperiodic, so
+	// the run mixes re-references (hits) with cold keys (miss + evict).
+	state := uint64(42)
+	for i := 0; i < rounds; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		key := int(state>>33) % universe
+		if refContains(key) {
+			wantHits++
+			if !c.Contains(key) {
+				t.Fatalf("round %d: key %d should hit", i, key)
+			}
+		} else {
+			wantMisses++
+			if c.Contains(key) {
+				t.Fatalf("round %d: key %d should miss", i, key)
+			}
+			refAdd(key)
+			c.Add(key)
+		}
+		if c.Len() > capacity {
+			t.Fatalf("round %d: len %d exceeds capacity %d", i, c.Len(), capacity)
+		}
+	}
+
+	if wantHits == 0 || wantMisses <= int64(capacity) {
+		t.Fatalf("workload degenerate: %d hits, %d misses", wantHits, wantMisses)
+	}
+	if c.Hits() != wantHits || c.Misses() != wantMisses {
+		t.Fatalf("counters (%d hits, %d misses), reference model (%d, %d)",
+			c.Hits(), c.Misses(), wantHits, wantMisses)
+	}
+	if got, want := c.HitRate(), float64(wantHits)/float64(wantHits+wantMisses); got != want {
+		t.Fatalf("hit rate %v, want %v", got, want)
+	}
+}
+
+// TestLRUCacheSequentialScanChurn is the classic LRU worst case: cycling
+// over capacity+1 keys evicts each next key just before it is needed, so
+// after warm-up every probe must miss and the counters must say so.
+func TestLRUCacheSequentialScanChurn(t *testing.T) {
+	const capacity = 4
+	c := NewLRUCache[int](capacity)
+	for k := 0; k <= capacity; k++ { // warm-up: all misses, last Add evicts key 0
+		c.Contains(k)
+		c.Add(k)
+	}
+	base := c.Misses()
+	for pass := 0; pass < 3; pass++ {
+		for k := 0; k <= capacity; k++ {
+			if c.Contains(k) {
+				t.Fatalf("pass %d key %d: hit; sequential scan over capacity+1 keys must always miss", pass, k)
+			}
+			c.Add(k)
+		}
+	}
+	if c.Hits() != 0 {
+		t.Fatalf("hits = %d, want 0", c.Hits())
+	}
+	if got := c.Misses() - base; got != 3*(capacity+1) {
+		t.Fatalf("scan misses = %d, want %d", got, 3*(capacity+1))
+	}
+}
+
 func TestLRUCapacityFloor(t *testing.T) {
 	c := NewLRUCache[string](0)
 	c.Add("x")

@@ -1,15 +1,20 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"h3cdn/internal/browser"
 	"h3cdn/internal/har"
 	"h3cdn/internal/simnet"
+	"h3cdn/internal/trace"
 	"h3cdn/internal/vantage"
 	"h3cdn/internal/webgen"
 )
@@ -69,6 +74,14 @@ type CampaignConfig struct {
 	H3WaitOverhead time.Duration
 	MissPenalty    time.Duration
 	MaxEvents      int
+	// QlogDir, when non-empty, enables event tracing and writes one
+	// qlog JSONL file per shard (<mode>_<vantage>_p<probe>_s<shard>.qlog)
+	// covering every measured visit. The directory must exist. Shard
+	// files are byte-identical across worker counts and Sequential.
+	QlogDir string
+	// TracePhases enables event tracing and folds each measured visit's
+	// trace into a phase breakdown, collected in Dataset.Phases.
+	TracePhases bool
 }
 
 // DefaultBaselineLoss is the ambient packet-loss rate of the simulated
@@ -97,6 +110,10 @@ type Dataset struct {
 	Consecutive bool
 	Corpus      *webgen.Corpus
 	Logs        map[browser.Mode]*har.Log
+	// Phases holds per-visit phase attributions (one entry per page in
+	// the same order as Logs[mode].Pages) when the campaign ran with
+	// TracePhases. Like Stats it never serializes.
+	Phases map[browser.Mode][]trace.PhaseBreakdown `json:"-"`
 	// Stats carries campaign execution counters. It is not part of the
 	// serialized dataset (fixed-seed datasets stay byte-identical across
 	// engine changes) and is zero on loaded datasets.
@@ -223,10 +240,11 @@ func RunCampaign(cfg CampaignConfig) (*Dataset, error) {
 	topo := NewTopology(corpus)
 	jobs := shardCampaign(cfg, corpus)
 	results := make([][]har.PageLog, len(jobs))
+	phases := make([][]trace.PhaseBreakdown, len(jobs))
 	stats := make([]CampaignStats, len(jobs))
 	errs := make([]error, len(jobs))
 	run := func(i int) {
-		results[i], stats[i], errs[i] = runShard(cfg, topo, jobs[i])
+		results[i], phases[i], stats[i], errs[i] = runShard(cfg, topo, jobs[i])
 	}
 	if cfg.Sequential {
 		for i := range jobs {
@@ -265,6 +283,12 @@ func RunCampaign(cfg CampaignConfig) (*Dataset, error) {
 	}
 
 	ds := stitchDataset(cfg, corpus, jobs, results)
+	if cfg.TracePhases {
+		ds.Phases = make(map[browser.Mode][]trace.PhaseBreakdown, len(cfg.Modes))
+		for i, job := range jobs {
+			ds.Phases[job.mode] = append(ds.Phases[job.mode], phases[i]...)
+		}
+	}
 	for i := range stats {
 		ds.Stats.add(stats[i])
 	}
@@ -307,7 +331,7 @@ func stitchDataset(cfg CampaignConfig, corpus *webgen.Corpus, jobs []shardJob, r
 // each shard instantiates only the servers its pages contact.
 // It also returns the shard's execution counters (events, recovery
 // activity, network drops).
-func runShard(cfg CampaignConfig, topo *Topology, job shardJob) ([]har.PageLog, CampaignStats, error) {
+func runShard(cfg CampaignConfig, topo *Topology, job shardJob) ([]har.PageLog, []trace.PhaseBreakdown, CampaignStats, error) {
 	corpus := topo.Corpus()
 	view := corpus
 	if job.lo != 0 || job.hi != len(corpus.Pages) {
@@ -318,6 +342,34 @@ func runShard(cfg CampaignConfig, topo *Topology, job shardJob) ([]har.PageLog, 
 			H1Only:       corpus.H1Only,
 		}
 	}
+
+	// Tracing: each shard owns a private tracer and qlog buffer (shards
+	// run on worker goroutines; nothing here is shared), so shard files
+	// and phase lists are independent of worker count.
+	var (
+		tracer  *trace.Tracer
+		qw      *trace.QlogWriter
+		qbuf    bytes.Buffer
+		qpath   string
+		sPhases []trace.PhaseBreakdown
+	)
+	if cfg.QlogDir != "" || cfg.TracePhases {
+		if cfg.QlogDir != "" {
+			name := fmt.Sprintf("%s_%s_p%d_s%d.qlog",
+				modeSlug(job.mode), slug(job.point.Name), job.probe, job.shard)
+			qpath = filepath.Join(cfg.QlogDir, name)
+			qw = trace.NewQlogWriter(&qbuf, name)
+		}
+		tracer = trace.New(0, func(v *trace.VisitRecord) {
+			if qw != nil {
+				qw.WriteVisit(v)
+			}
+			if cfg.TracePhases {
+				sPhases = append(sPhases, trace.AttributeVisit(v))
+			}
+		})
+	}
+
 	u, err := NewUniverse(UniverseConfig{
 		Seed:           shardSeed(cfg, job),
 		Corpus:         view,
@@ -328,9 +380,10 @@ func runShard(cfg CampaignConfig, topo *Topology, job shardJob) ([]har.PageLog, 
 		H3WaitOverhead: cfg.H3WaitOverhead,
 		MissPenalty:    cfg.MissPenalty,
 		MaxEvents:      cfg.MaxEvents,
+		Trace:          tracer,
 	})
 	if err != nil {
-		return nil, CampaignStats{}, err
+		return nil, nil, CampaignStats{}, err
 	}
 	defer u.Close()
 	shardStats := func() CampaignStats {
@@ -361,7 +414,7 @@ func runShard(cfg CampaignConfig, topo *Topology, job shardJob) ([]har.PageLog, 
 	// Warm pass (discarded): fills edge caches, as in §III-B.
 	for i := range view.Pages {
 		if err := u.RunVisitDiscard(b, &view.Pages[i]); err != nil {
-			return nil, shardStats(), fmt.Errorf("warm visit: %w", err)
+			return nil, nil, shardStats(), fmt.Errorf("warm visit: %w", err)
 		}
 		b.ClearSessions()
 	}
@@ -371,7 +424,7 @@ func runShard(cfg CampaignConfig, topo *Topology, job shardJob) ([]har.PageLog, 
 	for i := range view.Pages {
 		log, err := u.RunVisit(b, &view.Pages[i])
 		if err != nil {
-			return nil, shardStats(), fmt.Errorf("measured visit: %w", err)
+			return nil, nil, shardStats(), fmt.Errorf("measured visit: %w", err)
 		}
 		log.Probe = probeName
 		logs = append(logs, *log)
@@ -379,5 +432,20 @@ func runShard(cfg CampaignConfig, topo *Topology, job shardJob) ([]har.PageLog, 
 			b.ClearSessions()
 		}
 	}
-	return logs, shardStats(), nil
+
+	if qw != nil {
+		if err := qw.Err(); err != nil {
+			return nil, nil, shardStats(), fmt.Errorf("qlog: %w", err)
+		}
+		if err := os.WriteFile(qpath, qbuf.Bytes(), 0o644); err != nil {
+			return nil, nil, shardStats(), fmt.Errorf("qlog: %w", err)
+		}
+	}
+	return logs, sPhases, shardStats(), nil
+}
+
+// modeSlug flattens a browsing-mode name into a filename-safe token
+// ("http/1.1" → "http11").
+func modeSlug(m browser.Mode) string {
+	return strings.NewReplacer("/", "", ".", "").Replace(m.String())
 }

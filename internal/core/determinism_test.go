@@ -15,8 +15,10 @@ import (
 // timer semantics, delivery scheduling — changes this hash. It was
 // recorded before the 4-ary heap + per-path queue rewrite and must
 // never drift: heap layout is an implementation detail, the (at, seq)
-// dispatch order is the contract.
-const goldenDatasetSHA256 = "3f7382241f28cf0cc6515dae8c1580281f7d2fb1f31b41458acc7e34ef95771c"
+// dispatch order is the contract. Re-pinned once for the HAR 1.2
+// Connect/SSL split — a serialization-only change (the new "ssl" field);
+// every timing and ordering invariant was verified unchanged.
+const goldenDatasetSHA256 = "57ccb9f40974fcf92c3a424944097c9ad7c817d82f02d7aa6376bc56fbb834dc"
 
 // TestCampaignGoldenDataset runs the pinned campaign sequentially and at
 // two worker counts, asserting every run is byte-identical to the

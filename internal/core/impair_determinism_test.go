@@ -15,8 +15,9 @@ import (
 // enabled: Gilbert–Elliott bursty loss (1% average, mean burst 4) plus
 // 2ms jitter. The impairment streams derive from the same seeded
 // hierarchy as ambient loss, so worker sharding must stay byte-identical
-// even with every fault knob active.
-const goldenImpairedSHA256 = "7d113dff140d9962f3a16a783ddfeb42c4c8652e2d5062820a74fa07edd17487"
+// even with every fault knob active. Re-pinned once for the HAR 1.2
+// Connect/SSL split (serialization-only; see goldenDatasetSHA256).
+const goldenImpairedSHA256 = "7bfffa984280c50d858cbafcff1f81539eaa73f9f6687bb8cf94171194941ea3"
 
 // TestImpairedCampaignGoldenDataset mirrors TestCampaignGoldenDataset
 // under bursty loss + jitter, across Sequential / Workers 1 / Workers 4.

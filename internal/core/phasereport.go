@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"h3cdn/internal/analysis"
+	"h3cdn/internal/browser"
+	"h3cdn/internal/trace"
+)
+
+// PhaseRow aggregates the trace-attributed phase buckets of every
+// measured visit under one browsing mode. All values are milliseconds.
+// Unlike Figure 6(b), which derives phases from HAR entry timings, these
+// rows are folded from the raw event traces (trace.AttributeVisit), so
+// they expose stall time — head-of-line blocking — which HAR timings
+// cannot see.
+type PhaseRow struct {
+	Mode   browser.Mode
+	Visits int
+	// Mean bucket values across visits.
+	Resolve, Connect, Handshake, Stall, Transfer, Other float64
+	// MedianPLT and MeanPLT summarize the bucket totals, which equal
+	// each visit's PLT by construction.
+	MeanPLT, MedianPLT float64
+}
+
+// ComputePhaseReport folds Dataset.Phases into one row per mode.
+// It returns an error when the dataset carries no phase attributions
+// (they only exist on campaigns run with TracePhases; they are not
+// serialized, so loaded datasets never have them).
+func ComputePhaseReport(ds *Dataset) ([]PhaseRow, error) {
+	if len(ds.Phases) == 0 {
+		return nil, fmt.Errorf("dataset has no phase attributions: run the campaign with TracePhases enabled (phases are not serialized)")
+	}
+	var rows []PhaseRow
+	for _, mode := range []browser.Mode{browser.ModeH1, browser.ModeH2, browser.ModeH3} {
+		phases := ds.Phases[mode]
+		if len(phases) == 0 {
+			continue
+		}
+		var sum trace.PhaseBreakdown
+		totals := make([]float64, len(phases))
+		for i := range phases {
+			sum.Add(phases[i])
+			totals[i] = msOf(phases[i].Total())
+		}
+		n := float64(len(phases))
+		rows = append(rows, PhaseRow{
+			Mode:      mode,
+			Visits:    len(phases),
+			Resolve:   msOf(sum.Resolve) / n,
+			Connect:   msOf(sum.Connect) / n,
+			Handshake: msOf(sum.Handshake) / n,
+			Stall:     msOf(sum.Stall) / n,
+			Transfer:  msOf(sum.Transfer) / n,
+			Other:     msOf(sum.Other) / n,
+			MeanPLT:   analysis.Mean(totals),
+			MedianPLT: analysis.Median(totals),
+		})
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dataset has phase attributions for no known mode")
+	}
+	return rows, nil
+}
+
+// RenderPhaseReport prints the per-mode phase breakdown table.
+func RenderPhaseReport(rows []PhaseRow) string {
+	var sb strings.Builder
+	sb.WriteString("Phase attribution (trace-derived, mean ms per visit)\n")
+	w := newTable(&sb)
+	fmt.Fprintln(w, "Mode\tvisits\tresolve\tconnect\thandshake\tstall\ttransfer\tother\tmean PLT\tmedian PLT")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\n",
+			r.Mode, r.Visits, r.Resolve, r.Connect, r.Handshake,
+			r.Stall, r.Transfer, r.Other, r.MeanPLT, r.MedianPLT)
+	}
+	_ = w.Flush()
+	sb.WriteString("buckets partition each visit's PLT; stall = receive-side HOL blocking observed in the event trace\n")
+	return sb.String()
+}

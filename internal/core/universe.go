@@ -18,6 +18,7 @@ import (
 	"h3cdn/internal/seqrand"
 	"h3cdn/internal/simnet"
 	"h3cdn/internal/tlssim"
+	"h3cdn/internal/trace"
 	"h3cdn/internal/vantage"
 	"h3cdn/internal/webgen"
 )
@@ -59,6 +60,12 @@ type UniverseConfig struct {
 	MissPenalty time.Duration
 	// MaxEvents bounds one scheduler run. Default 200M.
 	MaxEvents int
+	// Trace, when non-nil, records per-visit event traces: RunVisit
+	// brackets each measured visit with BeginVisit/EndVisit and every
+	// layer underneath (network, transports, TLS, HTTP, browser) emits
+	// into it. Warm passes (RunVisitDiscard) are not traced. Nil adds
+	// zero overhead anywhere.
+	Trace *trace.Tracer
 }
 
 func (c UniverseConfig) withDefaults() UniverseConfig {
@@ -187,6 +194,7 @@ func NewUniverse(cfg UniverseConfig) (*Universe, error) {
 
 	sched := &simnet.Scheduler{MaxEvents: cfg.MaxEvents}
 	net := simnet.NewNetwork(sched, pf, src.Sub("net"))
+	net.SetTracer(cfg.Trace)
 	u.Sched = sched
 	u.Net = net
 	u.Client = net.AddHost(probeAddr)
@@ -244,7 +252,8 @@ func (u *Universe) startEdge(provider string, addr simnet.Addr) error {
 		// Alt-Svc-switched connections, and retransmit lost
 		// handshake flights from a cached RTT estimate rather
 		// than the RFC's conservative 1s initial PTO.
-		QUIC: quicsim.Config{InitCwndPkts: 32, PTOInit: 300 * time.Millisecond},
+		QUIC:  quicsim.Config{InitCwndPkts: 32, PTOInit: 300 * time.Millisecond},
+		Trace: u.cfg.Trace,
 	})
 	if err != nil {
 		return fmt.Errorf("core: edge %s: %w", p.Name, err)
@@ -279,6 +288,7 @@ func (u *Universe) startOrigin(site string, addr simnet.Addr) error {
 		EnableH3:     u.topo.corpus.H3Support[site],
 		HandshakeCPU: 800 * time.Microsecond,
 		QUIC:         quicsim.Config{InitCwndPkts: 32, PTOInit: 300 * time.Millisecond},
+		Trace:        u.cfg.Trace,
 	})
 	if err != nil {
 		return fmt.Errorf("core: origin %s: %w", site, err)
@@ -319,11 +329,17 @@ func (u *Universe) NewBrowser(cfg browser.Config) *browser.Browser {
 	if cfg.Recovery == nil {
 		cfg.Recovery = &u.recovery
 	}
+	if cfg.Trace == nil {
+		cfg.Trace = u.cfg.Trace
+	}
 	return browser.New(u.Client, cfg)
 }
 
-// RunVisit drives one page load to completion and returns its log.
+// RunVisit drives one page load to completion and returns its log. When
+// the universe carries a tracer, the visit's events are recorded between
+// BeginVisit and EndVisit and flushed to the tracer's sink on success.
 func (u *Universe) RunVisit(b *browser.Browser, page *webgen.Page) (*har.PageLog, error) {
+	u.cfg.Trace.BeginVisit(page.Site, u.Sched.Now())
 	var result *har.PageLog
 	b.Visit(page, func(l *har.PageLog) {
 		result = l
@@ -332,14 +348,18 @@ func (u *Universe) RunVisit(b *browser.Browser, page *webgen.Page) (*har.PageLog
 	n, err := u.Sched.Run()
 	u.events += int64(n)
 	if err != nil {
+		u.cfg.Trace.Abort()
 		return nil, fmt.Errorf("core: visit %s: %w", page.Site, err)
 	}
 	if u.startErr != nil {
+		u.cfg.Trace.Abort()
 		return nil, fmt.Errorf("core: visit %s: %w", page.Site, u.startErr)
 	}
 	if result == nil {
+		u.cfg.Trace.Abort()
 		return nil, fmt.Errorf("core: visit %s never completed", page.Site)
 	}
+	u.cfg.Trace.EndVisit(result.PLT)
 	return result, nil
 }
 

@@ -28,9 +28,14 @@ type Entry struct {
 
 	// Timing phases. Connect covers transport + TLS handshakes and is
 	// zero for requests on a reused connection — the paper's reuse
-	// detector (§VI-C).
+	// detector (§VI-C). SSL is the TLS portion of Connect per HAR 1.2
+	// semantics: it is included in Connect, never additional to it, so
+	// the pre-split combined value remains reconcilable as Connect
+	// itself and the transport-only part as Connect-SSL. For H3 the
+	// integrated QUIC handshake is attributed entirely to SSL.
 	Blocked time.Duration `json:"blocked"`
 	Connect time.Duration `json:"connect"`
+	SSL     time.Duration `json:"ssl,omitempty"`
 	Wait    time.Duration `json:"wait"`
 	Receive time.Duration `json:"receive"`
 

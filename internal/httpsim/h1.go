@@ -8,6 +8,7 @@ import (
 	"h3cdn/internal/simnet"
 	"h3cdn/internal/tcpsim"
 	"h3cdn/internal/tlssim"
+	"h3cdn/internal/trace"
 )
 
 // DialConfig carries the client-side transport knobs shared by all
@@ -25,6 +26,9 @@ type DialConfig struct {
 	TCP TCPOptions
 	// HandshakeCPU models client crypto compute time.
 	HandshakeCPU time.Duration
+	// Trace, when non-nil, receives transport- and HTTP-level events
+	// for this connection. Nil-safe: every emit is a no-op when nil.
+	Trace *trace.Tracer
 }
 
 // TCPOptions is re-exported here to avoid each caller importing tcpsim.
@@ -37,8 +41,9 @@ type TCPOptions struct {
 }
 
 type h1Pending struct {
-	req *Request
-	ev  RequestEvents
+	req    *Request
+	ev     RequestEvents
+	stream int64
 }
 
 // h1Client is an HTTP/1.1 client connection: strictly one request in
@@ -48,8 +53,13 @@ type h1Client struct {
 	tls         *tlssim.Conn
 	established bool
 	hsDur       time.Duration
+	sslDur      time.Duration
 	resumed     bool
 	closed      bool
+
+	trace      *trace.Tracer
+	traceID    uint32
+	nextStream int64
 
 	queue []h1Pending
 	cur   *h1Pending
@@ -66,7 +76,7 @@ var _ ClientConn = (*h1Client)(nil)
 
 // DialH1 opens an HTTP/1.1 connection to addr:port.
 func DialH1(host *simnet.Host, addr simnet.Addr, port uint16, serverName string, cfg DialConfig) ClientConn {
-	c := &h1Client{sched: host.Scheduler()}
+	c := &h1Client{sched: host.Scheduler(), trace: cfg.Trace}
 	dialStart := c.sched.Now()
 	dialTLS(host, addr, port, serverName, H1, cfg, func(conn *tlssim.Conn, err error) {
 		if err != nil {
@@ -74,8 +84,11 @@ func DialH1(host *simnet.Host, addr simnet.Addr, port uint16, serverName string,
 			return
 		}
 		c.tls = conn
-		// Handshake duration covers TCP + TLS, from the dial call.
+		// Handshake duration covers TCP + TLS, from the dial call; the
+		// SSL portion is the TLS layer's own span (HAR "ssl").
 		c.hsDur = c.sched.Now() - dialStart
+		c.sslDur = conn.HandshakeDuration()
+		c.traceID = conn.TraceID()
 		c.resumed = conn.Resumed()
 		conn.SetDataFunc(c.onData)
 		conn.SetCloseFunc(c.onClose)
@@ -91,6 +104,7 @@ func DialH1(host *simnet.Host, addr simnet.Addr, port uint16, serverName string,
 func dialTLS(host *simnet.Host, addr simnet.Addr, port uint16, serverName string, proto Protocol,
 	cfg DialConfig, done func(*tlssim.Conn, error), early func(*tlssim.Conn)) {
 	tcpCfg := tcpsimConfig(cfg.TCP)
+	tcpCfg.Trace = cfg.Trace
 	version := cfg.TLSVersion
 	if version == 0 {
 		version = tlssim.TLS13
@@ -105,6 +119,8 @@ func dialTLS(host *simnet.Host, addr simnet.Addr, port uint16, serverName string
 			Sched:           host.Scheduler(),
 			HandshakeCPU:    cfg.HandshakeCPU,
 			ALPN:            proto.ALPN(),
+			Trace:           cfg.Trace,
+			TraceConn:       tc.TraceID(),
 		}, func(err error) { done(tconn, err) })
 		if early != nil {
 			early(tconn)
@@ -127,6 +143,10 @@ func (c *h1Client) Protocol() Protocol { return H1 }
 func (c *h1Client) Established() bool { return c.established }
 
 func (c *h1Client) HandshakeDuration() time.Duration { return c.hsDur }
+
+func (c *h1Client) SSLDuration() time.Duration { return c.sslDur }
+
+func (c *h1Client) TraceID() uint32 { return c.traceID }
 
 func (c *h1Client) Resumed() bool { return c.resumed }
 
@@ -157,8 +177,11 @@ func (c *h1Client) next() {
 	}
 	p := c.queue[0]
 	c.queue = c.queue[1:]
+	c.nextStream++
+	p.stream = c.nextStream
 	c.cur = &p
 	c.resetParse()
+	c.trace.HTTPStreamOpen(c.sched.Now(), c.traceID, p.stream, p.req.Host, p.req.Path)
 	c.tls.Write(encodeH1Request(p.req))
 	if p.ev.OnSent != nil {
 		p.ev.OnSent()
@@ -192,6 +215,7 @@ func (c *h1Client) onData(p []byte) {
 			c.gotHeader = true
 			c.bodyLeft = meta.BodySize
 			c.acc = c.acc[idx+4:]
+			c.trace.HTTPHeaders(c.sched.Now(), c.traceID, c.cur.stream, meta.Status, meta.BodySize)
 			if c.cur.ev.OnHeaders != nil {
 				c.cur.ev.OnHeaders(meta)
 			}
@@ -206,6 +230,7 @@ func (c *h1Client) onData(p []byte) {
 		done := c.cur
 		c.cur = nil
 		c.gotHeader = false
+		c.trace.HTTPStreamClose(c.sched.Now(), c.traceID, done.stream)
 		if done.ev.OnComplete != nil {
 			done.ev.OnComplete()
 		}
@@ -226,6 +251,7 @@ func (c *h1Client) fail(err error) {
 	}
 	c.closed = true
 	if c.cur != nil {
+		c.trace.HTTPStreamFail(c.sched.Now(), c.traceID, c.cur.stream, err.Error())
 		if c.cur.ev.OnError != nil {
 			c.cur.ev.OnError(err)
 		}

@@ -7,6 +7,7 @@ import (
 	"h3cdn/internal/simnet"
 	"h3cdn/internal/tcpsim"
 	"h3cdn/internal/tlssim"
+	"h3cdn/internal/trace"
 )
 
 func tcpsimConfig(o TCPOptions) tcpsim.Config {
@@ -28,8 +29,12 @@ type h2Client struct {
 	tls         *tlssim.Conn
 	established bool
 	hsDur       time.Duration
+	sslDur      time.Duration
 	resumed     bool
 	closed      bool
+
+	trace   *trace.Tracer
+	traceID uint32
 
 	parser  blockParser
 	streams map[uint32]*h2Pending
@@ -45,6 +50,7 @@ func DialH2(host *simnet.Host, addr simnet.Addr, port uint16, serverName string,
 		sched:   host.Scheduler(),
 		streams: make(map[uint32]*h2Pending),
 		nextID:  1,
+		trace:   cfg.Trace,
 	}
 	dialStart := c.sched.Now()
 	dialTLS(host, addr, port, serverName, H2, cfg, func(conn *tlssim.Conn, err error) {
@@ -53,8 +59,11 @@ func DialH2(host *simnet.Host, addr simnet.Addr, port uint16, serverName string,
 			return
 		}
 		c.tls = conn
-		// Handshake duration covers TCP + TLS, from the dial call.
+		// Handshake duration covers TCP + TLS, from the dial call; the
+		// SSL portion is the TLS layer's own span (HAR "ssl").
 		c.hsDur = c.sched.Now() - dialStart
+		c.sslDur = conn.HandshakeDuration()
+		c.traceID = conn.TraceID()
 		c.resumed = conn.Resumed()
 		conn.SetDataFunc(c.onData)
 		conn.SetCloseFunc(c.onClose)
@@ -69,6 +78,10 @@ func (c *h2Client) Protocol() Protocol { return H2 }
 func (c *h2Client) Established() bool { return c.established }
 
 func (c *h2Client) HandshakeDuration() time.Duration { return c.hsDur }
+
+func (c *h2Client) SSLDuration() time.Duration { return c.sslDur }
+
+func (c *h2Client) TraceID() uint32 { return c.traceID }
 
 func (c *h2Client) Resumed() bool { return c.resumed }
 
@@ -104,6 +117,7 @@ func (c *h2Client) send(p h2Pending) {
 	c.nextID += 2
 	sp := p
 	c.streams[id] = &sp
+	c.trace.HTTPStreamOpen(c.sched.Now(), c.traceID, int64(id), p.req.Host, p.req.Path)
 	writeBlock(c.tls, blockHeadersReq, id, flagEndStream, requestHeaderBlock(p.req))
 	if sp.ev.OnSent != nil {
 		sp.ev.OnSent()
@@ -126,6 +140,7 @@ func (c *h2Client) onData(data []byte) {
 			p.meta = meta
 			p.gotMeta = true
 			p.bodyLeft = meta.BodySize
+			c.trace.HTTPHeaders(c.sched.Now(), c.traceID, int64(b.streamID), meta.Status, meta.BodySize)
 			if p.ev.OnHeaders != nil {
 				p.ev.OnHeaders(meta)
 			}
@@ -146,6 +161,7 @@ func (c *h2Client) onData(data []byte) {
 
 func (c *h2Client) finish(id uint32, p *h2Pending) {
 	delete(c.streams, id)
+	c.trace.HTTPStreamClose(c.sched.Now(), c.traceID, int64(id))
 	if p.ev.OnComplete != nil {
 		p.ev.OnComplete()
 	}
@@ -171,7 +187,9 @@ func (c *h2Client) fail(err error) {
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
-		if p := c.streams[id]; p.ev.OnError != nil {
+		p := c.streams[id]
+		c.trace.HTTPStreamFail(c.sched.Now(), c.traceID, int64(id), err.Error())
+		if p.ev.OnError != nil {
 			p.ev.OnError(err)
 		}
 	}

@@ -5,6 +5,7 @@ import (
 
 	"h3cdn/internal/quicsim"
 	"h3cdn/internal/simnet"
+	"h3cdn/internal/trace"
 )
 
 // H3DialConfig carries QUIC-specific client knobs.
@@ -17,6 +18,9 @@ type H3DialConfig struct {
 	QUIC quicsim.Config
 	// HandshakeCPU models client crypto compute time.
 	HandshakeCPU time.Duration
+	// Trace, when non-nil, receives transport- and HTTP-level events
+	// for this connection. Nil-safe: every emit is a no-op when nil.
+	Trace *trace.Tracer
 }
 
 type h3Stream struct {
@@ -24,6 +28,7 @@ type h3Stream struct {
 	ev  RequestEvents
 
 	parser   blockParser
+	id       int64
 	gotMeta  bool
 	bodyLeft int
 	done     bool
@@ -35,6 +40,7 @@ type h3Client struct {
 	conn        *quicsim.Conn
 	established bool
 	closed      bool
+	trace       *trace.Tracer
 	queue       []h3Stream
 	// actives keeps send order: failure fan-out must visit streams
 	// deterministically (map iteration would scramble retry scheduling).
@@ -45,9 +51,11 @@ var _ ClientConn = (*h3Client)(nil)
 
 // DialH3 opens an HTTP/3 connection to addr:port (the QUIC port).
 func DialH3(host *simnet.Host, addr simnet.Addr, port uint16, serverName string, cfg H3DialConfig) ClientConn {
-	c := &h3Client{sched: host.Scheduler()}
+	c := &h3Client{sched: host.Scheduler(), trace: cfg.Trace}
+	qcfg := cfg.QUIC
+	qcfg.Trace = cfg.Trace
 	c.conn = quicsim.Dial(host, addr, port, quicsim.ClientConfig{
-		Config:        cfg.QUIC,
+		Config:        qcfg,
 		ServerName:    serverName,
 		Tokens:        cfg.Tokens,
 		EnableZeroRTT: cfg.EnableZeroRTT,
@@ -65,6 +73,12 @@ func (c *h3Client) Protocol() Protocol { return H3 }
 func (c *h3Client) Established() bool { return c.established }
 
 func (c *h3Client) HandshakeDuration() time.Duration { return c.conn.HandshakeDuration() }
+
+// SSLDuration equals HandshakeDuration: QUIC's handshake is integrated
+// transport+crypto, attributed entirely to SSL (Chrome's convention).
+func (c *h3Client) SSLDuration() time.Duration { return c.conn.HandshakeDuration() }
+
+func (c *h3Client) TraceID() uint32 { return c.conn.TraceID() }
 
 func (c *h3Client) Resumed() bool { return c.conn.Resumed() }
 
@@ -99,7 +113,9 @@ func (c *h3Client) send(p h3Stream) {
 	st := &p
 	c.actives = append(c.actives, st)
 	s := c.conn.OpenStream()
+	st.id = int64(s.ID())
 	s.SetDataFunc(func(data []byte) { c.onStreamData(st, data) })
+	c.trace.HTTPStreamOpen(c.sched.Now(), c.conn.TraceID(), st.id, p.req.Host, p.req.Path)
 	writeBlock(s, blockHeadersReq, 0, flagEndStream, requestHeaderBlock(p.req))
 	s.CloseWrite()
 	if st.ev.OnSent != nil {
@@ -121,6 +137,7 @@ func (c *h3Client) onStreamData(st *h3Stream, data []byte) {
 			}
 			st.gotMeta = true
 			st.bodyLeft = meta.BodySize
+			c.trace.HTTPHeaders(c.sched.Now(), c.conn.TraceID(), st.id, meta.Status, meta.BodySize)
 			if st.ev.OnHeaders != nil {
 				st.ev.OnHeaders(meta)
 			}
@@ -149,6 +166,7 @@ func (c *h3Client) finish(st *h3Stream) {
 			break
 		}
 	}
+	c.trace.HTTPStreamClose(c.sched.Now(), c.conn.TraceID(), st.id)
 	if st.ev.OnComplete != nil {
 		st.ev.OnComplete()
 	}
@@ -174,6 +192,7 @@ func (c *h3Client) fail(err error) {
 	c.queue = nil
 	for _, st := range c.actives {
 		st.done = true
+		c.trace.HTTPStreamFail(c.sched.Now(), c.conn.TraceID(), st.id, err.Error())
 		if st.ev.OnError != nil {
 			st.ev.OnError(err)
 		}

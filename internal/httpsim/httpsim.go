@@ -118,6 +118,13 @@ type ClientConn interface {
 	Resumed() bool
 	// InFlight reports requests issued but not yet completed.
 	InFlight() int
+	// TraceID is the connection's tracer-assigned identity (0 when
+	// tracing is disabled or the transport has not been dialed).
+	TraceID() uint32
+	// SSLDuration is the TLS portion of the handshake for H1/H2 (HAR
+	// "ssl", a subset of HandshakeDuration). For H3 the integrated
+	// QUIC handshake is all crypto, so it equals HandshakeDuration.
+	SSLDuration() time.Duration
 	// Close terminates the connection gracefully.
 	Close()
 	// Abort terminates immediately (no peer notification beyond

@@ -8,6 +8,7 @@ import (
 	"h3cdn/internal/simnet"
 	"h3cdn/internal/tcpsim"
 	"h3cdn/internal/tlssim"
+	"h3cdn/internal/trace"
 )
 
 // Well-known ports. The simulator gives each host a single port space, so
@@ -32,6 +33,9 @@ type ServerConfig struct {
 	// TCP and QUIC tune the transports.
 	TCP  tcpsim.Config
 	QUIC quicsim.Config
+	// Trace, when non-nil, receives server-side transport events.
+	// Nil-safe: every emit is a no-op when nil.
+	Trace *trace.Tracer
 }
 
 // Server is a simulated HTTPS server speaking H1 and H2 (via ALPN) and
@@ -50,12 +54,16 @@ func StartServer(host *simnet.Host, cfg ServerConfig) (*Server, error) {
 	}
 	s := &Server{host: host, cfg: cfg}
 
-	tcpL, err := tcpsim.Listen(host, TCPPort, cfg.TCP, func(tc *tcpsim.Conn) {
+	tcpCfg := cfg.TCP
+	tcpCfg.Trace = cfg.Trace
+	tcpL, err := tcpsim.Listen(host, TCPPort, tcpCfg, func(tc *tcpsim.Conn) {
 		var tconn *tlssim.Conn
 		tconn = tlssim.Server(tc, tlssim.ServerConfig{
 			Sessions:     cfg.TLSSessions,
 			Sched:        host.Scheduler(),
 			HandshakeCPU: cfg.HandshakeCPU,
+			Trace:        cfg.Trace,
+			TraceConn:    tc.TraceID(),
 		}, func(err error) {
 			if err != nil {
 				return
@@ -74,8 +82,10 @@ func StartServer(host *simnet.Host, cfg ServerConfig) (*Server, error) {
 	s.tcp = tcpL
 
 	if cfg.EnableH3 {
+		quicCfg := cfg.QUIC
+		quicCfg.Trace = cfg.Trace
 		quicE, err := quicsim.Listen(host, QUICPort, quicsim.ServerConfig{
-			Config:       cfg.QUIC,
+			Config:       quicCfg,
 			Sessions:     cfg.QUICSessions,
 			HandshakeCPU: cfg.HandshakeCPU,
 		}, func(qc *quicsim.Conn) {

@@ -6,6 +6,9 @@ import (
 	"h3cdn/internal/simnet"
 )
 
+// TraceID returns the connection's trace id (0 when untraced).
+func (c *Conn) TraceID() uint32 { return c.traceID }
+
 type connState uint8
 
 const (
@@ -112,6 +115,8 @@ type Conn struct {
 	freeSents  []*sentPacket
 	freeAcks   []*ackFrame
 
+	traceID uint32 // 0 when untraced
+
 	onEstablished func(*Conn)
 	closeFn       func(error)
 	stats         ConnStats
@@ -150,6 +155,7 @@ func Dial(host *simnet.Host, dst simnet.Addr, dstPort uint16, cfg ClientConfig, 
 			}
 		}
 	}
+	c.cfg.Trace.QUICHandshakeStart(c.hsStart, c.traceID, c.resumed, c.zeroRTT)
 	c.sendQ = append(c.sendQ, ch)
 	c.trySend()
 	c.armPTO()
@@ -178,6 +184,7 @@ func newConn(host *simnet.Host, cfg Config) *Conn {
 	}
 	c.ssthresh = float64(cfg.MaxCwndPkts * maxPacketPayload)
 	c.ptoTimer = c.sched.NewTimer(c.onPTO)
+	c.traceID = cfg.Trace.ConnID()
 	return c
 }
 
@@ -342,6 +349,7 @@ func (c *Conn) becomeEstablished() {
 	if c.zeroRTT {
 		c.hsDone = c.hsStart
 	}
+	c.cfg.Trace.QUICHandshakeDone(c.hsDone, c.traceID, c.isClient, c.resumed, c.zeroRTT)
 	if c.onEstablished != nil {
 		c.onEstablished(c)
 	}
@@ -357,6 +365,7 @@ func (c *Conn) transmit(p *packet) {
 	c.stats.PacketsSent++
 	size := p.wireSize()
 	c.stats.BytesSent += int64(size)
+	c.cfg.Trace.QUICPacketSent(c.sched.Now(), c.traceID, int64(p.pn), size)
 	c.host.Send(c.localPort, c.remote, c.remotePort, size, p)
 }
 
@@ -596,6 +605,7 @@ func (c *Conn) onPTO() {
 		if c.cfg.Recovery != nil {
 			c.cfg.Recovery.ConnFailures++
 		}
+		c.cfg.Trace.QUICConnFail(c.sched.Now(), c.traceID, ErrTimeout.Error())
 		wasEstablished := c.state == stateEstablished
 		c.fail(ErrTimeout)
 		if wasEstablished {
@@ -607,6 +617,7 @@ func (c *Conn) onPTO() {
 	if c.cfg.Recovery != nil {
 		c.cfg.Recovery.ProbeFires++
 	}
+	c.cfg.Trace.QUICPTOFire(c.sched.Now(), c.traceID, c.ptoCount)
 	// Probe: retransmit the oldest unacked ack-eliciting packet's
 	// frames in a fresh packet, bypassing the congestion window.
 	if len(c.sent) > 0 {
@@ -712,12 +723,14 @@ func (c *Conn) handleAck(f *ackFrame) {
 	for lost < len(c.sent) && c.sent[lost].pn+c.cfg.ReorderThreshold <= largestAcked {
 		lost++
 	}
+	c.cfg.Trace.QUICAck(c.sched.Now(), c.traceID, int64(largestAcked), len(f.ranges), lost)
 	for _, sp := range c.sent[:lost] {
 		c.bytesInFlight -= sp.size
 		c.stats.PacketsDeclaredLost++
 		if c.cfg.Recovery != nil {
 			c.cfg.Recovery.PacketsDeclaredLost++
 		}
+		c.cfg.Trace.QUICPacketLost(c.sched.Now(), c.traceID, int64(sp.pn))
 		c.sendQ = appendRetransmittable(c.sendQ, sp.frames)
 		if sp.pn >= c.recoveryStart {
 			// One cwnd reduction per recovery epoch.
@@ -772,10 +785,12 @@ func (c *Conn) handlePacket(p *packet) {
 	c.stats.PacketsReceived++
 	if !c.recvd.add(p.pn) {
 		// Duplicate: our ACK may have been lost; re-ACK.
+		c.cfg.Trace.QUICPacketRecv(c.sched.Now(), c.traceID, int64(p.pn), true)
 		c.ackQueued = true
 		c.trySend()
 		return
 	}
+	c.cfg.Trace.QUICPacketRecv(c.sched.Now(), c.traceID, int64(p.pn), false)
 	for _, f := range p.frames {
 		switch f := f.(type) {
 		case *clientHelloFrame:
@@ -817,6 +832,12 @@ func (c *Conn) handleClientHello(f *clientHelloFrame) {
 	resumed := c.scfg.Sessions != nil && c.scfg.Sessions.valid(f.token)
 	c.resumed = resumed
 	c.zeroRTT = resumed && f.zeroRTT
+	if f.zeroRTT {
+		// The server's 0-RTT decision: early data rides on a valid
+		// resumption token or is rejected with the handshake falling
+		// back to 1-RTT.
+		c.cfg.Trace.QUICZeroRTT(c.sched.Now(), c.traceID, c.zeroRTT)
+	}
 	if resumed {
 		// Bandwidth resumption: restart from the cached cwnd
 		// (capped), skipping slow start on the validated path.

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"h3cdn/internal/simnet"
+	"h3cdn/internal/trace"
 )
 
 // Wire overheads in bytes.
@@ -70,6 +71,10 @@ type Config struct {
 	// Increments happen in scheduler context; the pointer is typically
 	// shared by every client connection of one simulated probe.
 	Recovery *simnet.RecoveryStats
+	// Trace, when non-nil, receives connection-level events (handshake,
+	// packet tx/rx, ACK processing, PTO episodes, stream stalls).
+	// Nil-safe: every emit is a no-op on a nil tracer.
+	Trace *trace.Tracer
 }
 
 func (c Config) withDefaults() Config {

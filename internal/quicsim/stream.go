@@ -1,5 +1,7 @@
 package quicsim
 
+import "time"
+
 // Stream is an ordered byte stream multiplexed on a Conn. Data on one
 // stream is delivered in order; loss on one stream never blocks another —
 // the transport-level property behind HTTP/3's HoL-blocking immunity.
@@ -22,6 +24,12 @@ type Stream struct {
 	dataFn  func([]byte)
 	finFn   func()
 	nRecved int64
+
+	// Stall bookkeeping, maintained only when tracing is enabled: a
+	// stall is an interval during which out-of-order data is buffered
+	// waiting for an earlier gap to fill. Purely observational.
+	holActive bool
+	holStart  time.Duration
 }
 
 // ID returns the stream identifier.
@@ -119,6 +127,22 @@ func (s *Stream) advance() {
 		s.gotEOF = true
 		if s.finFn != nil {
 			s.finFn()
+		}
+	}
+	if s.conn.cfg.Trace != nil {
+		switch {
+		case !s.holActive && len(s.chunks) > 0:
+			s.holActive = true
+			s.holStart = s.conn.sched.Now()
+			buffered := 0
+			for _, data := range s.chunks {
+				buffered += len(data)
+			}
+			s.conn.cfg.Trace.QUICStallStart(s.holStart, s.conn.traceID, s.id, buffered)
+		case s.holActive && len(s.chunks) == 0:
+			s.holActive = false
+			now := s.conn.sched.Now()
+			s.conn.cfg.Trace.QUICStallEnd(now, s.conn.traceID, s.id, now-s.holStart)
 		}
 	}
 }

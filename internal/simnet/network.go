@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"h3cdn/internal/seqrand"
+	"h3cdn/internal/trace"
 )
 
 // Addr identifies a host on the simulated network.
@@ -86,6 +87,7 @@ type Network struct {
 	rng    *seqrand.Source
 	stats  Stats
 	filter func(Packet) bool
+	trace  *trace.Tracer
 
 	freeDeliveries *delivery // recycled delivery records
 }
@@ -136,6 +138,11 @@ func (n *Network) releaseDelivery(d *delivery) {
 // returning false drops the packet (counted as a loss drop). Intended for
 // tests and fault injection. Pass nil to remove.
 func (n *Network) SetFilter(f func(Packet) bool) { n.filter = f }
+
+// SetTracer installs the event tracer packet-level events are emitted
+// to. All emit paths are nil-safe, so an untraced network pays only a
+// nil compare per packet.
+func (n *Network) SetTracer(t *trace.Tracer) { n.trace = t }
 
 type pairKey struct {
 	src, dst Addr
@@ -244,9 +251,11 @@ func (n *Network) pairState(src, dst Addr, link string) *pathState {
 func (n *Network) send(pkt Packet) {
 	n.stats.Sent++
 	n.stats.BytesSent += int64(pkt.Size)
+	n.trace.PacketSent(n.sched.Now(), string(pkt.Src), string(pkt.Dst), pkt.SrcPort, pkt.DstPort, pkt.Size)
 
 	if n.filter != nil && !n.filter(pkt) {
 		n.stats.LossDrops++
+		n.trace.PacketDropped(n.sched.Now(), string(pkt.Src), string(pkt.Dst), pkt.SrcPort, pkt.DstPort, pkt.Size, trace.DropFilter)
 		releasePayload(pkt.Payload)
 		return
 	}
@@ -256,6 +265,7 @@ func (n *Network) send(pkt Packet) {
 
 	if props.QueueLimit > 0 && ps.inFlight >= props.QueueLimit {
 		n.stats.QueueDrops++
+		n.trace.PacketDropped(n.sched.Now(), string(pkt.Src), string(pkt.Dst), pkt.SrcPort, pkt.DstPort, pkt.Size, trace.DropQueue)
 		releasePayload(pkt.Payload)
 		return
 	}
@@ -290,19 +300,24 @@ func (n *Network) send(pkt Packet) {
 	// sequence they always did.
 	var extra time.Duration
 	if props.Impair != nil {
-		drop, delta := n.impair(ps, props.Impair, start)
-		if drop {
+		cause, delta := n.impair(ps, props.Impair, start)
+		if cause != 0 {
+			n.trace.PacketDropped(now, string(pkt.Src), string(pkt.Dst), pkt.SrcPort, pkt.DstPort, pkt.Size, cause)
 			d.drop = true
 			n.sched.QueueAtArg(&q.drop, start+tx, runDelivery, d)
 			return
 		}
 		extra = delta
+		if extra > 0 {
+			n.trace.PacketDelayed(now, string(pkt.Src), string(pkt.Dst), extra)
+		}
 	}
 
 	// Loss is evaluated per transmission attempt. Dropped packets still
 	// consumed link time (they were serialized onto the wire).
 	if props.LossRate > 0 && ps.lossRng.Float64() < props.LossRate {
 		n.stats.LossDrops++
+		n.trace.PacketDropped(now, string(pkt.Src), string(pkt.Dst), pkt.SrcPort, pkt.DstPort, pkt.Size, trace.DropLoss)
 		d.drop = true
 		n.sched.QueueAtArg(&q.drop, start+tx, runDelivery, d)
 		return
@@ -312,16 +327,16 @@ func (n *Network) send(pkt Packet) {
 }
 
 // impair applies the fault-injection layer to one transmission attempt
-// starting serialization at start. It reports whether the packet is
-// dropped (outage or Gilbert–Elliott loss) and, for deliveries, the
-// extra delay from jitter and reordering. Dropped packets are scheduled
-// by the caller on the same drop queue as ambient loss, so they consume
-// their serialization slot and release pooled payloads exactly once via
-// runDelivery.
-func (n *Network) impair(ps *pathState, im *Impairment, start time.Duration) (bool, time.Duration) {
+// starting serialization at start. A non-zero cause (trace.Drop*) means
+// the packet is dropped (outage or Gilbert–Elliott loss); otherwise the
+// returned duration is the extra delivery delay from jitter and
+// reordering. Dropped packets are scheduled by the caller on the same
+// drop queue as ambient loss, so they consume their serialization slot
+// and release pooled payloads exactly once via runDelivery.
+func (n *Network) impair(ps *pathState, im *Impairment, start time.Duration) (int64, time.Duration) {
 	if len(im.Outages) > 0 && im.down(start) {
 		n.stats.OutageDrops++
-		return true, 0
+		return trace.DropOutage, 0
 	}
 	if ps.impairRng == nil {
 		ps.impairRng = n.rng.Stream("impair", ps.label)
@@ -342,7 +357,7 @@ func (n *Network) impair(ps *pathState, im *Impairment, start time.Duration) (bo
 		}
 		if drop {
 			n.stats.BurstDrops++
-			return true, 0
+			return trace.DropBurst, 0
 		}
 	}
 	var extra time.Duration
@@ -353,7 +368,7 @@ func (n *Network) impair(ps *pathState, im *Impairment, start time.Duration) (bo
 		n.stats.Reordered++
 		extra += im.ReorderDelay
 	}
-	return false, extra
+	return 0, extra
 }
 
 func (n *Network) deliver(pkt Packet) {
@@ -370,6 +385,7 @@ func (n *Network) deliver(pkt Packet) {
 		return
 	}
 	n.stats.Delivered++
+	n.trace.PacketArrived(n.sched.Now(), string(pkt.Src), string(pkt.Dst), pkt.SrcPort, pkt.DstPort, pkt.Size)
 	fn(pkt)
 	releasePayload(pkt.Payload)
 }

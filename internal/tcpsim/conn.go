@@ -6,6 +6,7 @@ import (
 	"h3cdn/internal/bufpool"
 	"h3cdn/internal/bytestream"
 	"h3cdn/internal/simnet"
+	"h3cdn/internal/trace"
 )
 
 type connState uint8
@@ -78,6 +79,13 @@ type Conn struct {
 	finAcked  bool // our FIN acknowledged
 	closeSent bool // close callback delivered
 
+	// Tracing. traceID is 0 when untraced; HOL-stall bookkeeping only
+	// runs when a tracer is installed (purely observational — it can
+	// never perturb scheduling).
+	traceID   uint32
+	holActive bool
+	holStart  time.Duration
+
 	onEstablished func()
 	dataFn        func([]byte)
 	closeFn       func(error)
@@ -112,6 +120,7 @@ func Dial(host *simnet.Host, dst simnet.Addr, dstPort uint16, cfg Config, onEsta
 		c.onEstablished = func() { onEstablished(c) }
 	}
 	c.synSentAt = c.sched.Now()
+	cfg.Trace.TCPSynSent(c.synSentAt, c.traceID)
 	c.sendFlags(flagSYN)
 	c.armRTO()
 	return c
@@ -128,8 +137,12 @@ func newConn(host *simnet.Host, cfg Config) *Conn {
 	}
 	c.ssthresh = float64(cfg.MaxCwndSegs * cfg.MSS)
 	c.rtoTimer = c.sched.NewTimer(c.onRTO)
+	c.traceID = cfg.Trace.ConnID()
 	return c
 }
+
+// TraceID returns the connection's trace id (0 when untraced).
+func (c *Conn) TraceID() uint32 { return c.traceID }
 
 // RemoteAddr returns the peer address.
 func (c *Conn) RemoteAddr() simnet.Addr { return c.remote }
@@ -330,6 +343,7 @@ func (c *Conn) handleSegment(seg *segment) {
 	case stateSynSent:
 		if seg.flags&(flagSYN|flagACK) == flagSYN|flagACK {
 			c.state = stateEstablished
+			c.cfg.Trace.TCPEstablished(c.sched.Now(), c.traceID, true)
 			if !c.synRetrans {
 				c.rttSample(c.sched.Now() - c.synSentAt)
 			}
@@ -345,6 +359,7 @@ func (c *Conn) handleSegment(seg *segment) {
 	case stateSynRcvd:
 		if seg.flags&flagACK != 0 && seg.flags&flagSYN == 0 {
 			c.state = stateEstablished
+			c.cfg.Trace.TCPEstablished(c.sched.Now(), c.traceID, false)
 			c.noteRecovered()
 			c.rtoTimer.Stop()
 			if !c.synRetrans {
@@ -487,6 +502,7 @@ func (c *Conn) processAck(seg *segment) {
 				c.inRecovery = false
 				c.cwnd = c.ssthresh
 				c.dupAcks = 0
+				c.cfg.Trace.TCPCwndChange(c.sched.Now(), c.traceID, int(c.cwnd), int(c.ssthresh), trace.CwndRecoveryExit)
 			} else {
 				// Partial ACK (NewReno): retransmit next hole,
 				// deflate by amount acked, inflate by one MSS.
@@ -516,6 +532,7 @@ func (c *Conn) processAck(seg *segment) {
 			if c.cfg.Recovery != nil {
 				c.cfg.Recovery.FastRetransmits++
 			}
+			c.cfg.Trace.TCPFastRetransmit(c.sched.Now(), c.traceID, int64(c.sndUna))
 			c.enterRecovery()
 		}
 	}
@@ -532,6 +549,7 @@ func (c *Conn) enterRecovery() {
 	c.inRecovery = true
 	c.retransmitFirst()
 	c.cwnd = c.ssthresh + 3*mss
+	c.cfg.Trace.TCPCwndChange(c.sched.Now(), c.traceID, int(c.cwnd), int(c.ssthresh), trace.CwndFastRecovery)
 }
 
 // noteRecovered records forward progress (a valid ACK or handshake
@@ -599,6 +617,7 @@ func (c *Conn) onRTO() {
 		if c.cfg.Recovery != nil {
 			c.cfg.Recovery.ConnFailures++
 		}
+		c.cfg.Trace.TCPConnFail(c.sched.Now(), c.traceID, err.Error())
 		c.fail(err)
 		if notify {
 			c.startResetProbes()
@@ -609,6 +628,7 @@ func (c *Conn) onRTO() {
 	if c.cfg.Recovery != nil {
 		c.cfg.Recovery.Timeouts++
 	}
+	c.cfg.Trace.TCPRTOFire(c.sched.Now(), c.traceID, c.retries, c.rto)
 	c.rto *= 2
 	if c.rto > c.cfg.RTOMax {
 		c.rto = c.cfg.RTOMax
@@ -633,6 +653,7 @@ func (c *Conn) onRTO() {
 		c.cwnd = mss
 		c.inRecovery = false
 		c.dupAcks = 0
+		c.cfg.Trace.TCPCwndChange(c.sched.Now(), c.traceID, int(c.cwnd), int(c.ssthresh), trace.CwndRTOCollapse)
 		c.retransmitFirst()
 	}
 }
@@ -686,6 +707,25 @@ func (c *Conn) processData(seg *segment) {
 		}
 	}
 	c.advanceReceive()
+	// HOL-stall bookkeeping: data buffered beyond a sequence gap means
+	// the application is head-of-line blocked. Tracer-gated — the state
+	// is only read here, so an untraced connection skips it entirely.
+	if c.cfg.Trace != nil {
+		switch {
+		case !c.holActive && len(c.recvBuf) > 0:
+			c.holActive = true
+			c.holStart = c.sched.Now()
+			buffered := 0
+			for _, chunk := range c.recvBuf {
+				buffered += len(chunk.data)
+			}
+			c.cfg.Trace.TCPHolStart(c.holStart, c.traceID, buffered)
+		case c.holActive && len(c.recvBuf) == 0:
+			c.holActive = false
+			now := c.sched.Now()
+			c.cfg.Trace.TCPHolEnd(now, c.traceID, now-c.holStart)
+		}
+	}
 	c.sendFlags(flagACK)
 }
 

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"h3cdn/internal/simnet"
+	"h3cdn/internal/trace"
 )
 
 // Wire overhead charged per segment (IPv4 20 + TCP 20), in bytes.
@@ -42,6 +43,10 @@ type Config struct {
 	// Increments happen in scheduler context; the pointer is typically
 	// shared by every client connection of one simulated probe.
 	Recovery *simnet.RecoveryStats
+	// Trace, when non-nil, receives connection-level events (SYN,
+	// establishment, cwnd changes, RTO episodes, HOL stalls). Nil-safe:
+	// every emit is a no-op on a nil tracer.
+	Trace *trace.Tracer
 }
 
 func (c Config) withDefaults() Config {

@@ -6,6 +6,7 @@ import (
 	"h3cdn/internal/bufpool"
 	"h3cdn/internal/bytestream"
 	"h3cdn/internal/simnet"
+	"h3cdn/internal/trace"
 )
 
 // ClientConfig configures a client-side TLS connection.
@@ -26,6 +27,11 @@ type ClientConfig struct {
 	HandshakeCPU time.Duration
 	// ALPN is the application protocol to negotiate (e.g. "h2", "http/1.1").
 	ALPN string
+	// Trace, when non-nil, receives handshake events. TraceConn is the
+	// carrying transport connection's trace id, so TLS events share the
+	// TCP connection's identity in the trace.
+	Trace     *trace.Tracer
+	TraceConn uint32
 }
 
 // ServerConfig configures a server-side TLS connection.
@@ -37,6 +43,10 @@ type ServerConfig struct {
 	// HandshakeCPU is the server-side crypto compute time for a full
 	// handshake (halved for resumption).
 	HandshakeCPU time.Duration
+	// Trace / TraceConn mirror ClientConfig's tracing fields for the
+	// server side of the handshake.
+	Trace     *trace.Tracer
+	TraceConn uint32
 }
 
 // Conn is a TLS session over an underlying byte stream. It implements
@@ -104,6 +114,7 @@ func Client(transport bytestream.Stream, cfg ClientConfig, onHandshake func(erro
 			}
 		}
 	}
+	cfg.Trace.TLSClientHello(c.hsStart, cfg.TraceConn, int(cfg.Version), c.resumed, c.earlyData)
 	transport.Write(encodeRecord(recClientHello, encodeClientHello(ch)))
 	if c.earlyData {
 		// 0-RTT: the application may transmit immediately. Completion
@@ -158,6 +169,30 @@ func (c *Conn) ServerName() string { return c.serverName }
 // HandshakeDuration returns the time from connection start until
 // application data could first be sent (zero without a scheduler).
 func (c *Conn) HandshakeDuration() time.Duration { return c.hsDone - c.hsStart }
+
+// tracer returns this side's tracer and connection trace id.
+func (c *Conn) tracer() (*trace.Tracer, uint32) {
+	if c.isClient {
+		return c.ccfg.Trace, c.ccfg.TraceConn
+	}
+	return c.scfg.Trace, c.scfg.TraceConn
+}
+
+// TraceID returns the carrying connection's trace id (0 when untraced).
+func (c *Conn) TraceID() uint32 {
+	_, id := c.tracer()
+	return id
+}
+
+func (c *Conn) now() time.Duration {
+	if c.ccfg.Sched != nil {
+		return c.ccfg.Sched.Now()
+	}
+	if c.scfg.Sched != nil {
+		return c.scfg.Sched.Now()
+	}
+	return 0
+}
 
 // SetDataFunc registers the plaintext delivery callback. Plaintext that
 // arrived earlier (e.g. 0-RTT early data processed before the application
@@ -268,6 +303,9 @@ func (c *Conn) completeHandshake(err error) {
 		c.hsDone = c.ccfg.Sched.Now()
 	} else if c.scfg.Sched != nil {
 		c.hsDone = c.scfg.Sched.Now()
+	}
+	if tr, id := c.tracer(); tr != nil {
+		tr.TLSHandshakeDone(c.hsDone, id, c.isClient, c.resumed, c.earlyData)
 	}
 	if c.onHandshake != nil {
 		c.onHandshake(nil)
@@ -434,11 +472,16 @@ func (c *Conn) serverHandleClientHello(payload []byte) {
 			if c.scfg.Sessions != nil {
 				sh.newTicketID = c.scfg.Sessions.issue()
 			}
+			c.scfg.Trace.TLSServerFlight(c.now(), c.scfg.TraceConn, int(TLS13), resumed)
+			if sh.newTicketID != 0 {
+				c.scfg.Trace.TLSTicketIssued(c.now(), c.scfg.TraceConn, sh.newTicketID)
+			}
 			c.transport.Write(encodeRecord(recServerHello13, encodeServerHello13(sh)))
 			c.completeHandshake(nil)
 		})
 	case TLS12:
 		cpuDelay(c.scfg.Sched, c.scfg.HandshakeCPU, func() {
+			c.scfg.Trace.TLSServerFlight(c.now(), c.scfg.TraceConn, int(TLS12), false)
 			c.transport.Write(encodeRecord(recServerHello12, make([]byte, sizeServerHello12)))
 		})
 	default:
