@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check vet race bench bench-alloc bench-smoke benchgate trace-smoke fmt
+.PHONY: all build test check vet race bench bench-alloc bench-smoke bench-scaling benchgate trace-smoke fmt
 
 all: check
 
@@ -21,10 +21,11 @@ race:
 	$(GO) test -race -timeout 40m ./...
 
 # The repo's gate: static checks, a fast allocation smoke pass, the
-# tracing smoke pass, the race-enabled suite, and the benchmark
-# regression gate. The smoke passes run before the (slow) race suite so
-# allocation and trace-pipeline regressions fail fast.
-check: vet bench-smoke trace-smoke race benchgate
+# tracing smoke pass, the race-enabled suite, the benchmark regression
+# gate, and the multi-core scaling gate. The smoke passes run before the
+# (slow) race suite so allocation and trace-pipeline regressions fail
+# fast.
+check: vet bench-smoke trace-smoke race benchgate bench-scaling
 
 # Analysis/figure regeneration benchmarks (shares one campaign per run).
 bench:
@@ -45,6 +46,13 @@ benchgate:
 # gating allocs/op only (ns/op and B/op are too noisy at 100ms).
 bench-smoke:
 	$(GO) run ./cmd/benchgate -benchtime 100ms -smoke
+
+# Multi-core scaling gate: one short run of BenchmarkCampaignScaling
+# (smoke-scale corpus), gated on parallel efficiency at 4 workers via
+# the gates array of BENCH_scaling.json. The benchmark skips itself on
+# single-core machines and benchgate skips the efficiency gate with it.
+bench-scaling:
+	$(GO) run ./cmd/benchgate -baseline BENCH_scaling.json -benchtime 1x -smoke
 
 # Tracing smoke pass: run a small traced campaign through h3cdn-measure
 # -qlog and validate every emitted qlog line with qlogcheck.

@@ -381,6 +381,21 @@ func BenchmarkSchedulerTimerReset(b *testing.B) {
 
 // BenchmarkRunVisitAllocs measures allocations per full simulated page
 // load (H3 mode), the campaign hot path end to end.
+// warmArena runs enough visits before the timed section for the
+// per-visit arena to reach steady state (the first pass through each
+// page builds the pools). Without it, allocs/op depends on b.N — a
+// 100ms smoke run would be dominated by pool construction while the 2s
+// baseline run amortizes it away.
+func warmArena(b *testing.B, u *h3cdn.Universe, br *h3cdn.Browser, pages []webgen.Page) {
+	b.Helper()
+	for i := 0; i < 8*len(pages); i++ {
+		if _, err := u.RunVisit(br, &pages[i%len(pages)]); err != nil {
+			b.Fatal(err)
+		}
+		br.ClearSessions()
+	}
+}
+
 func BenchmarkRunVisitAllocs(b *testing.B) {
 	corpus := h3cdn.GenerateCorpus(h3cdn.CorpusConfig{Seed: 7, NumPages: 4, MeanResources: 111})
 	u, err := h3cdn.NewUniverse(h3cdn.UniverseConfig{Seed: 1, Corpus: corpus})
@@ -388,6 +403,7 @@ func BenchmarkRunVisitAllocs(b *testing.B) {
 		b.Fatal(err)
 	}
 	br := u.NewBrowser(h3cdn.BrowserConfig{Mode: h3cdn.ModeH3, EnableZeroRTT: true})
+	warmArena(b, u, br, corpus.Pages)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -414,6 +430,7 @@ func BenchmarkRunVisitImpairedAllocs(b *testing.B) {
 		b.Fatal(err)
 	}
 	br := u.NewBrowser(h3cdn.BrowserConfig{Mode: h3cdn.ModeH3, EnableZeroRTT: true})
+	warmArena(b, u, br, corpus.Pages)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -437,6 +454,7 @@ func BenchmarkRunVisitTraceDisabled(b *testing.B) {
 		b.Fatal(err)
 	}
 	br := u.NewBrowser(h3cdn.BrowserConfig{Mode: h3cdn.ModeH3, EnableZeroRTT: true})
+	warmArena(b, u, br, corpus.Pages)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -54,6 +54,7 @@ func run() int {
 		out        = flag.String("o", "", "output file (default stdout)")
 		cpuprofile = flag.String("cpuprofile", "", "write CPU profile to file")
 		memprofile = flag.String("memprofile", "", "write heap profile to file")
+		memstats   = flag.Bool("memstats", false, "report peak heap and cumulative allocation after the campaign")
 	)
 	flag.Parse()
 
@@ -126,6 +127,39 @@ func run() int {
 		QlogDir:          *qlogDir,
 	}
 
+	// Peak-heap sampling for -memstats: the post-campaign MemStats
+	// snapshot only shows what is still live, so a sampler tracks the
+	// in-use high-water mark while shards run.
+	var (
+		peakHeap    uint64
+		samplerStop chan struct{}
+		samplerDone chan struct{}
+	)
+	sampleHeap := func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if inUse := ms.HeapInuse + ms.StackInuse; inUse > peakHeap {
+			peakHeap = inUse
+		}
+	}
+	if *memstats {
+		samplerStop = make(chan struct{})
+		samplerDone = make(chan struct{})
+		go func() {
+			defer close(samplerDone)
+			tick := time.NewTicker(10 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-samplerStop:
+					return
+				case <-tick.C:
+					sampleHeap()
+				}
+			}
+		}()
+	}
+
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "h3cdn-measure: %d pages x %d vantages x %d probes, consecutive=%v\n",
 		*pages, len(cfg.Vantages), *probes, *consecutive)
@@ -135,6 +169,15 @@ func run() int {
 		return 1
 	}
 	elapsed := time.Since(start)
+	if *memstats {
+		close(samplerStop)
+		<-samplerDone
+		sampleHeap()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		fmt.Fprintf(os.Stderr, "h3cdn-measure: memstats peak-heap=%.1fMB total-alloc=%.1fMB gc-cycles=%d\n",
+			float64(peakHeap)/(1<<20), float64(ms.TotalAlloc)/(1<<20), ms.NumGC)
+	}
 	fmt.Fprintf(os.Stderr, "h3cdn-measure: done in %v\n", elapsed.Round(time.Second))
 	fmt.Fprintf(os.Stderr, "h3cdn-measure: %d events executed (%.0f events/sec)\n",
 		ds.Stats.Events, float64(ds.Stats.Events)/elapsed.Seconds())

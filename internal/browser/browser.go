@@ -116,6 +116,10 @@ type Config struct {
 	// from every connection this browser opens, plus its own fetch-retry
 	// count.
 	Recovery *simnet.RecoveryStats
+	// Pools, when non-nil, supplies the universe's shared allocation
+	// arenas, threaded into every connection this browser opens. The
+	// universe rewinds them at visit boundaries.
+	Pools *httpsim.Pools
 	// Trace, when non-nil, receives browser-level fetch lifecycle events
 	// and is threaded into every connection this browser opens. Nil-safe:
 	// every emit is a no-op when nil.
@@ -134,6 +138,13 @@ type Browser struct {
 
 	conns map[string]*pooledConn   // h2/h3 pools
 	h1    map[string][]*pooledConn // h1 pools per address
+
+	// keyBuf assembles pool-key lookups without allocating; freeConns
+	// recycles pooledConn records reclaimed by CloseAll (safe: fetch
+	// states drop their pc references before the next visit's dials).
+	keyBuf    []byte
+	freeConns []*pooledConn
+	closeKeys []string
 
 	// Per-fetch state arena. Finished states are reclaimed at the next
 	// visit start — by then the scheduler has run dry, so no transport
@@ -281,19 +292,22 @@ func (b *Browser) ClearAltSvc() {
 }
 
 // CloseAll terminates all pooled connections (end of a page visit) in
-// deterministic key order so packet emission is reproducible.
+// deterministic key order so packet emission is reproducible. The maps,
+// key scratch, and pooledConn records are all reused across visits.
 func (b *Browser) CloseAll() {
-	keys := make([]string, 0, len(b.conns))
+	keys := b.closeKeys[:0]
 	for k := range b.conns {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
-		b.conns[k].conn.Close()
+		pc := b.conns[k]
+		pc.conn.Close()
+		b.recycleConn(pc)
 	}
-	b.conns = make(map[string]*pooledConn)
+	clear(b.conns)
 
-	hosts := make([]string, 0, len(b.h1))
+	hosts := keys[:0]
 	for k := range b.h1 {
 		hosts = append(hosts, k)
 	}
@@ -301,9 +315,38 @@ func (b *Browser) CloseAll() {
 	for _, k := range hosts {
 		for _, pc := range b.h1[k] {
 			pc.conn.Close()
+			b.recycleConn(pc)
 		}
 	}
-	b.h1 = make(map[string][]*pooledConn)
+	clear(b.h1)
+	b.closeKeys = hosts[:0]
+}
+
+// recycleConn returns a pooledConn record to the free list. Only called
+// once the visit has completed: the record is reused no sooner than the
+// next visit, after reclaimStates has dropped every st.pc reference.
+func (b *Browser) recycleConn(pc *pooledConn) {
+	*pc = pooledConn{}
+	b.freeConns = append(b.freeConns, pc)
+}
+
+// newPooledConn pops a recycled record or allocates one.
+func (b *Browser) newPooledConn() *pooledConn {
+	if n := len(b.freeConns); n > 0 {
+		pc := b.freeConns[n-1]
+		b.freeConns[n-1] = nil
+		b.freeConns = b.freeConns[:n-1]
+		return pc
+	}
+	return &pooledConn{}
+}
+
+// connKey assembles "prefix+host" in the reused scratch buffer; the
+// result is only valid until the next connKey call. Map lookups via
+// string(connKey(...)) do not allocate.
+func (b *Browser) connKey(prefix, host string) []byte {
+	b.keyBuf = append(append(b.keyBuf[:0], prefix...), host...)
+	return b.keyBuf
 }
 
 // Visit loads a page with progressive discovery, approximating a browser
@@ -586,30 +629,29 @@ func (b *Browser) preconnectH3(host string, ep Endpoint) {
 	if !b.wantsH3() {
 		return
 	}
-	key := "h3|" + host
-	if _, ok := b.conns[key]; ok {
+	if _, ok := b.conns[string(b.connKey("h3|", host))]; ok {
 		return
 	}
 	b.cfg.Trace.Preconnect(b.sched.Now(), host)
 	pc := b.dialH3(host, ep)
-	pc.key = key
-	b.conns[key] = pc
+	pc.key = "h3|" + host
+	b.conns[pc.key] = pc
 }
 
 func (b *Browser) dialH3(host string, ep Endpoint) *pooledConn {
-	pc := &pooledConn{
-		dialAt: b.sched.Now(),
-		conn: httpsim.DialH3(b.host, ep.Addr, httpsim.QUICPort, host, httpsim.H3DialConfig{
-			Tokens:        b.tokens,
-			EnableZeroRTT: b.cfg.EnableZeroRTT,
-			HandshakeCPU:  b.cfg.HandshakeCPU,
-			// Userspace QUIC retransmits lost handshakes from a
-			// cached RTT estimate (Chromium kInitialRtt), far
-			// sooner than kernel TCP's fixed 1s SYN timer.
-			QUIC:  quicsim.Config{PTOInit: 150 * time.Millisecond, Recovery: b.cfg.Recovery},
-			Trace: b.cfg.Trace,
-		}),
-	}
+	pc := b.newPooledConn()
+	pc.dialAt = b.sched.Now()
+	pc.conn = httpsim.DialH3(b.host, ep.Addr, httpsim.QUICPort, host, httpsim.H3DialConfig{
+		Tokens:        b.tokens,
+		EnableZeroRTT: b.cfg.EnableZeroRTT,
+		HandshakeCPU:  b.cfg.HandshakeCPU,
+		// Userspace QUIC retransmits lost handshakes from a
+		// cached RTT estimate (Chromium kInitialRtt), far
+		// sooner than kernel TCP's fixed 1s SYN timer.
+		QUIC:  quicsim.Config{PTOInit: 150 * time.Millisecond, Recovery: b.cfg.Recovery},
+		Pools: b.cfg.Pools,
+		Trace: b.cfg.Trace,
+	})
 	b.stats.ConnsOpened++
 	b.stats.H3Conns++
 	return pc
@@ -634,35 +676,33 @@ func (b *Browser) connFor(host string, ep Endpoint, h3Eligible bool) (*pooledCon
 	case ep.H1Only:
 		return b.h1ConnFor(host, ep)
 	case useH3:
-		key := "h3|" + host
-		if pc, ok := b.conns[key]; ok {
+		if pc, ok := b.conns[string(b.connKey("h3|", host))]; ok {
 			return pc, false
 		}
 		if ep.H3Preloaded && !b.altSvc[host] {
 			b.cfg.Trace.PreloadHit(b.sched.Now(), host)
 		}
 		pc := b.dialH3(host, ep)
-		pc.key = key
-		b.conns[key] = pc
+		pc.key = "h3|" + host
+		b.conns[pc.key] = pc
 		return pc, true
 
 	case b.cfg.Mode == ModeH1:
 		return b.h1ConnFor(host, ep)
 
 	default:
-		key := "h2|" + host
+		keyHost := host
 		if b.cfg.CoalesceH2 {
-			key = "h2|" + string(ep.Addr)
+			keyHost = string(ep.Addr)
 		}
-		if pc, ok := b.conns[key]; ok {
+		if pc, ok := b.conns[string(b.connKey("h2|", keyHost))]; ok {
 			return pc, false
 		}
-		pc := &pooledConn{
-			dialAt: b.sched.Now(),
-			conn:   httpsim.DialH2(b.host, ep.Addr, httpsim.TCPPort, host, b.dialCfg()),
-			key:    key,
-		}
-		b.conns[key] = pc
+		pc := b.newPooledConn()
+		pc.dialAt = b.sched.Now()
+		pc.conn = httpsim.DialH2(b.host, ep.Addr, httpsim.TCPPort, host, b.dialCfg())
+		pc.key = "h2|" + keyHost
+		b.conns[pc.key] = pc
 		b.stats.ConnsOpened++
 		b.stats.H2Conns++
 		return pc, true
@@ -675,6 +715,7 @@ func (b *Browser) dialCfg() httpsim.DialConfig {
 		EnableEarlyData: b.cfg.EnableEarlyData,
 		HandshakeCPU:    b.cfg.HandshakeCPU,
 		TCP:             httpsim.TCPOptions{Recovery: b.cfg.Recovery},
+		Pools:           b.cfg.Pools,
 		Trace:           b.cfg.Trace,
 	}
 	if b.cfg.TLS12 {
@@ -694,11 +735,10 @@ func (b *Browser) h1ConnFor(host string, ep Endpoint) (*pooledConn, bool) {
 		}
 	}
 	if len(list) < b.cfg.MaxH1ConnsPerHost {
-		pc := &pooledConn{
-			dialAt: b.sched.Now(),
-			conn:   httpsim.DialH1(b.host, ep.Addr, httpsim.TCPPort, host, b.dialCfg()),
-			h1Host: key,
-		}
+		pc := b.newPooledConn()
+		pc.dialAt = b.sched.Now()
+		pc.conn = httpsim.DialH1(b.host, ep.Addr, httpsim.TCPPort, host, b.dialCfg())
+		pc.h1Host = key
 		b.h1[key] = append(b.h1[key], pc)
 		b.stats.ConnsOpened++
 		b.stats.H1Conns++

@@ -7,11 +7,14 @@ package bufpool
 
 import "sync"
 
-// Size classes are powers of two from 256B to 64KB. Requests above the
-// largest class fall through to plain allocation.
+// Size classes are powers of two from 256B to 8MB. Requests above the
+// largest class fall through to plain allocation. The top classes exist
+// for transport send/accumulation buffers that scale with response
+// bodies (the corpus clamps bodies at 2MB); small wire records only ever
+// touch the bottom classes.
 const (
 	minClassBits = 8  // 256
-	maxClassBits = 16 // 65536
+	maxClassBits = 23 // 8MB
 	numClasses   = maxClassBits - minClassBits + 1
 )
 

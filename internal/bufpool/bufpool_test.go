@@ -34,7 +34,7 @@ func TestPutIgnoresOddCaps(t *testing.T) {
 	Put(make([]byte, 300))   // cap 300: not a power of two
 	Put(make([]byte, 0))     // cap 0
 	Put(make([]byte, 128))   // below the smallest class
-	Put(make([]byte, 1<<20)) // above the largest class
+	Put(make([]byte, 1<<24)) // above the largest class
 	buf := Get(300)          // 512 class
 	if len(buf) != 300 || cap(buf) < 300 {
 		t.Fatalf("len=%d cap=%d after odd Puts", len(buf), cap(buf))
@@ -44,7 +44,8 @@ func TestPutIgnoresOddCaps(t *testing.T) {
 func TestClassFor(t *testing.T) {
 	cases := []struct{ n, class int }{
 		{0, 0}, {1, 0}, {256, 0}, {257, 1}, {512, 1},
-		{16 * 1024, 6}, {16*1024 + 1, 7}, {64 * 1024, 8}, {64*1024 + 1, -1},
+		{16 * 1024, 6}, {16*1024 + 1, 7}, {64 * 1024, 8}, {64*1024 + 1, 9},
+		{1 << 23, 15}, {1<<23 + 1, -1},
 	}
 	for _, c := range cases {
 		if got := classFor(c.n); got != c.class {

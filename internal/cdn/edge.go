@@ -68,6 +68,12 @@ type Edge struct {
 	cfg   EdgeConfig
 	cache *LRUCache[resourceKey]
 
+	// hitHeaders/missHeaders are the two canonical response-header maps,
+	// built once: httpsim treats Response.Header as read-only, so every
+	// response shares them instead of allocating a map per request.
+	hitHeaders  map[string]string
+	missHeaders map[string]string
+
 	requests int64
 	h3Reqs   int64
 }
@@ -75,7 +81,10 @@ type Edge struct {
 // NewEdge creates the edge state and returns it with its handler.
 func NewEdge(cfg EdgeConfig) *Edge {
 	cfg = cfg.withDefaults()
-	return &Edge{cfg: cfg, cache: NewLRUCache[resourceKey](cfg.CacheCapacity)}
+	e := &Edge{cfg: cfg, cache: NewLRUCache[resourceKey](cfg.CacheCapacity)}
+	e.hitHeaders = e.buildHeaders(true)
+	e.missHeaders = e.buildHeaders(false)
+	return e
 }
 
 // Requests reports the number of requests served.
@@ -131,9 +140,17 @@ func (e *Edge) respondAfter(wait time.Duration, respond func(httpsim.Response), 
 	e.cfg.Sched.After(wait, func() { respond(resp) })
 }
 
-// headers synthesizes the provider's response signature, which
-// internal/locedge classifies.
+// headers returns the canonical response signature for hit/miss, which
+// internal/locedge classifies. Shared and read-only.
 func (e *Edge) headers(hit bool) map[string]string {
+	if hit {
+		return e.hitHeaders
+	}
+	return e.missHeaders
+}
+
+// buildHeaders synthesizes the provider's response signature.
+func (e *Edge) buildHeaders(hit bool) map[string]string {
 	h := map[string]string{
 		"server": e.cfg.Provider.ServerHeader,
 	}
@@ -185,9 +202,11 @@ func (c OriginConfig) withDefaults() OriginConfig {
 // as non-CDN.
 func NewOriginHandler(cfg OriginConfig) httpsim.Handler {
 	cfg = cfg.withDefaults()
+	// One canonical header map for every response; read-only downstream.
+	originHeaders := map[string]string{"server": "nginx/1.22"}
 	return func(ctx *httpsim.ServerContext, respond func(httpsim.Response)) {
 		size, ok := cfg.Content(ctx.Req.Host, ctx.Req.Path)
-		resp := httpsim.Response{Status: 200, Header: map[string]string{"server": "nginx/1.22"}}
+		resp := httpsim.Response{Status: 200, Header: originHeaders}
 		if !ok {
 			resp.Status = 404
 		} else {

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"h3cdn/internal/browser"
+	"h3cdn/internal/webgen"
+)
+
+// TestArenaBalancedAfterVisits is the arena leak check: after every
+// clean visit, the universe's buffer arena must have every Get matched
+// by a Put (Rewind's outstanding balance is zero). A non-zero balance
+// means a transport or HTTP layer dropped a pooled buffer without
+// returning it — a leak that would grow the warm-shard footprint one
+// visit at a time.
+func TestArenaBalancedAfterVisits(t *testing.T) {
+	corpus := webgen.Generate(webgen.Config{Seed: 7, NumPages: 4, MeanResources: 10})
+	for _, mode := range []browser.Mode{browser.ModeH2, browser.ModeH3} {
+		t.Run(mode.String(), func(t *testing.T) {
+			u, err := NewUniverse(UniverseConfig{Seed: 11, Corpus: corpus})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer u.Close()
+			b := u.NewBrowser(browser.Config{Mode: mode, EnableZeroRTT: true})
+			for i := range corpus.Pages {
+				if err := u.RunVisitDiscard(b, &corpus.Pages[i]); err != nil {
+					t.Fatal(err)
+				}
+				b.ClearSessions()
+				if bal := u.Pools().Arena.Rewind(); bal != 0 {
+					t.Fatalf("visit %d: arena balance %d, want 0 (leak)", i, bal)
+				}
+			}
+			st := u.Pools().Arena.Stats()
+			if st.Gets == 0 {
+				t.Fatal("arena never used — pool wiring broken")
+			}
+			if st.Gets != st.Puts {
+				t.Fatalf("arena gets %d != puts %d", st.Gets, st.Puts)
+			}
+			t.Logf("mode %s: gets=puts=%d news=%d high-water=%d", mode, st.Gets, st.News, st.HighWater)
+		})
+	}
+}
+
+// TestConcurrentCampaignsShareTopology runs two campaigns concurrently
+// against one shared Topology while their shards' universes rewind
+// per-visit arenas — the surface the race detector must clear: the
+// topology is read-only after construction, and every mutable pool is
+// confined to its own universe's scheduler goroutine.
+func TestConcurrentCampaignsShareTopology(t *testing.T) {
+	corpus := webgen.Generate(webgen.Config{Seed: 21, NumPages: 8, MeanResources: 6})
+	topo := NewTopology(corpus)
+	cfg := func(seed uint64) CampaignConfig {
+		return CampaignConfig{
+			Seed:             seed,
+			Corpus:           corpus,
+			Topology:         topo,
+			ProbesPerVantage: 1,
+			PagesPerShard:    3,
+			Workers:          2,
+		}
+	}
+
+	// Sequential references first, then the same campaigns concurrently.
+	want := make(map[uint64]string)
+	for _, seed := range []uint64{101, 202} {
+		ref := cfg(seed)
+		ref.Sequential = true
+		ds, err := RunCampaign(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[seed] = string(harJSON(t, ds))
+	}
+
+	var wg sync.WaitGroup
+	got := make(map[uint64]string)
+	errs := make(map[uint64]error)
+	var mu sync.Mutex
+	for _, seed := range []uint64{101, 202} {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			ds, err := RunCampaign(cfg(seed))
+			var raw []byte
+			if err == nil {
+				raw, err = json.Marshal(ds.Logs)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs[seed] = err
+				return
+			}
+			got[seed] = string(raw)
+		}(seed)
+	}
+	wg.Wait()
+	for seed, err := range errs {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	for seed, w := range want {
+		if got[seed] != w {
+			t.Fatalf("seed %d: concurrent dataset differs from sequential reference", seed)
+		}
+	}
+}

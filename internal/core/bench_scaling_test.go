@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"h3cdn/internal/vantage"
+	"h3cdn/internal/webgen"
+)
+
+// peakHeapSampler tracks the process's heap+stack in-use high-water mark
+// while a campaign runs — the portable proxy for peak RSS (the OS VmHWM
+// counter is monotonic across a process, so it cannot compare worker
+// counts within one benchmark binary).
+type peakHeapSampler struct {
+	stop chan struct{}
+	done chan struct{}
+	mu   sync.Mutex
+	peak uint64
+}
+
+func startPeakSampler() *peakHeapSampler {
+	s := &peakHeapSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	s.sample()
+	go func() {
+		defer close(s.done)
+		tick := time.NewTicker(10 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-tick.C:
+				s.sample()
+			}
+		}
+	}()
+	return s
+}
+
+func (s *peakHeapSampler) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	inUse := ms.HeapInuse + ms.StackInuse
+	s.mu.Lock()
+	if inUse > s.peak {
+		s.peak = inUse
+	}
+	s.mu.Unlock()
+}
+
+// peakMB stops the sampler and returns the high-water mark in MiB.
+func (s *peakHeapSampler) peakMB() float64 {
+	close(s.stop)
+	<-s.done
+	s.sample()
+	return float64(s.peak) / (1 << 20)
+}
+
+// BenchmarkCampaignScaling measures aggregate campaign throughput at
+// several worker counts over an identical shard decomposition, reporting
+// scheduler events/sec and the peak-RSS proxy per worker count. The
+// recorded numbers live in BENCH_scaling.json; `make bench-scaling` runs
+// this through benchgate, which derives parallel efficiency at 4 workers
+// (speedup over workers=1, normalized by min(workers, NumCPU)) and gates
+// it at the recorded floor.
+//
+// The corpus defaults to smoke scale; set H3CDN_SCALING_PAGES=1000 to
+// reproduce the recorded 1k-page run. Skipped on single-core machines,
+// where worker scaling is unmeasurable by construction.
+func BenchmarkCampaignScaling(b *testing.B) {
+	if runtime.GOMAXPROCS(0) == 1 {
+		b.Skip("GOMAXPROCS=1: worker scaling is not measurable")
+	}
+	pages := 96
+	if s := os.Getenv("H3CDN_SCALING_PAGES"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			b.Fatalf("H3CDN_SCALING_PAGES=%q: want a positive integer", s)
+		}
+		pages = n
+	}
+	corpus := webgen.Generate(webgen.Config{Seed: 2022, NumPages: pages})
+	// Eight shards per (mode, probe): enough supply to keep 8 workers
+	// busy while leaving shards large enough to amortize universe setup.
+	per := (pages + 7) / 8
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			sampler := startPeakSampler()
+			var events int64
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				ds, err := RunCampaign(CampaignConfig{
+					Seed:             2022,
+					Corpus:           corpus,
+					Vantages:         vantage.Points()[:1],
+					ProbesPerVantage: 1,
+					Workers:          w,
+					PagesPerShard:    per,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += ds.Stats.Events
+			}
+			elapsed := time.Since(start)
+			b.ReportMetric(float64(events)/elapsed.Seconds(), "events/sec")
+			b.ReportMetric(sampler.peakMB(), "peak-RSS-MB")
+		})
+	}
+}

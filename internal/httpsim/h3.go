@@ -18,42 +18,63 @@ type H3DialConfig struct {
 	QUIC quicsim.Config
 	// HandshakeCPU models client crypto compute time.
 	HandshakeCPU time.Duration
+	// Pools, when non-nil, supplies the universe's shared allocation
+	// arenas (QUIC records, buffers, stream states, header caches).
+	Pools *Pools
 	// Trace, when non-nil, receives transport- and HTTP-level events
 	// for this connection. Nil-safe: every emit is a no-op when nil.
 	Trace *trace.Tracer
 }
 
+// h3Stream is the client-side per-request state. Instances are pooled
+// per universe (see Pools.getH3Stream) and stay live until the
+// visit-boundary Rewind; dataFn is bound once per struct lifetime.
 type h3Stream struct {
+	c   *h3Client
 	req *Request
 	ev  RequestEvents
 
 	parser   blockParser
+	dataFn   func([]byte)
 	id       int64
 	gotMeta  bool
 	bodyLeft int
 	done     bool
 }
 
+// reset clears per-request state for pooling, keeping the parser's
+// capped buffers and the bound data callback.
+func (st *h3Stream) reset() {
+	st.parser.rewind()
+	parser, dataFn := st.parser, st.dataFn
+	*st = h3Stream{parser: parser, dataFn: dataFn}
+}
+
 // h3Client maps each request to one QUIC stream.
 type h3Client struct {
 	sched       *simnet.Scheduler
 	conn        *quicsim.Conn
+	pools       *Pools
 	established bool
 	closed      bool
 	trace       *trace.Tracer
-	queue       []h3Stream
+	queue       []*h3Stream
 	// actives keeps send order: failure fan-out must visit streams
 	// deterministically (map iteration would scramble retry scheduling).
 	actives []*h3Stream
+	dog     reqWatchdog
 }
 
 var _ ClientConn = (*h3Client)(nil)
 
 // DialH3 opens an HTTP/3 connection to addr:port (the QUIC port).
 func DialH3(host *simnet.Host, addr simnet.Addr, port uint16, serverName string, cfg H3DialConfig) ClientConn {
-	c := &h3Client{sched: host.Scheduler(), trace: cfg.Trace}
+	c := &h3Client{sched: host.Scheduler(), trace: cfg.Trace, pools: cfg.Pools}
 	qcfg := cfg.QUIC
 	qcfg.Trace = cfg.Trace
+	if qcfg.Pools == nil && cfg.Pools != nil {
+		qcfg.Pools = &cfg.Pools.QUIC
+	}
 	c.conn = quicsim.Dial(host, addr, port, quicsim.ClientConfig{
 		Config:        qcfg,
 		ServerName:    serverName,
@@ -65,6 +86,7 @@ func DialH3(host *simnet.Host, addr simnet.Addr, port uint16, serverName string,
 		c.flush()
 	})
 	c.conn.SetCloseFunc(c.onClose)
+	c.dog.init(c.sched, c.watchdogFire)
 	return c
 }
 
@@ -91,32 +113,34 @@ func (c *h3Client) Do(req *Request, ev RequestEvents) {
 		}
 		return
 	}
+	st := c.pools.getH3Stream(c, req, ev)
 	if !c.established {
-		c.queue = append(c.queue, h3Stream{req: req, ev: ev})
+		c.queue = append(c.queue, st)
+		c.dog.touch(c.InFlight())
 		return
 	}
-	c.send(h3Stream{req: req, ev: ev})
+	c.send(st)
+	c.dog.touch(c.InFlight())
 }
 
 func (c *h3Client) flush() {
 	q := c.queue
 	c.queue = nil
-	for _, p := range q {
+	for _, st := range q {
 		if c.closed {
 			return
 		}
-		c.send(p)
+		c.send(st)
 	}
 }
 
-func (c *h3Client) send(p h3Stream) {
-	st := &p
+func (c *h3Client) send(st *h3Stream) {
 	c.actives = append(c.actives, st)
 	s := c.conn.OpenStream()
 	st.id = int64(s.ID())
-	s.SetDataFunc(func(data []byte) { c.onStreamData(st, data) })
-	c.trace.HTTPStreamOpen(c.sched.Now(), c.conn.TraceID(), st.id, p.req.Host, p.req.Path)
-	writeBlock(s, blockHeadersReq, 0, flagEndStream, requestHeaderBlock(p.req))
+	s.SetDataFunc(st.dataFn)
+	c.trace.HTTPStreamOpen(c.sched.Now(), c.conn.TraceID(), st.id, st.req.Host, st.req.Path)
+	writeBlock(c.pools.arena(), s, blockHeadersReq, 0, flagEndStream, c.pools.requestHeaderBlock(st.req))
 	s.CloseWrite()
 	if st.ev.OnSent != nil {
 		st.ev.OnSent()
@@ -124,13 +148,22 @@ func (c *h3Client) send(p h3Stream) {
 }
 
 func (c *h3Client) onStreamData(st *h3Stream, data []byte) {
+	c.parseStreamData(st, data)
+	if !c.closed {
+		// Response bytes arrived: reset the silence budget, or disarm it
+		// entirely if this delivery completed the last request.
+		c.dog.touch(c.InFlight())
+	}
+}
+
+func (c *h3Client) parseStreamData(st *h3Stream, data []byte) {
 	if st.done || c.closed {
 		return
 	}
 	for _, b := range st.parser.feed(data) {
 		switch b.typ {
 		case blockHeadersResp:
-			meta, err := parseResponseHeaderBlock(b.payload)
+			meta, err := c.pools.parseResponseHeaderBlock(b.payload)
 			if err != nil {
 				c.fail(err)
 				return
@@ -179,14 +212,28 @@ func (c *h3Client) onClose(err error) {
 	c.fail(err)
 }
 
+// watchdogFire aborts a connection that has been silent for
+// requestTimeout with requests outstanding. fail runs first so the
+// retry fan-out sees ErrRequestTimeout rather than the transport's own
+// ErrAborted from the close callback.
+func (c *h3Client) watchdogFire() {
+	if c.closed {
+		return
+	}
+	c.fail(ErrRequestTimeout)
+	c.conn.Abort()
+}
+
 func (c *h3Client) fail(err error) {
 	if c.closed {
 		return
 	}
 	c.closed = true
-	for _, p := range c.queue {
-		if p.ev.OnError != nil {
-			p.ev.OnError(err)
+	c.dog.release()
+	for _, st := range c.queue {
+		st.done = true
+		if st.ev.OnError != nil {
+			st.ev.OnError(err)
 		}
 	}
 	c.queue = nil
@@ -205,6 +252,7 @@ func (c *h3Client) Close() {
 		return
 	}
 	c.closed = true
+	c.dog.release()
 	c.conn.Close()
 }
 
@@ -213,6 +261,7 @@ func (c *h3Client) Abort() {
 		return
 	}
 	c.closed = true
+	c.dog.release()
 	c.conn.Abort()
 }
 
@@ -222,38 +271,63 @@ func (c *h3Client) Abort() {
 type h3Server struct {
 	conn    *quicsim.Conn
 	handler Handler
+	pools   *Pools
 }
 
-func newH3Server(conn *quicsim.Conn, handler Handler) *h3Server {
-	s := &h3Server{conn: conn, handler: handler}
+func newH3Server(conn *quicsim.Conn, handler Handler, pools *Pools) *h3Server {
+	s := &h3Server{conn: conn, handler: handler, pools: pools}
 	conn.SetStreamFunc(s.onStream)
 	conn.SetCloseFunc(func(error) {})
 	return s
 }
 
-func (s *h3Server) onStream(st *quicsim.Stream) {
-	var parser blockParser
-	st.SetDataFunc(func(data []byte) {
-		for _, b := range parser.feed(data) {
-			if b.typ != blockHeadersReq {
-				continue
-			}
-			req := parseRequestHeaderBlock(b.payload)
-			ctx := &ServerContext{Req: req, Protocol: H3, ServerName: s.conn.ServerName()}
-			s.handler(ctx, func(resp Response) { s.respond(st, resp) })
-		}
-	})
+// h3SrvStream is the server-side per-stream state. Pooled per universe
+// with callbacks bound once per struct lifetime; each instance serves
+// exactly one request stream per visit (H3 maps one request to one
+// stream), so the embedded ServerContext is never shared between
+// concurrent requests.
+type h3SrvStream struct {
+	srv       *h3Server
+	st        *quicsim.Stream
+	parser    blockParser
+	ctx       ServerContext
+	dataFn    func([]byte)
+	respondFn func(Response)
 }
 
-func (s *h3Server) respond(st *quicsim.Stream, resp Response) {
-	writeBlock(st, blockHeadersResp, 0, 0, responseHeaderBlock(resp))
+func (ss *h3SrvStream) reset() {
+	ss.parser.rewind()
+	parser, dataFn, respondFn := ss.parser, ss.dataFn, ss.respondFn
+	*ss = h3SrvStream{parser: parser, dataFn: dataFn, respondFn: respondFn}
+}
+
+func (s *h3Server) onStream(st *quicsim.Stream) {
+	ss := s.pools.getH3SrvStream(s, st)
+	st.SetDataFunc(ss.dataFn)
+}
+
+func (ss *h3SrvStream) onData(data []byte) {
+	for _, b := range ss.parser.feed(data) {
+		if b.typ != blockHeadersReq {
+			continue
+		}
+		srv := ss.srv
+		req := srv.pools.parseRequestHeaderBlock(b.payload)
+		ss.ctx = ServerContext{Req: req, Protocol: H3, ServerName: srv.conn.ServerName()}
+		srv.handler(&ss.ctx, ss.respondFn)
+	}
+}
+
+func (ss *h3SrvStream) respond(resp Response) {
+	a := ss.srv.pools.arena()
+	writeBlock(a, ss.st, blockHeadersResp, 0, 0, ss.srv.pools.responseHeaderBlock(resp))
 	for left := resp.BodySize; left > 0; {
 		n := left
 		if n > bodyChunkSize {
 			n = bodyChunkSize
 		}
 		left -= n
-		writeBodyBlock(st, 0, 0, n)
+		writeBodyBlock(a, ss.st, 0, 0, n)
 	}
-	st.CloseWrite()
+	ss.st.CloseWrite()
 }

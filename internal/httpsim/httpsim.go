@@ -15,9 +15,10 @@
 package httpsim
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 	"time"
@@ -146,24 +147,31 @@ type ServerContext struct {
 
 // --- header and body serialization (shared by H1/H2/H3) ---
 
+// appendHeaderLines serializes headers deterministically (sorted keys)
+// into dst, reusing keys as sort scratch. Allocation-free once dst and
+// keys have grown to steady-state capacity.
+func appendHeaderLines(dst []byte, h map[string]string, keys []string) ([]byte, []string) {
+	keys = keys[:0]
+	for k := range h {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	for _, k := range keys {
+		dst = append(dst, k...)
+		dst = append(dst, ": "...)
+		dst = append(dst, h[k]...)
+		dst = append(dst, "\r\n"...)
+	}
+	return dst, keys
+}
+
 // encodeHeaders serializes headers deterministically (sorted keys).
 func encodeHeaders(h map[string]string) []byte {
 	if len(h) == 0 {
 		return nil
 	}
-	keys := make([]string, 0, len(h))
-	for k := range h {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	var b strings.Builder
-	for _, k := range keys {
-		b.WriteString(k)
-		b.WriteString(": ")
-		b.WriteString(h[k])
-		b.WriteString("\r\n")
-	}
-	return []byte(b.String())
+	dst, _ := appendHeaderLines(nil, h, nil)
+	return dst
 }
 
 func decodeHeaders(p []byte) map[string]string {
@@ -215,29 +223,30 @@ func putBlockHeader(buf []byte, t blockType, streamID uint32, flags uint8, plen 
 type blockWriter interface{ Write([]byte) }
 
 // writeBlock frames payload into a pooled buffer, writes it, and recycles
-// the buffer immediately.
-func writeBlock(w blockWriter, t blockType, streamID uint32, flags uint8, payload []byte) {
-	buf := bufpool.Get(blockHeaderSize + len(payload))
+// the buffer immediately. A nil arena falls back to the global bufpool.
+func writeBlock(a *bufpool.Arena, w blockWriter, t blockType, streamID uint32, flags uint8, payload []byte) {
+	buf := a.Get(blockHeaderSize + len(payload))
 	putBlockHeader(buf, t, streamID, flags, len(payload))
 	copy(buf[blockHeaderSize:], payload)
 	w.Write(buf)
-	bufpool.Put(buf)
+	a.Put(buf)
 }
 
 // writeBodyBlock writes a blockData frame carrying a synthetic n-byte
 // body. Body bytes are only ever counted, never inspected, so the pooled
 // buffer's arbitrary contents stand in for the payload.
-func writeBodyBlock(w blockWriter, streamID uint32, flags uint8, n int) {
-	buf := bufpool.Get(blockHeaderSize + n)
+func writeBodyBlock(a *bufpool.Arena, w blockWriter, streamID uint32, flags uint8, n int) {
+	buf := a.Get(blockHeaderSize + n)
 	putBlockHeader(buf, blockData, streamID, flags, n)
 	w.Write(buf)
-	bufpool.Put(buf)
+	a.Put(buf)
 }
 
 // blockParser incrementally decodes framed blocks from a byte stream.
 type blockParser struct {
-	acc []byte
-	off int // consumed prefix of acc; compacted before each append
+	acc    []byte
+	off    int     // consumed prefix of acc; compacted before each append
+	blocks []block // reused result slice handed out by feed
 }
 
 type block struct {
@@ -248,9 +257,12 @@ type block struct {
 }
 
 // feed appends data and returns all complete blocks. Returned payloads
-// alias the parser's accumulator and are only valid until the next feed:
-// the consumed prefix is compacted in place before each append so one
-// backing array is reused across the connection's lifetime.
+// alias the parser's accumulator and the returned slice is reused by the
+// next feed — both are only valid until then. (Safe here: data delivery
+// is a scheduler event, so a callback iterating the result can never
+// re-enter feed on the same parser.) The consumed prefix is compacted in
+// place before each append so one backing array is reused across the
+// connection's lifetime.
 func (p *blockParser) feed(data []byte) []block {
 	if p.off > 0 {
 		n := copy(p.acc, p.acc[p.off:])
@@ -258,14 +270,16 @@ func (p *blockParser) feed(data []byte) []block {
 		p.off = 0
 	}
 	p.acc = append(p.acc, data...)
-	var out []block
+	out := p.blocks[:0]
 	for {
 		acc := p.acc[p.off:]
 		if len(acc) < blockHeaderSize {
+			p.blocks = out
 			return out
 		}
 		plen := int(binary.BigEndian.Uint32(acc[6:10]))
 		if len(acc) < blockHeaderSize+plen {
+			p.blocks = out
 			return out
 		}
 		out = append(out, block{
@@ -278,8 +292,27 @@ func (p *blockParser) feed(data []byte) []block {
 	}
 }
 
+// rewind clears the parser for reuse across visits, dropping buffers
+// that grew past the pooled cap.
+func (p *blockParser) rewind() {
+	p.off = 0
+	p.acc = p.acc[:0]
+	if cap(p.acc) > maxPooledAcc {
+		p.acc = nil
+		p.blocks = nil
+		return
+	}
+	// Drop stale payload aliases (they may pin an abandoned accumulator
+	// array from a mid-visit growth) before truncating.
+	p.blocks = p.blocks[:cap(p.blocks)]
+	clear(p.blocks)
+	p.blocks = p.blocks[:0]
+}
+
 // requestHeaderBlock serializes a request for H2/H3 (pseudo-headers plus
-// regular headers).
+// regular headers). The pooled variant emits pseudo-headers first and
+// the rest sorted; decoders are order-insensitive and the byte length is
+// identical to the fully-sorted form, so wire timing is unchanged.
 func requestHeaderBlock(req *Request) []byte {
 	h := make(map[string]string, len(req.Header)+2)
 	for k, v := range req.Header {
@@ -288,6 +321,23 @@ func requestHeaderBlock(req *Request) []byte {
 	h[":authority"] = req.Host
 	h[":path"] = req.Path
 	return encodeHeaders(h)
+}
+
+// requestHeaderBlock assembles the block in the shared scratch buffer;
+// the result is only valid until the next Pools encode call.
+func (pl *Pools) requestHeaderBlock(req *Request) []byte {
+	if pl == nil {
+		return requestHeaderBlock(req)
+	}
+	dst := pl.hdrBuf[:0]
+	dst = append(dst, ":authority: "...)
+	dst = append(dst, req.Host...)
+	dst = append(dst, "\r\n:path: "...)
+	dst = append(dst, req.Path...)
+	dst = append(dst, "\r\n"...)
+	dst, pl.sortScratch = appendHeaderLines(dst, req.Header, pl.sortScratch)
+	pl.hdrBuf = dst
+	return dst
 }
 
 func parseRequestHeaderBlock(p []byte) *Request {
@@ -301,6 +351,24 @@ func parseRequestHeaderBlock(p []byte) *Request {
 	return req
 }
 
+// parseRequestHeaderBlock returns the canonical Request for these wire
+// bytes: the corpus re-sends identical blocks every visit, so the parse
+// runs once per distinct block. Consumers must treat it as immutable.
+func (pl *Pools) parseRequestHeaderBlock(p []byte) *Request {
+	if pl == nil {
+		return parseRequestHeaderBlock(p)
+	}
+	if req, ok := pl.reqCache[string(p)]; ok {
+		return req
+	}
+	req := parseRequestHeaderBlock(p)
+	if pl.reqCache == nil {
+		pl.reqCache = make(map[string]*Request)
+	}
+	pl.reqCache[string(p)] = req
+	return req
+}
+
 // responseHeaderBlock serializes a response envelope for H2/H3.
 func responseHeaderBlock(resp Response) []byte {
 	h := make(map[string]string, len(resp.Header)+2)
@@ -310,6 +378,23 @@ func responseHeaderBlock(resp Response) []byte {
 	h[":status"] = strconv.Itoa(resp.Status)
 	h["content-length"] = strconv.Itoa(resp.BodySize)
 	return encodeHeaders(h)
+}
+
+// responseHeaderBlock assembles the block in the shared scratch buffer;
+// the result is only valid until the next Pools encode call.
+func (pl *Pools) responseHeaderBlock(resp Response) []byte {
+	if pl == nil {
+		return responseHeaderBlock(resp)
+	}
+	dst := pl.hdrBuf[:0]
+	dst = append(dst, ":status: "...)
+	dst = strconv.AppendInt(dst, int64(resp.Status), 10)
+	dst = append(dst, "\r\ncontent-length: "...)
+	dst = strconv.AppendInt(dst, int64(resp.BodySize), 10)
+	dst = append(dst, "\r\n"...)
+	dst, pl.sortScratch = appendHeaderLines(dst, resp.Header, pl.sortScratch)
+	pl.hdrBuf = dst
+	return dst
 }
 
 func parseResponseHeaderBlock(p []byte) (ResponseMeta, error) {
@@ -327,20 +412,102 @@ func parseResponseHeaderBlock(p []byte) (ResponseMeta, error) {
 	return ResponseMeta{Status: status, Header: h, BodySize: clen}, nil
 }
 
+var (
+	crlf         = []byte("\r\n")
+	crlf2        = []byte("\r\n\r\n")
+	statusPrefix = []byte(":status: ")
+	clenPrefix   = []byte("content-length: ")
+)
+
+// parseDecimal parses a non-negative base-10 integer, returning -1 on
+// empty or malformed input.
+func parseDecimal(b []byte) int {
+	if len(b) == 0 {
+		return -1
+	}
+	n := 0
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return -1
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+// stripRespHeaders scans wire header lines, extracting the per-resource
+// ":status" and "content-length" values (-1 when absent or malformed)
+// and accumulating every other line into the shared key scratch — the
+// cache key for the canonical header map, which excludes exactly the
+// two fields that vary per resource.
+func (pl *Pools) stripRespHeaders(p []byte) (key []byte, status, clen int) {
+	status, clen = -1, -1
+	key = pl.keyBuf[:0]
+	for rest := p; len(rest) > 0; {
+		var line []byte
+		if nl := bytes.Index(rest, crlf); nl >= 0 {
+			line, rest = rest[:nl], rest[nl+2:]
+		} else {
+			line, rest = rest, nil
+		}
+		switch {
+		case len(line) == 0:
+		case bytes.HasPrefix(line, statusPrefix):
+			status = parseDecimal(line[len(statusPrefix):])
+		case bytes.HasPrefix(line, clenPrefix):
+			clen = parseDecimal(line[len(clenPrefix):])
+		default:
+			key = append(key, line...)
+			key = append(key, '\r', '\n')
+		}
+	}
+	pl.keyBuf = key
+	return key, status, clen
+}
+
+// canonHeaderMap returns the shared canonical header map for the given
+// stripped header bytes, parsing at most once per distinct set.
+// Consumers (HAR entries, the locedge classifier) must not mutate it.
+func (pl *Pools) canonHeaderMap(key []byte) map[string]string {
+	if h, ok := pl.respCache[string(key)]; ok {
+		return h
+	}
+	h := decodeHeaders(key)
+	if pl.respCache == nil {
+		pl.respCache = make(map[string]map[string]string)
+	}
+	pl.respCache[string(key)] = h
+	return h
+}
+
+// parseResponseHeaderBlock is the cached variant: status and length are
+// parsed per call (they vary per resource); the remaining headers
+// resolve to a canonical shared map.
+func (pl *Pools) parseResponseHeaderBlock(p []byte) (ResponseMeta, error) {
+	if pl == nil {
+		return parseResponseHeaderBlock(p)
+	}
+	key, status, clen := pl.stripRespHeaders(p)
+	if status < 0 || clen < 0 {
+		return ResponseMeta{}, ErrBadResponse
+	}
+	return ResponseMeta{Status: status, Header: pl.canonHeaderMap(key), BodySize: clen}, nil
+}
+
 // bodyChunkSize is the DATA frame payload granularity for H2/H3 servers.
 const bodyChunkSize = 16 * 1024
 
 // writeBody streams a synthetic n-byte body (no framing) in pooled
 // bodyChunkSize chunks; contents are arbitrary, as with writeBodyBlock.
-func writeBody(w blockWriter, n int) {
+func writeBody(a *bufpool.Arena, w blockWriter, n int) {
 	for n > 0 {
 		c := n
 		if c > bodyChunkSize {
 			c = bodyChunkSize
 		}
-		buf := bufpool.Get(c)
+		buf := a.Get(c)
 		w.Write(buf)
-		bufpool.Put(buf)
+		a.Put(buf)
 		n -= c
 	}
 }

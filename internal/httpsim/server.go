@@ -33,6 +33,9 @@ type ServerConfig struct {
 	// TCP and QUIC tune the transports.
 	TCP  tcpsim.Config
 	QUIC quicsim.Config
+	// Pools, when non-nil, supplies the universe's shared allocation
+	// arenas (transport records, buffers, header caches, stream states).
+	Pools *Pools
 	// Trace, when non-nil, receives server-side transport events.
 	// Nil-safe: every emit is a no-op when nil.
 	Trace *trace.Tracer
@@ -56,12 +59,17 @@ func StartServer(host *simnet.Host, cfg ServerConfig) (*Server, error) {
 
 	tcpCfg := cfg.TCP
 	tcpCfg.Trace = cfg.Trace
+	if cfg.Pools != nil {
+		tcpCfg.Pools = &cfg.Pools.TCP
+		tcpCfg.Arena = &cfg.Pools.Arena
+	}
 	tcpL, err := tcpsim.Listen(host, TCPPort, tcpCfg, func(tc *tcpsim.Conn) {
 		var tconn *tlssim.Conn
 		tconn = tlssim.Server(tc, tlssim.ServerConfig{
 			Sessions:     cfg.TLSSessions,
 			Sched:        host.Scheduler(),
 			HandshakeCPU: cfg.HandshakeCPU,
+			Arena:        cfg.Pools.arena(),
 			Trace:        cfg.Trace,
 			TraceConn:    tc.TraceID(),
 		}, func(err error) {
@@ -70,9 +78,9 @@ func StartServer(host *simnet.Host, cfg ServerConfig) (*Server, error) {
 			}
 			switch tconn.ALPN() {
 			case H2.ALPN():
-				newH2ServerConn(tconn, cfg.Handler)
+				newH2ServerConn(tconn, cfg.Handler, cfg.Pools)
 			default:
-				newH1ServerConn(tconn, cfg.Handler)
+				newH1ServerConn(tconn, cfg.Handler, cfg.Pools)
 			}
 		})
 	})
@@ -84,12 +92,15 @@ func StartServer(host *simnet.Host, cfg ServerConfig) (*Server, error) {
 	if cfg.EnableH3 {
 		quicCfg := cfg.QUIC
 		quicCfg.Trace = cfg.Trace
+		if quicCfg.Pools == nil && cfg.Pools != nil {
+			quicCfg.Pools = &cfg.Pools.QUIC
+		}
 		quicE, err := quicsim.Listen(host, QUICPort, quicsim.ServerConfig{
 			Config:       quicCfg,
 			Sessions:     cfg.QUICSessions,
 			HandshakeCPU: cfg.HandshakeCPU,
 		}, func(qc *quicsim.Conn) {
-			newH3Server(qc, cfg.Handler)
+			newH3Server(qc, cfg.Handler, cfg.Pools)
 		})
 		if err != nil {
 			tcpL.Close()

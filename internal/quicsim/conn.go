@@ -60,6 +60,7 @@ type Conn struct {
 	remotePort uint16
 	endpoint   *Endpoint // server side, for conn-table cleanup
 	state      connState
+	chNonce    uint64 // server side: incarnation nonce from the ClientHello
 
 	ccfg        ClientConfig
 	scfg        ServerConfig
@@ -103,17 +104,16 @@ type Conn struct {
 	recvd     rangeSet
 	ackQueued bool
 
-	// Free lists for the send path's per-packet records. All reuse is
-	// scoped to this connection (one scheduler goroutine), and recycling
-	// happens only when a record is provably dead: a sentPacket retires
-	// on ack or loss-declaration with no other holder, while frames
-	// arrays and ackFrames recycle on ack only — an acked packet was
-	// delivered and fully processed, whereas a loss-declared one may be
-	// a reordering false positive still in flight, its wire copy aliasing
-	// the array.
-	freeFrames [][]frame
-	freeSents  []*sentPacket
-	freeAcks   []*ackFrame
+	// pools recycles the send path's per-packet records. Reuse is scoped
+	// to one scheduler goroutine (the owning universe's, or this
+	// connection's private fallback arena when Config.Pools is nil), and
+	// recycling happens only when a record is provably dead: a sentPacket
+	// retires on ack or loss-declaration with no other holder, while
+	// frames arrays and ackFrames recycle on ack only — an acked packet
+	// was delivered and fully processed, whereas a loss-declared one may
+	// be a reordering false positive still in flight, its wire copy
+	// aliasing the array.
+	pools *Pools
 
 	traceID uint32 // 0 when untraced
 
@@ -144,7 +144,7 @@ func Dial(host *simnet.Host, dst simnet.Addr, dstPort uint16, cfg ClientConfig, 
 	})
 
 	c.hsStart = c.sched.Now()
-	ch := &clientHelloFrame{serverName: cfg.ServerName}
+	ch := &clientHelloFrame{serverName: cfg.ServerName, nonce: uint64(c.hsStart)}
 	if cfg.Tokens != nil {
 		if t, ok := cfg.Tokens.Get(cfg.ServerName); ok {
 			ch.token = t.ID
@@ -181,6 +181,12 @@ func newConn(host *simnet.Host, cfg Config) *Conn {
 		state:   stateHandshaking,
 		streams: make(map[uint64]*Stream),
 		cwnd:    float64(cfg.InitCwndPkts * maxPacketPayload),
+		pools:   cfg.Pools,
+	}
+	if c.pools == nil {
+		// Private arena: recycling stays per-connection, matching the
+		// pre-arena behavior for standalone endpoints.
+		c.pools = &Pools{}
 	}
 	c.ssthresh = float64(cfg.MaxCwndPkts * maxPacketPayload)
 	c.ptoTimer = c.sched.NewTimer(c.onPTO)
@@ -225,7 +231,7 @@ func (c *Conn) SetCloseFunc(fn func(error)) { c.closeFn = fn }
 
 // OpenStream creates a new outgoing stream.
 func (c *Conn) OpenStream() *Stream {
-	s := &Stream{conn: c, id: c.nextStreamID, chunks: make(map[uint64][]byte)}
+	s := c.pools.newStream(c, c.nextStreamID)
 	c.nextStreamID += 4
 	c.streams[s.id] = s
 	c.streamOrder = append(c.streamOrder, s.id)
@@ -271,7 +277,7 @@ func (c *Conn) shutdown(err error) {
 		return
 	}
 	// Best-effort close notification, bypassing congestion control.
-	p := newPacket()
+	p := newPacket(c.pools)
 	p.pn = c.nextPN
 	p.frames = []frame{&closeFrame{err: err}}
 	c.transmit(p)
@@ -294,7 +300,7 @@ func (c *Conn) startCloseProbes() {
 	n := 0
 	var fire func()
 	fire = func() {
-		p := newPacket()
+		p := newPacket(c.pools)
 		p.pn = c.nextPN
 		p.frames = []frame{&closeFrame{err: ErrTimeout}}
 		c.nextPN++
@@ -325,6 +331,13 @@ func (c *Conn) teardown() {
 	}
 	if c.endpoint != nil {
 		c.endpoint.remove(c.remote, c.remotePort)
+	}
+	// Quarantine the connection's streams for reuse after the next
+	// visit-boundary Rewind. Holds still counted by c.sent / c.sendQ are
+	// dropped with the records below: those streamFrames leak to the
+	// collector rather than the pool, which is the safe direction.
+	for _, s := range c.streams {
+		c.pools.retire(s)
 	}
 	c.sent = nil
 	c.sendQ = nil
@@ -359,9 +372,11 @@ func (c *Conn) becomeEstablished() {
 // --- sending ---
 
 func (c *Conn) transmit(p *packet) {
-	if c.isClient {
-		p.dcid = c.cid
-	}
+	// Both directions stamp the connection ID (0 until the handshake
+	// assigns one): the server routes on it after migration, and both
+	// peers use it to reject stale traffic from a previous incarnation
+	// of a recycled ephemeral port.
+	p.dcid = c.cid
 	c.stats.PacketsSent++
 	size := p.wireSize()
 	c.stats.BytesSent += int64(size)
@@ -394,7 +409,7 @@ func (c *Conn) trySend() {
 	// Flush a pending ACK even when nothing else fit.
 	if c.ackQueued {
 		c.ackQueued = false
-		p := newAckPacket(&c.recvd)
+		p := newAckPacket(c.pools, &c.recvd)
 		p.pn = c.nextPN
 		c.transmit(p)
 		c.nextPN++
@@ -402,9 +417,9 @@ func (c *Conn) trySend() {
 }
 
 func (c *Conn) buildAck() *ackFrame {
-	if n := len(c.freeAcks); n > 0 {
-		af := c.freeAcks[n-1]
-		c.freeAcks = c.freeAcks[:n-1]
+	if n := len(c.pools.acks); n > 0 {
+		af := c.pools.acks[n-1]
+		c.pools.acks = c.pools.acks[:n-1]
 		af.ranges = c.recvd.snapshotInto(af.ranges[:0], 32)
 		return af
 	}
@@ -416,9 +431,9 @@ func (c *Conn) buildAck() *ackFrame {
 // Returns nil when there is nothing ack-eliciting to send.
 func (c *Conn) buildPacket() *packet {
 	var frames []frame
-	if n := len(c.freeFrames); n > 0 {
-		frames = c.freeFrames[n-1][:0]
-		c.freeFrames = c.freeFrames[:n-1]
+	if n := len(c.pools.frames); n > 0 {
+		frames = c.pools.frames[n-1][:0]
+		c.pools.frames = c.pools.frames[:n-1]
 	}
 	budget := maxPacketPayload
 	eliciting := false
@@ -461,17 +476,17 @@ func (c *Conn) buildPacket() *packet {
 		// flush path emits a pooled ack-only packet instead) and the
 		// frames array.
 		if ack != nil {
-			c.freeAcks = append(c.freeAcks, ack)
+			c.pools.acks = append(c.pools.acks, ack)
 		}
 		if cap(frames) > 0 {
-			c.freeFrames = append(c.freeFrames, frames[:0])
+			c.pools.frames = append(c.pools.frames, frames[:0])
 		}
 		return nil
 	}
 	if c.ackQueued {
 		c.ackQueued = false
 	}
-	p := newPacket()
+	p := newPacket(c.pools)
 	p.pn = c.nextPN
 	p.frames = frames
 	c.nextPN++
@@ -488,11 +503,12 @@ func (c *Conn) pullStreamFrame(maxData int) *streamFrame {
 		if s == nil {
 			continue
 		}
-		if len(s.pend) == 0 && !(s.finQueued && !s.finSent) {
+		avail := len(s.pend) - s.pendOff
+		if avail == 0 && !(s.finQueued && !s.finSent) {
 			continue
 		}
 		c.rrIndex = (idx + 1) % n
-		take := len(s.pend)
+		take := avail
 		if take > maxData {
 			take = maxData
 		}
@@ -500,11 +516,11 @@ func (c *Conn) pullStreamFrame(maxData int) *streamFrame {
 		// Later appends to s.pend only ever write past the current
 		// length, so the frame's window is never rewritten even though
 		// it may share the backing array.
-		data := s.pend[:take:take]
-		s.pend = s.pend[take:]
-		sf := &streamFrame{id: s.id, off: s.sendOff, data: data}
+		data := s.pend[s.pendOff : s.pendOff+take : s.pendOff+take]
+		s.pendOff += take
+		sf := c.pools.newStreamFrame(s.id, s.sendOff, data)
 		s.sendOff += uint64(take)
-		if s.finQueued && len(s.pend) == 0 {
+		if s.finQueued && s.pendOff == len(s.pend) {
 			sf.fin = true
 			s.finSent = true
 		}
@@ -530,9 +546,9 @@ func (c *Conn) sendPacket(p *packet) {
 
 // newSentPacket takes a retired record from the free list, or allocates.
 func (c *Conn) newSentPacket() *sentPacket {
-	if n := len(c.freeSents); n > 0 {
-		sp := c.freeSents[n-1]
-		c.freeSents = c.freeSents[:n-1]
+	if n := len(c.pools.sents); n > 0 {
+		sp := c.pools.sents[n-1]
+		c.pools.sents = c.pools.sents[:n-1]
 		return sp
 	}
 	return &sentPacket{}
@@ -540,18 +556,23 @@ func (c *Conn) newSentPacket() *sentPacket {
 
 // retireAcked recycles an acked sentPacket: the packet was delivered and
 // processed, so its frames array and any embedded ackFrame have no other
-// holder. Frame structs themselves are NOT pooled — a PTO probe may have
-// copied their pointers into another in-flight record.
+// holder. Stream frame structs drop this record's hold and recycle once
+// the count drains — a PTO probe may have copied their pointers into
+// another in-flight record, which keeps its own hold. Control frames
+// (hello/finished/close) are never pooled.
 func (c *Conn) retireAcked(sp *sentPacket) {
 	for i, f := range sp.frames {
-		if af, ok := f.(*ackFrame); ok {
-			c.freeAcks = append(c.freeAcks, af)
+		switch f := f.(type) {
+		case *ackFrame:
+			c.pools.acks = append(c.pools.acks, f)
+		case *streamFrame:
+			c.pools.releaseHold(f)
 		}
 		sp.frames[i] = nil
 	}
-	c.freeFrames = append(c.freeFrames, sp.frames[:0])
+	c.pools.frames = append(c.pools.frames, sp.frames[:0])
 	sp.frames = nil
-	c.freeSents = append(c.freeSents, sp)
+	c.pools.sents = append(c.pools.sents, sp)
 }
 
 // --- loss detection & congestion ---
@@ -622,13 +643,21 @@ func (c *Conn) onPTO() {
 	// frames in a fresh packet, bypassing the congestion window.
 	if len(c.sent) > 0 {
 		var frames []frame
-		if n := len(c.freeFrames); n > 0 {
-			frames = c.freeFrames[n-1][:0]
-			c.freeFrames = c.freeFrames[:n-1]
+		if n := len(c.pools.frames); n > 0 {
+			frames = c.pools.frames[n-1][:0]
+			c.pools.frames = c.pools.frames[:n-1]
 		}
 		frames = appendRetransmittable(frames, c.sent[0].frames)
+		// The probe record takes an additional hold on each copied
+		// stream frame: the original record keeps its own, and either
+		// may retire first.
+		for _, f := range frames {
+			if sf, ok := f.(*streamFrame); ok {
+				sf.holds++
+			}
+		}
 		if len(frames) > 0 {
-			p := newPacket()
+			p := newPacket(c.pools)
 			p.pn = c.nextPN
 			p.frames = frames
 			c.nextPN++
@@ -642,7 +671,7 @@ func (c *Conn) onPTO() {
 			c.bytesInFlight += sp.size
 			c.transmit(p)
 		} else if cap(frames) > 0 {
-			c.freeFrames = append(c.freeFrames, frames[:0])
+			c.pools.frames = append(c.pools.frames, frames[:0])
 		}
 	}
 	if c.ptoCount >= 2 {
@@ -742,9 +771,11 @@ func (c *Conn) handleAck(f *ackFrame) {
 			c.recoveryStart = c.nextPN
 		}
 		// The record retires, but its frames array may still be aliased
-		// by a reorder-delayed wire copy: recycle the struct only.
+		// by a reorder-delayed wire copy: recycle the struct only. The
+		// stream-frame holds it owned transferred to sendQ above, so
+		// counts are unchanged.
 		sp.frames = nil
-		c.freeSents = append(c.freeSents, sp)
+		c.pools.sents = append(c.pools.sents, sp)
 	}
 	if lost > 0 {
 		n := copy(c.sent, c.sent[lost:])
@@ -782,12 +813,25 @@ func (c *Conn) handlePacket(p *packet) {
 	if c.state == stateClosed {
 		return
 	}
+	if p.dcid != 0 && c.cid != 0 && p.dcid != c.cid {
+		// A previous user of this 4-tuple (the ephemeral port was
+		// recycled): the packet — often a late CONNECTION_CLOSE probe
+		// from the dead connection — must not touch this one.
+		return
+	}
 	c.stats.PacketsReceived++
 	if !c.recvd.add(p.pn) {
-		// Duplicate: our ACK may have been lost; re-ACK.
-		c.cfg.Trace.QUICPacketRecv(c.sched.Now(), c.traceID, int64(p.pn), true)
-		c.ackQueued = true
-		c.trySend()
+		// Duplicate packet number. Retransmissions always use fresh
+		// packet numbers, so a genuine duplicate only ever arrives
+		// carrying this connection's ID; a dcid-less "duplicate" is a
+		// stale incarnation's packet number colliding with history —
+		// re-ACKing it would falsely acknowledge data the peer never
+		// delivered here.
+		if p.dcid != 0 && p.dcid == c.cid {
+			c.cfg.Trace.QUICPacketRecv(c.sched.Now(), c.traceID, int64(p.pn), true)
+			c.ackQueued = true
+			c.trySend()
+		}
 		return
 	}
 	c.cfg.Trace.QUICPacketRecv(c.sched.Now(), c.traceID, int64(p.pn), false)
@@ -828,6 +872,7 @@ func (c *Conn) handleClientHello(f *clientHelloFrame) {
 		return // duplicate via client probe; our SH PTO covers it
 	}
 	c.chSeen = true
+	c.chNonce = f.nonce
 	c.serverName = f.serverName
 	resumed := c.scfg.Sessions != nil && c.scfg.Sessions.valid(f.token)
 	c.resumed = resumed
@@ -907,7 +952,7 @@ func (c *Conn) handleServerHello(f *serverHelloFrame) {
 func (c *Conn) handleStreamFrame(f *streamFrame) {
 	s, ok := c.streams[f.id]
 	if !ok {
-		s = &Stream{conn: c, id: f.id, chunks: make(map[uint64][]byte)}
+		s = c.pools.newStream(c, f.id)
 		c.streams[f.id] = s
 		c.streamOrder = append(c.streamOrder, f.id)
 		c.stats.StreamsAccepted++

@@ -68,6 +68,22 @@ func (e *Endpoint) handlePacket(pkt simnet.Packet) {
 	}
 	key := peerKey{pkt.Src, pkt.SrcPort}
 	c, ok := e.conns[key]
+	if ok && p.dcid != 0 && p.dcid != c.cid {
+		// The sender is a previous incarnation of this 4-tuple — the
+		// client's ephemeral port was recycled and late packets from
+		// the dead connection (close probes, delayed ACKs) are still
+		// arriving. They must not reach the current connection.
+		c, ok = nil, false
+	}
+	if ok && c.chSeen {
+		if ch := clientHelloIn(p); ch != nil && ch.nonce != c.chNonce {
+			// A fresh handshake on a 4-tuple whose previous owner never
+			// closed cleanly (its CONNECTION_CLOSE was lost): retire the
+			// stale connection silently and accept the new one below.
+			c.teardown()
+			c, ok = nil, false
+		}
+	}
 	if !ok && p.dcid != 0 {
 		// Connection migration: route by connection ID and adopt the
 		// new peer path (RFC 9000 §9).
@@ -85,8 +101,12 @@ func (e *Endpoint) handlePacket(pkt simnet.Packet) {
 			// releases its state — unless the packet is itself a
 			// close (avoid close loops).
 			if !isCloseOnly(p) {
-				reply := newPacket()
+				reply := newPacket(e.cfg.Pools)
 				reply.frames = []frame{&closeFrame{err: ErrAborted}}
+				// Echo the sender's connection ID so only that (dead)
+				// connection matches; a new conn on a recycled port
+				// ignores the mismatched close.
+				reply.dcid = p.dcid
 				e.host.Send(e.port, pkt.Src, pkt.SrcPort, reply.wireSize(), reply)
 			}
 			return
@@ -113,13 +133,16 @@ func (e *Endpoint) remove(addr simnet.Addr, port uint16) {
 	delete(e.conns, peerKey{addr, port})
 }
 
-func hasClientHello(p *packet) bool {
+func hasClientHello(p *packet) bool { return clientHelloIn(p) != nil }
+
+// clientHelloIn returns the packet's ClientHello frame, if any.
+func clientHelloIn(p *packet) *clientHelloFrame {
 	for _, f := range p.frames {
-		if _, ok := f.(*clientHelloFrame); ok {
-			return true
+		if ch, ok := f.(*clientHelloFrame); ok {
+			return ch
 		}
 	}
-	return false
+	return nil
 }
 
 func isCloseOnly(p *packet) bool {

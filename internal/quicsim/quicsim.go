@@ -66,6 +66,10 @@ type Config struct {
 	// ReorderThreshold is the packet-number distance that declares a
 	// packet lost (RFC 9002 kPacketThreshold). Default 3.
 	ReorderThreshold uint64
+	// Pools, when non-nil, supplies the per-universe record arena shared
+	// by every endpoint of one scheduler goroutine. Nil endpoints fall
+	// back to process-global pools and plain allocation.
+	Pools *Pools
 	// Recovery, when non-nil, accumulates loss-recovery counters for
 	// this endpoint (probe fires, declared losses, blackout crossings).
 	// Increments happen in scheduler context; the pointer is typically
@@ -124,6 +128,12 @@ type clientHelloFrame struct {
 	serverName string
 	token      uint64 // 0 = none
 	zeroRTT    bool
+	// nonce distinguishes connection incarnations on a recycled
+	// ephemeral port (the stand-in for the random client-chosen
+	// connection ID in a real ClientHello). Dial stamps it with the
+	// handshake start time: a port can host only one connection at a
+	// time, so two incarnations on the same 4-tuple always differ.
+	nonce uint64
 }
 
 func (f *clientHelloFrame) wireSize() int    { return sizeClientHello }
@@ -151,6 +161,13 @@ type streamFrame struct {
 	off  uint64
 	data []byte
 	fin  bool
+	// holds counts in-flight records (sentPacket or sendQ) referencing
+	// this frame. A PTO probe copies frame pointers into a second record,
+	// so the struct may only recycle when the count drains to zero — and
+	// only through ACK retirement, never loss declaration (a declared
+	// loss can be a reordering false positive whose wire copy is still in
+	// flight; the hold it transferred to sendQ keeps the struct alive).
+	holds int32
 }
 
 func (f *streamFrame) wireSize() int    { return streamFrameHeader + len(f.data) }
@@ -189,6 +206,11 @@ type packet struct {
 	// ackOnly marks frames as a private one-element slice holding a
 	// private ackFrame, recycled together with the packet.
 	ackOnly bool
+	// pools, when non-nil, routes Release back to the originating
+	// universe's arena instead of the process-global sync.Pools. Release
+	// runs on the universe's scheduler goroutine, so the thread-confined
+	// arena is safe.
+	pools *Pools
 }
 
 var (
@@ -198,13 +220,35 @@ var (
 	}}
 )
 
-func newPacket() *packet { return pktPool.Get().(*packet) }
+func newPacket(pl *Pools) *packet {
+	if pl != nil {
+		if n := len(pl.packets); n > 0 {
+			p := pl.packets[n-1]
+			pl.packets[n-1] = nil
+			pl.packets = pl.packets[:n-1]
+			return p
+		}
+		return &packet{pools: pl}
+	}
+	return pktPool.Get().(*packet)
+}
 
 // newAckPacket returns a pooled packet carrying a single ACK frame with
 // ranges snapshotted from rs; the attached ackFrame and its range slice
 // are reused across pool round-trips.
-func newAckPacket(rs *rangeSet) *packet {
-	p := ackPool.Get().(*packet)
+func newAckPacket(pl *Pools, rs *rangeSet) *packet {
+	var p *packet
+	if pl != nil {
+		if n := len(pl.ackPkts); n > 0 {
+			p = pl.ackPkts[n-1]
+			pl.ackPkts[n-1] = nil
+			pl.ackPkts = pl.ackPkts[:n-1]
+		} else {
+			p = &packet{ackOnly: true, frames: []frame{&ackFrame{}}, pools: pl}
+		}
+	} else {
+		p = ackPool.Get().(*packet)
+	}
 	af := p.frames[0].(*ackFrame)
 	af.ranges = rs.snapshotInto(af.ranges[:0], 32)
 	return p
@@ -215,6 +259,15 @@ func (p *packet) Release() {
 	p.pn = 0
 	p.zeroRTT = false
 	p.dcid = 0
+	if pl := p.pools; pl != nil {
+		if p.ackOnly {
+			pl.ackPkts = append(pl.ackPkts, p)
+		} else {
+			p.frames = nil
+			pl.packets = append(pl.packets, p)
+		}
+		return
+	}
 	if p.ackOnly {
 		ackPool.Put(p)
 		return

@@ -9,8 +9,12 @@ type Stream struct {
 	conn *Conn
 	id   uint64
 
-	// Send side.
+	// Send side. pend accumulates every byte written on the stream and
+	// pendOff marks the pulled prefix — an explicit offset rather than
+	// re-slicing, so a pooled stream rewinds to the full backing array
+	// (in-flight frames alias windows of it until the visit drains).
 	pend      []byte
+	pendOff   int
 	sendOff   uint64
 	finQueued bool
 	finSent   bool
@@ -49,6 +53,9 @@ func (s *Stream) SetFinFunc(fn func()) { s.finFn = fn }
 func (s *Stream) Write(p []byte) {
 	if s.conn.state == stateClosed || s.finQueued {
 		return
+	}
+	if need := len(s.pend) + len(p); need > cap(s.pend) {
+		s.pend = s.conn.pools.growPend(s.pend, need)
 	}
 	s.pend = append(s.pend, p...)
 	s.conn.trySend()

@@ -3,7 +3,6 @@ package tcpsim
 import (
 	"time"
 
-	"h3cdn/internal/bufpool"
 	"h3cdn/internal/bytestream"
 	"h3cdn/internal/simnet"
 	"h3cdn/internal/trace"
@@ -90,6 +89,12 @@ type Conn struct {
 	dataFn        func([]byte)
 	closeFn       func(error)
 
+	// pktFn/onRTOFn are bound once when the struct is first allocated and
+	// survive pooling: they read receiver fields at call time, so a
+	// recycled conn reuses them instead of closing over itself again.
+	pktFn   func(simnet.Packet)
+	onRTOFn func()
+
 	drainFn        func()
 	drainThreshold int
 	notifying      bool
@@ -108,13 +113,7 @@ func Dial(host *simnet.Host, dst simnet.Addr, dstPort uint16, cfg Config, onEsta
 	c.isClient = true
 	c.remote = dst
 	c.remotePort = dstPort
-	c.localPort = host.BindEphemeral(func(pkt simnet.Packet) {
-		seg, ok := pkt.Payload.(*segment)
-		if !ok {
-			return
-		}
-		c.handleSegment(seg)
-	})
+	c.localPort = host.BindEphemeral(c.pktFn)
 	c.state = stateSynSent
 	if onEstablished != nil {
 		c.onEstablished = func() { onEstablished(c) }
@@ -127,18 +126,35 @@ func Dial(host *simnet.Host, dst simnet.Addr, dstPort uint16, cfg Config, onEsta
 }
 
 func newConn(host *simnet.Host, cfg Config) *Conn {
-	c := &Conn{
-		host:    host,
-		sched:   host.Scheduler(),
-		cfg:     cfg,
-		cwnd:    float64(cfg.InitCwndSegs * cfg.MSS),
-		rto:     cfg.RTOInit,
-		recvBuf: make(map[uint64]recvChunk),
+	c := cfg.Pools.getConn()
+	if c == nil {
+		c = &Conn{recvBuf: make(map[uint64]recvChunk)}
+		cc := c
+		c.pktFn = func(pkt simnet.Packet) {
+			if seg, ok := pkt.Payload.(*segment); ok {
+				cc.handleSegment(seg)
+			}
+		}
+		c.onRTOFn = cc.onRTO
 	}
+	c.host = host
+	c.sched = host.Scheduler()
+	c.cfg = cfg
+	c.cwnd = float64(cfg.InitCwndSegs * cfg.MSS)
+	c.rto = cfg.RTOInit
 	c.ssthresh = float64(cfg.MaxCwndSegs * cfg.MSS)
-	c.rtoTimer = c.sched.NewTimer(c.onRTO)
+	c.rtoTimer = c.sched.NewTimer(c.onRTOFn)
 	c.traceID = cfg.Trace.ConnID()
 	return c
+}
+
+// reset clears a retired conn for reuse, keeping only the allocations
+// that survive pooling: the receive map (emptied at teardown) and the
+// bound-once packet/RTO closures. Called from Pools.Rewind only — never
+// before the scheduler drains.
+func (c *Conn) reset() {
+	recvBuf, pktFn, onRTOFn := c.recvBuf, c.pktFn, c.onRTOFn
+	*c = Conn{recvBuf: recvBuf, pktFn: pktFn, onRTOFn: onRTOFn}
 }
 
 // TraceID returns the connection's trace id (0 when untraced).
@@ -204,6 +220,9 @@ func (c *Conn) Write(p []byte) {
 	if c.state == stateClosed || c.closing {
 		return
 	}
+	if need := len(c.sendBuf) + len(p); need > cap(c.sendBuf) {
+		c.sendBuf = c.cfg.Pools.growSendBuf(c.sendBuf, need)
+	}
 	c.sendBuf = append(c.sendBuf, p...)
 	if c.state == stateEstablished {
 		c.trySend()
@@ -235,7 +254,7 @@ func (c *Conn) Abort() {
 const resetProbeLimit = 12
 
 func (c *Conn) sendReset() {
-	seg := newSegment()
+	seg := newSegment(c.cfg.Pools)
 	seg.flags = flagRST | flagACK
 	seg.seq = c.sndNxt
 	seg.ack = c.rcvNxt
@@ -280,12 +299,14 @@ func (c *Conn) teardown() {
 	if c.listener != nil {
 		c.listener.remove(c.remote, c.remotePort)
 	}
+	c.cfg.Pools.retireSendBuf(c.sendBuf)
 	c.sendBuf = nil
 	c.sendOff = 0
 	for _, chunk := range c.recvBuf {
-		bufpool.Put(chunk.data)
+		c.cfg.Arena.Put(chunk.data)
 	}
-	c.recvBuf = nil
+	clear(c.recvBuf)
+	c.cfg.Pools.retireConn(c)
 }
 
 func (c *Conn) fail(err error) {
@@ -317,7 +338,7 @@ func (c *Conn) sendSeg(seg *segment) {
 }
 
 func (c *Conn) sendFlags(f segFlags) {
-	seg := newSegment()
+	seg := newSegment(c.cfg.Pools)
 	seg.flags = f
 	if f&flagSYN != 0 && f&flagACK == 0 {
 		// Initial SYN carries no ACK.
@@ -417,7 +438,7 @@ func (c *Conn) trySend() {
 			if end > uint64(c.pending()) {
 				end = uint64(c.pending())
 			}
-			seg := newSegment()
+			seg := newSegment(c.cfg.Pools)
 			seg.seq = c.sndNxt
 			seg.payload = c.sendBuf[c.sendOff+int(off) : c.sendOff+int(end)]
 			c.markTimed(seg)
@@ -430,7 +451,7 @@ func (c *Conn) trySend() {
 		if c.closing && !c.sentFin {
 			c.sentFin = true
 			c.finSeq = c.streamEnd()
-			seg := newSegment()
+			seg := newSegment(c.cfg.Pools)
 			seg.flags = flagFIN
 			seg.seq = c.finSeq
 			c.sndNxt = c.finSeq + 1
@@ -572,7 +593,7 @@ func (c *Conn) retransmitFirst() {
 	}
 	c.timedValid = false // Karn: no sampling across retransmission
 	if c.sentFin && c.sndUna == c.finSeq {
-		seg := newSegment()
+		seg := newSegment(c.cfg.Pools)
 		seg.flags = flagFIN
 		seg.seq = c.finSeq
 		c.sendSeg(seg)
@@ -589,7 +610,7 @@ func (c *Conn) retransmitFirst() {
 	if m := uint64(c.cfg.MSS); avail > m {
 		avail = m
 	}
-	seg := newSegment()
+	seg := newSegment(c.cfg.Pools)
 	seg.seq = c.sndUna
 	seg.payload = c.sendBuf[c.sendOff : c.sendOff+int(avail)]
 	c.sendSeg(seg)
@@ -699,11 +720,11 @@ func (c *Conn) processData(seg *segment) {
 		start = c.rcvNxt
 	}
 	if prev, ok := c.recvBuf[start]; !ok || len(payload) > len(prev.data) || seg.flags&flagFIN != 0 {
-		buf := bufpool.Get(len(payload))
+		buf := c.cfg.Arena.Get(len(payload))
 		copy(buf, payload)
 		c.recvBuf[start] = recvChunk{data: buf, fin: seg.flags&flagFIN != 0}
 		if ok {
-			bufpool.Put(prev.data)
+			c.cfg.Arena.Put(prev.data)
 		}
 	}
 	c.advanceReceive()
@@ -763,7 +784,7 @@ func (c *Conn) advanceReceive() {
 					c.dataFn(data)
 				}
 			}
-			bufpool.Put(chunk.data)
+			c.cfg.Arena.Put(chunk.data)
 			if chunk.fin {
 				c.rcvNxt++ // consume the FIN offset
 				c.peerEOF = true
@@ -771,7 +792,7 @@ func (c *Conn) advanceReceive() {
 			continue
 		}
 		delete(c.recvBuf, start) // stale duplicate
-		bufpool.Put(chunk.data)
+		c.cfg.Arena.Put(chunk.data)
 	}
 }
 

@@ -67,7 +67,7 @@ func (l *Listener) handlePacket(pkt simnet.Packet) {
 			// Stray non-SYN for an unknown connection: reset the
 			// peer so it releases state promptly.
 			if seg.flags&flagRST == 0 {
-				rst := newSegment()
+				rst := newSegment(l.cfg.Pools)
 				rst.flags = flagRST
 				l.host.Send(l.port, pkt.Src, pkt.SrcPort, rst.wireSize(), rst)
 			}

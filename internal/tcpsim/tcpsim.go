@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"h3cdn/internal/bufpool"
 	"h3cdn/internal/simnet"
 	"h3cdn/internal/trace"
 )
@@ -38,6 +39,14 @@ type Config struct {
 	// MaxCwndSegs caps the congestion window, standing in for the
 	// receive window. Default 512.
 	MaxCwndSegs int
+	// Pools, when non-nil, supplies the per-universe segment arena shared
+	// by every endpoint of one scheduler goroutine. Nil endpoints fall
+	// back to the process-global pool.
+	Pools *Pools
+	// Arena, when non-nil, supplies the per-universe buffer arena used
+	// for receive-side reassembly copies. Nil falls back to the global
+	// bufpool.
+	Arena *bufpool.Arena
 	// Recovery, when non-nil, accumulates loss-recovery counters for
 	// this endpoint (timeouts, retransmissions, blackout crossings).
 	// Increments happen in scheduler context; the pointer is typically
@@ -101,15 +110,36 @@ type segment struct {
 	seq     uint64
 	ack     uint64
 	payload []byte
+	// pools, when non-nil, routes Release back to the originating
+	// universe's arena instead of the process-global sync.Pool. Release
+	// runs on the universe's scheduler goroutine, so the thread-confined
+	// arena is safe.
+	pools *Pools
 }
 
 var segPool = sync.Pool{New: func() any { return new(segment) }}
 
-func newSegment() *segment { return segPool.Get().(*segment) }
+func newSegment(pl *Pools) *segment {
+	if pl != nil {
+		if n := len(pl.segs); n > 0 {
+			s := pl.segs[n-1]
+			pl.segs[n-1] = nil
+			pl.segs = pl.segs[:n-1]
+			return s
+		}
+		return &segment{pools: pl}
+	}
+	return segPool.Get().(*segment)
+}
 
 // Release implements simnet.Releasable. The payload slice aliases the
 // sender's buffer and is only dereferenced, never recycled, here.
 func (s *segment) Release() {
+	if pl := s.pools; pl != nil {
+		*s = segment{pools: pl}
+		pl.segs = append(pl.segs, s)
+		return
+	}
 	*s = segment{}
 	segPool.Put(s)
 }

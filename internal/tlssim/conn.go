@@ -32,6 +32,9 @@ type ClientConfig struct {
 	// TCP connection's identity in the trace.
 	Trace     *trace.Tracer
 	TraceConn uint32
+	// Arena, when non-nil, supplies the per-universe buffer arena for
+	// record construction. Nil falls back to the global bufpool.
+	Arena *bufpool.Arena
 }
 
 // ServerConfig configures a server-side TLS connection.
@@ -47,6 +50,9 @@ type ServerConfig struct {
 	// server side of the handshake.
 	Trace     *trace.Tracer
 	TraceConn uint32
+	// Arena, when non-nil, supplies the per-universe buffer arena for
+	// record construction. Nil falls back to the global bufpool.
+	Arena *bufpool.Arena
 }
 
 // Conn is a TLS session over an underlying byte stream. It implements
@@ -68,9 +74,11 @@ type Conn struct {
 	hsStart     time.Duration
 	hsDone      time.Duration
 
+	arena *bufpool.Arena
+
 	recvAcc   []byte
 	recvOff   int      // consumed prefix of recvAcc; compacted before each append
-	pending   [][]byte // app writes queued until the handshake allows them
+	pending   [][]byte // arena-owned app writes queued until the handshake allows them
 	pendingIn [][]byte // plaintext received before a data callback exists
 
 	dataFn      func([]byte)
@@ -94,6 +102,7 @@ func Client(transport bytestream.Stream, cfg ClientConfig, onHandshake func(erro
 		ccfg:        cfg,
 		version:     cfg.Version,
 		onHandshake: onHandshake,
+		arena:       cfg.Arena,
 	}
 	if cfg.Sched != nil {
 		c.hsStart = cfg.Sched.Now()
@@ -137,6 +146,7 @@ func Server(transport bytestream.Stream, cfg ServerConfig, onHandshake func(erro
 		transport:   transport,
 		scfg:        cfg,
 		onHandshake: onHandshake,
+		arena:       cfg.Arena,
 	}
 	if cfg.Sched != nil {
 		c.hsStart = cfg.Sched.Now()
@@ -237,7 +247,7 @@ func (c *Conn) Write(p []byte) {
 		return
 	}
 	if !c.established {
-		buf := make([]byte, len(p))
+		buf := c.arena.Get(len(p))
 		copy(buf, p)
 		c.pending = append(c.pending, buf)
 		return
@@ -256,7 +266,7 @@ func (c *Conn) writeRecords(p []byte) {
 		// tag bytes carry arbitrary contents — they stand in for an
 		// AEAD tag and are stripped unread by the receiver.
 		plen := n + recordTag
-		rec := bufpool.Get(recordHeader + plen)
+		rec := c.arena.Get(recordHeader + plen)
 		rec[0] = byte(recAppData)
 		rec[1] = byte(plen >> 16)
 		rec[2] = byte(plen >> 8)
@@ -264,7 +274,7 @@ func (c *Conn) writeRecords(p []byte) {
 		rec[4] = 0
 		copy(rec[recordHeader:], p[:n])
 		c.transport.Write(rec)
-		bufpool.Put(rec)
+		c.arena.Put(rec)
 		p = p[n:]
 	}
 }
@@ -275,6 +285,7 @@ func (c *Conn) Close() {
 		return
 	}
 	c.closed = true
+	c.releasePending()
 	c.transport.Close()
 }
 
@@ -284,6 +295,7 @@ func (c *Conn) Abort() {
 		return
 	}
 	c.closed = true
+	c.releasePending()
 	c.transport.Abort()
 }
 
@@ -293,6 +305,7 @@ func (c *Conn) completeHandshake(err error) {
 	}
 	if err != nil {
 		c.closed = true
+		c.releasePending()
 		if c.onHandshake != nil {
 			c.onHandshake(err)
 		}
@@ -313,7 +326,19 @@ func (c *Conn) completeHandshake(err error) {
 	for _, p := range c.pending {
 		c.writeRecords(p)
 	}
-	c.pending = nil
+	c.releasePending()
+}
+
+// releasePending returns queued pre-establishment writes to the arena.
+// Idempotent: every path that abandons the queue (completion, close,
+// abort, record failure) funnels through here so the arena's Get/Put
+// balance holds even for failed handshakes.
+func (c *Conn) releasePending() {
+	for i, p := range c.pending {
+		c.arena.Put(p)
+		c.pending[i] = nil
+	}
+	c.pending = c.pending[:0]
 }
 
 func (c *Conn) onTransportClose(err error) {
@@ -323,6 +348,7 @@ func (c *Conn) onTransportClose(err error) {
 	}
 	c.peerClosed = true
 	if !c.established {
+		c.releasePending()
 		if c.onHandshake != nil {
 			hsErr := err
 			if hsErr == nil {
@@ -491,6 +517,7 @@ func (c *Conn) serverHandleClientHello(payload []byte) {
 
 func (c *Conn) failRecord() {
 	c.closed = true
+	c.releasePending()
 	c.transport.Abort()
 	if !c.established {
 		if c.onHandshake != nil {

@@ -74,10 +74,24 @@ type Resource struct {
 	// must have H3 enabled and the resource's serving path covered by
 	// the provider's partial rollout (§VI-C's deployment density).
 	H3Eligible bool `json:"h3Eligible,omitempty"`
+
+	// url caches URL(), filled eagerly by Generate — never lazily, since
+	// a corpus is shared read-only across campaign shards. Unexported,
+	// so JSON round-trips skip it.
+	url string
 }
 
-// URL returns the resource's synthetic URL.
-func (r *Resource) URL() string { return "https://" + r.Host + r.Path }
+// URL returns the resource's synthetic URL, precomputed per resource
+// (visits re-fetch the same corpus objects repeatedly). Resources not
+// built by Generate (e.g. decoded from JSON) fall back to concatenation
+// rather than memoizing: filling the cache here would race when the
+// corpus is shared across shard goroutines.
+func (r *Resource) URL() string {
+	if r.url != "" {
+		return r.url
+	}
+	return "https://" + r.Host + r.Path
+}
 
 // Page is one website's landing page.
 type Page struct {
@@ -221,6 +235,10 @@ func Generate(cfg Config) *Corpus {
 	for i := 0; i < cfg.NumPages; i++ {
 		rng := src.Stream(seqrand.Label("page", i))
 		page := generatePage(cfg, i, rng, ensureHost)
+		for j := range page.Resources {
+			r := &page.Resources[j]
+			r.url = "https://" + r.Host + r.Path
+		}
 		corpus.Pages = append(corpus.Pages, page)
 	}
 	return corpus
