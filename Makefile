@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check vet race bench bench-alloc bench-smoke bench-scaling benchgate trace-smoke fmt
+.PHONY: all build test check vet race bench bench-alloc bench-smoke bench-scaling benchgate trace-smoke trace-replay-smoke fmt
 
 all: check
 
@@ -21,11 +21,11 @@ race:
 	$(GO) test -race -timeout 40m ./...
 
 # The repo's gate: static checks, a fast allocation smoke pass, the
-# tracing smoke pass, the race-enabled suite, the benchmark regression
-# gate, and the multi-core scaling gate. The smoke passes run before the
-# (slow) race suite so allocation and trace-pipeline regressions fail
-# fast.
-check: vet bench-smoke trace-smoke race benchgate bench-scaling
+# tracing smoke pass, the trace-replay determinism smoke pass, the
+# race-enabled suite, the benchmark regression gate, and the multi-core
+# scaling gate. The smoke passes run before the (slow) race suite so
+# allocation and trace-pipeline regressions fail fast.
+check: vet bench-smoke trace-smoke trace-replay-smoke race benchgate bench-scaling
 
 # Analysis/figure regeneration benchmarks (shares one campaign per run).
 bench:
@@ -53,6 +53,18 @@ bench-smoke:
 # single-core machines and benchgate skips the efficiency gate with it.
 bench-scaling:
 	$(GO) run ./cmd/benchgate -baseline BENCH_scaling.json -benchtime 1x -smoke
+
+# Trace-replay smoke pass: run the same variable-link campaign (synthetic
+# cellular trace + bursty loss) sequentially and with 2 workers, and
+# require byte-identical datasets — the cheap end-to-end check that
+# TraceLink replay composed with the fault layer stays deterministic
+# under sharding.
+trace-replay-smoke:
+	rm -rf .trace-replay-smoke && mkdir -p .trace-replay-smoke
+	$(GO) run ./cmd/h3cdn-measure -pages 6 -link-trace lte -burst-loss 0.01 -sequential -o .trace-replay-smoke/seq.json
+	$(GO) run ./cmd/h3cdn-measure -pages 6 -link-trace lte -burst-loss 0.01 -workers 2 -o .trace-replay-smoke/par.json
+	cmp .trace-replay-smoke/seq.json .trace-replay-smoke/par.json
+	rm -rf .trace-replay-smoke
 
 # Tracing smoke pass: run a small traced campaign through h3cdn-measure
 # -qlog and validate every emitted qlog line with qlogcheck.

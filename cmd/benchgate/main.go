@@ -73,7 +73,13 @@ type metrics struct {
 type baselineEntry struct {
 	// Pkg is the package the benchmark lives in, as a go-test path
 	// relative to the repo root; empty means the root package.
-	Pkg     string   `json:"pkg"`
+	Pkg string `json:"pkg"`
+	// The three history columns: Seed is the first recording, Prior the
+	// previous PR's record, Current what the gate compares against. A
+	// baseline rotation moves Current to Prior and records a fresh
+	// Current; only Current participates in gating.
+	Seed    *metrics `json:"seed"`
+	Prior   *metrics `json:"prior"`
 	Current *metrics `json:"current"`
 	// Informational entries are measured and printed but carry no
 	// per-metric band; they exist to be recorded and to feed derived
@@ -95,6 +101,99 @@ type gateSpec struct {
 type baselineFile struct {
 	Benchmarks map[string]baselineEntry `json:"benchmarks"`
 	Gates      []gateSpec               `json:"gates"`
+}
+
+// validate enforces the baseline column discipline up front, so a
+// mangled rotation fails the gate run immediately instead of silently
+// gating against nothing. A `prior` without a `current` is the
+// signature of a half-finished rotation (current was moved aside and
+// never re-recorded); an unknown gate type would otherwise only
+// surface after minutes of benchmarking.
+func (b *baselineFile) validate() error {
+	for name, e := range b.Benchmarks {
+		if !strings.HasPrefix(name, "Benchmark") {
+			continue
+		}
+		if e.Current == nil && e.Prior != nil {
+			return fmt.Errorf("%s: has 'prior' but no 'current' — a rotation moves current to prior and must record a fresh current", name)
+		}
+	}
+	for _, g := range b.Gates {
+		if g.Type != "min_efficiency" {
+			return fmt.Errorf("gates: unknown type %q", g.Type)
+		}
+		if g.Benchmark == "" || g.Min <= 0 {
+			return fmt.Errorf("gates: %s gate needs a benchmark and a positive floor", g.Type)
+		}
+	}
+	return nil
+}
+
+// loadBaseline reads, parses, and validates a baseline file.
+func loadBaseline(path string) (baselineFile, error) {
+	var base baselineFile
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return base, err
+	}
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return base, fmt.Errorf("parsing %s: %v", path, err)
+	}
+	if err := base.validate(); err != nil {
+		return base, fmt.Errorf("%s: %v", path, err)
+	}
+	return base, nil
+}
+
+// selectGated picks every baseline entry that is a Go benchmark with a
+// recorded `current` column (other entries, like campaign wall-clock
+// notes, are free-form) and groups them by package for one
+// `go test -bench` invocation each. Sub-benchmark entries
+// ("Benchmark/sub=1") select their root benchmark in the -bench
+// pattern; measurements are keyed by the full sub-benchmark name.
+// missingPrior lists gated entries with no `prior` column — fine for a
+// first recording, worth surfacing so a dropped column is noticed.
+func selectGated(base *baselineFile) (names []string, byPkg map[string]map[string]bool, missingPrior []string) {
+	byPkg = make(map[string]map[string]bool)
+	for name, e := range base.Benchmarks {
+		if !strings.HasPrefix(name, "Benchmark") || e.Current == nil {
+			continue
+		}
+		names = append(names, name)
+		if e.Prior == nil && !e.Informational {
+			missingPrior = append(missingPrior, name)
+		}
+		pkg := e.Pkg
+		if pkg == "" {
+			pkg = "."
+		}
+		root, _, _ := strings.Cut(name, "/")
+		if byPkg[pkg] == nil {
+			byPkg[pkg] = make(map[string]bool)
+		}
+		byPkg[pkg][root] = true
+	}
+	sort.Strings(names)
+	sort.Strings(missingPrior)
+	return names, byPkg, missingPrior
+}
+
+// compareEntry applies the banded gate of one benchmark: allocs/op
+// within allocsBand always, B/op and ns/op within the tolerance band
+// unless smoke (short runs are too noisy to judge either). It returns
+// the violation descriptions, empty when the measurement passes.
+func compareEntry(want, got metrics, smoke bool, tolerance, allocsBand float64) []string {
+	var reasons []string
+	if got.AllocsOp > want.AllocsOp*allocsBand {
+		reasons = append(reasons, fmt.Sprintf("allocs/op %.0f > %.0f +%.0f%%", got.AllocsOp, want.AllocsOp, (allocsBand-1)*100))
+	}
+	if !smoke && got.BOp > want.BOp*(1+tolerance) {
+		reasons = append(reasons, fmt.Sprintf("B/op %.0f > %.0f +%.0f%%", got.BOp, want.BOp, tolerance*100))
+	}
+	if !smoke && got.NsOp > want.NsOp*(1+tolerance) {
+		reasons = append(reasons, fmt.Sprintf("ns/op %.2f > %.2f +%.0f%%", got.NsOp, want.NsOp, tolerance*100))
+	}
+	return reasons
 }
 
 // parseBenchLine parses one `go test -bench` result row, e.g.
@@ -153,42 +252,19 @@ func run() int {
 	)
 	flag.Parse()
 
-	raw, err := os.ReadFile(*baseline)
+	base, err := loadBaseline(*baseline)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 		return 1
 	}
-	var base baselineFile
-	if err := json.Unmarshal(raw, &base); err != nil {
-		fmt.Fprintf(os.Stderr, "benchgate: parsing %s: %v\n", *baseline, err)
-		return 1
-	}
 
-	// Gate every baseline entry that is a Go benchmark with a recorded
-	// `current` column (other entries, like campaign wall-clock notes,
-	// are free-form). Benchmarks are grouped by their package — one
-	// `go test -bench` invocation per package. Sub-benchmark entries
-	// ("Benchmark/sub=1") select their root benchmark in the -bench
-	// pattern; measurements are keyed by the full sub-benchmark name.
-	var names []string
-	byPkg := make(map[string]map[string]bool)
-	for name, e := range base.Benchmarks {
-		if strings.HasPrefix(name, "Benchmark") && e.Current != nil {
-			names = append(names, name)
-			pkg := e.Pkg
-			if pkg == "" {
-				pkg = "."
-			}
-			root, _, _ := strings.Cut(name, "/")
-			if byPkg[pkg] == nil {
-				byPkg[pkg] = make(map[string]bool)
-			}
-			byPkg[pkg][root] = true
-		}
-	}
+	names, byPkg, missingPrior := selectGated(&base)
 	if len(names) == 0 {
 		fmt.Fprintf(os.Stderr, "benchgate: no gated benchmarks in %s\n", *baseline)
 		return 1
+	}
+	for _, name := range missingPrior {
+		fmt.Printf("benchgate: note %s: no 'prior' column (first recording?)\n", name)
 	}
 
 	measured := make(map[string]metrics)
@@ -223,7 +299,6 @@ func run() int {
 	}
 
 	failed := false
-	sort.Strings(names)
 	for _, name := range names {
 		entry := base.Benchmarks[name]
 		want := *entry.Current
@@ -243,16 +318,7 @@ func run() int {
 			continue
 		}
 		status := "ok  "
-		var reasons []string
-		if got.AllocsOp > want.AllocsOp*allocsBand {
-			reasons = append(reasons, fmt.Sprintf("allocs/op %.0f > %.0f +%.0f%%", got.AllocsOp, want.AllocsOp, (allocsBand-1)*100))
-		}
-		if !*smoke && got.BOp > want.BOp*(1+*tolerance) {
-			reasons = append(reasons, fmt.Sprintf("B/op %.0f > %.0f +%.0f%%", got.BOp, want.BOp, *tolerance*100))
-		}
-		if !*smoke && got.NsOp > want.NsOp*(1+*tolerance) {
-			reasons = append(reasons, fmt.Sprintf("ns/op %.2f > %.2f +%.0f%%", got.NsOp, want.NsOp, *tolerance*100))
-		}
+		reasons := compareEntry(want, got, *smoke, *tolerance, allocsBand)
 		if len(reasons) > 0 {
 			status = "FAIL"
 			failed = true

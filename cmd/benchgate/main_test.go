@@ -1,0 +1,159 @@
+package main
+
+import (
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestLoadBaselineRotate(t *testing.T) {
+	base, err := loadBaseline(filepath.Join("testdata", "rotate.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, byPkg, missingPrior := selectGated(&base)
+	if want := []string{"BenchmarkAlpha", "BenchmarkBeta"}; len(names) != 2 || names[0] != want[0] || names[1] != want[1] {
+		t.Fatalf("gated = %v, want %v (free-form entries excluded)", names, want)
+	}
+	if len(missingPrior) != 0 {
+		t.Fatalf("missingPrior = %v on a fully rotated baseline", missingPrior)
+	}
+	if !byPkg["."]["BenchmarkAlpha"] || !byPkg["./internal/core"]["BenchmarkBeta"] {
+		t.Fatalf("byPkg = %v", byPkg)
+	}
+	e := base.Benchmarks["BenchmarkAlpha"]
+	if e.Seed == nil || e.Prior == nil || e.Current == nil {
+		t.Fatal("rotation columns not parsed")
+	}
+	if e.Seed.AllocsOp != 4 || e.Prior.AllocsOp != 2 || e.Current.AllocsOp != 0 {
+		t.Fatalf("column values: seed %v prior %v current %v", e.Seed.AllocsOp, e.Prior.AllocsOp, e.Current.AllocsOp)
+	}
+}
+
+func TestLoadBaselineMissingPrior(t *testing.T) {
+	base, err := loadBaseline(filepath.Join("testdata", "missing_prior.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, _, missingPrior := selectGated(&base)
+	if len(names) != 2 {
+		t.Fatalf("gated = %v, want both entries", names)
+	}
+	if len(missingPrior) != 1 || missingPrior[0] != "BenchmarkFresh" {
+		t.Fatalf("missingPrior = %v, want [BenchmarkFresh]", missingPrior)
+	}
+}
+
+func TestLoadBaselineStalePrior(t *testing.T) {
+	_, err := loadBaseline(filepath.Join("testdata", "stale_prior.json"))
+	if err == nil {
+		t.Fatal("half-finished rotation (prior without current): want error")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkHalfRotated") || !strings.Contains(err.Error(), "rotation") {
+		t.Fatalf("error %q should name the entry and the rotation discipline", err)
+	}
+}
+
+func TestLoadBaselineGateOnly(t *testing.T) {
+	base, err := loadBaseline(filepath.Join("testdata", "gate_only.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, _, missingPrior := selectGated(&base)
+	if len(names) != 2 {
+		t.Fatalf("gated = %v, want both informational entries measured", names)
+	}
+	// Informational entries are exempt from the prior-column discipline.
+	if len(missingPrior) != 0 {
+		t.Fatalf("missingPrior = %v, want none for informational entries", missingPrior)
+	}
+	if len(base.Gates) != 1 || base.Gates[0].Type != "min_efficiency" {
+		t.Fatalf("gates = %+v", base.Gates)
+	}
+	if runtime.NumCPU() == 1 {
+		t.Skip("efficiency gates skip on single-core machines")
+	}
+	measured := map[string]metrics{
+		"BenchmarkScale/workers=1": {NsOp: 1000, EventsPerSec: 1000},
+		"BenchmarkScale/workers=2": {NsOp: 600, EventsPerSec: 1700},
+	}
+	if !checkGate(base.Gates[0], measured) {
+		t.Fatal("gate with floor 0.5 at workers=1 must pass on these measurements")
+	}
+	// The gate takes the best speedup at any worker count ≥ ideal
+	// (here 1.7 at workers=2), so only a floor above that can fail.
+	strict := base.Gates[0]
+	strict.Min = 2.0
+	if checkGate(strict, measured) {
+		t.Fatal("gate with floor 2.0 must fail (best speedup 1.7)")
+	}
+}
+
+func TestCompareEntrySmokeGatesAllocsOnly(t *testing.T) {
+	want := metrics{NsOp: 1000, BOp: 500, AllocsOp: 100}
+	cases := []struct {
+		name    string
+		got     metrics
+		smoke   bool
+		violate string // "" = pass
+	}{
+		{"identical", want, false, ""},
+		{"within-bands", metrics{NsOp: 1300, BOp: 600, AllocsOp: 101}, false, ""},
+		{"allocs-regression", metrics{NsOp: 1000, BOp: 500, AllocsOp: 120}, false, "allocs/op"},
+		{"ns-regression", metrics{NsOp: 1500, BOp: 500, AllocsOp: 100}, false, "ns/op"},
+		{"bop-regression", metrics{NsOp: 1000, BOp: 800, AllocsOp: 100}, false, "B/op"},
+		// -smoke: only allocs/op gates; wild ns/op and B/op pass, and
+		// the allocs band widens to 15%.
+		{"smoke-ignores-ns-bop", metrics{NsOp: 9000, BOp: 9000, AllocsOp: 110}, true, ""},
+		{"smoke-allocs-regression", metrics{NsOp: 1000, BOp: 500, AllocsOp: 120}, true, "allocs/op"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			band := 1.02
+			if tc.smoke {
+				band = 1.15
+			}
+			reasons := compareEntry(want, tc.got, tc.smoke, 0.40, band)
+			if tc.violate == "" {
+				if len(reasons) != 0 {
+					t.Fatalf("want pass, got %v", reasons)
+				}
+				return
+			}
+			if len(reasons) == 0 {
+				t.Fatalf("want %s violation, got pass", tc.violate)
+			}
+			if !strings.Contains(reasons[0], tc.violate) {
+				t.Fatalf("reasons %v do not name %s", reasons, tc.violate)
+			}
+		})
+	}
+}
+
+// TestZeroAllocBaselineStaysExact pins the property the scheduler gates
+// rely on: a zero allocs/op baseline admits zero and only zero,
+// whatever the band (0 × band = 0).
+func TestZeroAllocBaselineStaysExact(t *testing.T) {
+	want := metrics{NsOp: 50, BOp: 0, AllocsOp: 0}
+	if r := compareEntry(want, metrics{NsOp: 50, AllocsOp: 0}, true, 0.40, 1.15); len(r) != 0 {
+		t.Fatalf("zero vs zero: %v", r)
+	}
+	if r := compareEntry(want, metrics{NsOp: 50, AllocsOp: 1}, true, 0.40, 1.15); len(r) == 0 {
+		t.Fatal("1 alloc against a zero baseline must fail even in -smoke")
+	}
+}
+
+func TestRepoBaselinesValidate(t *testing.T) {
+	// The repo's own baselines must satisfy the column discipline the
+	// fixtures pin down.
+	for _, path := range []string{"../../BENCH_baseline.json", "../../BENCH_scaling.json"} {
+		base, err := loadBaseline(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if names, _, _ := selectGated(&base); len(names) == 0 {
+			t.Fatalf("%s: no gated benchmarks", path)
+		}
+	}
+}

@@ -16,7 +16,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -24,6 +26,7 @@ import (
 
 	"h3cdn/internal/core"
 	"h3cdn/internal/simnet"
+	"h3cdn/internal/simnet/traces"
 	"h3cdn/internal/vantage"
 	"h3cdn/internal/webgen"
 )
@@ -50,6 +53,9 @@ func run() int {
 		outages      = flag.String("outage", "", "scheduled path outages, comma-separated start-end pairs (e.g. 2s-4s,10s-11s)")
 		retries      = flag.Int("retries", 0, "browser re-fetch budget per resource after transport errors")
 
+		linkTrace  = flag.String("link-trace", "", "drive the download link from a capacity trace: a synthetic profile ("+strings.Join(traces.Names(), ", ")+") or a Mahimahi trace file")
+		traceScale = flag.Float64("trace-scale", 1, "multiply the link trace's capacity samples by this factor")
+
 		qlogDir    = flag.String("qlog", "", "write per-shard qlog JSONL trace files into this directory (created if missing)")
 		out        = flag.String("o", "", "output file (default stdout)")
 		cpuprofile = flag.String("cpuprofile", "", "write CPU profile to file")
@@ -57,6 +63,13 @@ func run() int {
 		memstats   = flag.Bool("memstats", false, "report peak heap and cumulative allocation after the campaign")
 	)
 	flag.Parse()
+
+	// Usage errors exit 2 (the flag package's own convention for bad
+	// flags), before any file creation or simulation work.
+	if err := validateImpairFlags(*burstLoss, *jitter, *reorder, *reorderDelay, *traceScale); err != nil {
+		fmt.Fprintf(os.Stderr, "h3cdn-measure: %v\n", err)
+		return 2
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -104,6 +117,12 @@ func run() int {
 		return 1
 	}
 
+	tl, err := buildLinkTrace(*linkTrace, *traceScale)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "h3cdn-measure: %v\n", err)
+		return 1
+	}
+
 	// The campaign expects the qlog directory to exist; create it before
 	// the run so a bad path fails fast.
 	if *qlogDir != "" {
@@ -123,8 +142,13 @@ func run() int {
 		Sequential:       *sequential,
 		Workers:          *workers,
 		Impairment:       impair,
+		LinkTrace:        tl,
 		FetchRetries:     *retries,
 		QlogDir:          *qlogDir,
+	}
+	if tl != nil {
+		fmt.Fprintf(os.Stderr, "h3cdn-measure: link trace %s: %d epochs over %v, mean %.1f Mbit/s\n",
+			tl.Name(), tl.Epochs(), tl.Period(), tl.MeanBps()/1e6)
 	}
 
 	// Peak-heap sampling for -memstats: the post-campaign MemStats
@@ -206,6 +230,58 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// validateImpairFlags rejects nonsensical fault/trace knob values —
+// negative rates and durations, NaN — before any file or simulation
+// work. These are usage errors (exit 2), distinct from runtime failures
+// (exit 1): a sweep script with a sign bug should fail its very first
+// invocation loudly, not run a campaign under a silently clamped knob.
+func validateImpairFlags(burstLoss float64, jitter time.Duration, reorder float64, reorderDelay time.Duration, traceScale float64) error {
+	if burstLoss < 0 || math.IsNaN(burstLoss) {
+		return fmt.Errorf("-burst-loss %v: must be a non-negative loss rate", burstLoss)
+	}
+	if jitter < 0 {
+		return fmt.Errorf("-jitter %v: must be a non-negative duration", jitter)
+	}
+	if reorder < 0 || math.IsNaN(reorder) {
+		return fmt.Errorf("-reorder %v: must be a non-negative probability", reorder)
+	}
+	if reorderDelay < 0 {
+		return fmt.Errorf("-reorder-delay %v: must be a non-negative duration", reorderDelay)
+	}
+	if !(traceScale > 0) || math.IsInf(traceScale, 0) {
+		return fmt.Errorf("-trace-scale %v: must be a positive finite factor", traceScale)
+	}
+	return nil
+}
+
+// buildLinkTrace resolves the -link-trace spec: a synthetic profile name
+// from the bundled traces package, else a Mahimahi trace file path. The
+// -trace-scale factor applies either way.
+func buildLinkTrace(spec string, scale float64) (*simnet.TraceLink, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var (
+		tl  *simnet.TraceLink
+		err error
+	)
+	if traces.Describe(spec) != "" {
+		tl, err = traces.Profile(spec)
+	} else {
+		f, ferr := os.Open(spec)
+		if ferr != nil {
+			return nil, fmt.Errorf("link-trace %q: not a synthetic profile (%s) and not a readable file: %v",
+				spec, strings.Join(traces.Names(), ", "), ferr)
+		}
+		defer f.Close()
+		tl, err = simnet.ParseMahimahiTrace(filepath.Base(spec), f, 0, 0)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return tl.Scaled(scale)
 }
 
 // buildImpairment assembles the fault profile from CLI knobs, or returns

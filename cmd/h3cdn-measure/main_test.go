@@ -1,0 +1,105 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestValidateImpairFlags(t *testing.T) {
+	type args struct {
+		burstLoss    float64
+		jitter       time.Duration
+		reorder      float64
+		reorderDelay time.Duration
+		traceScale   float64
+	}
+	ok := args{traceScale: 1}
+	cases := []struct {
+		name    string
+		mut     func(*args)
+		wantErr string // substring of the error, "" = valid
+	}{
+		{"defaults", func(a *args) {}, ""},
+		{"all-knobs-on", func(a *args) {
+			a.burstLoss, a.jitter, a.reorder, a.reorderDelay = 0.02, 2*time.Millisecond, 0.1, 5*time.Millisecond
+		}, ""},
+		{"negative-burst-loss", func(a *args) { a.burstLoss = -0.01 }, "-burst-loss"},
+		{"nan-burst-loss", func(a *args) { a.burstLoss = math.NaN() }, "-burst-loss"},
+		{"negative-jitter", func(a *args) { a.jitter = -time.Millisecond }, "-jitter"},
+		{"negative-reorder", func(a *args) { a.reorder = -0.5 }, "-reorder"},
+		{"nan-reorder", func(a *args) { a.reorder = math.NaN() }, "-reorder"},
+		{"negative-reorder-delay", func(a *args) { a.reorderDelay = -time.Second }, "-reorder-delay"},
+		{"zero-trace-scale", func(a *args) { a.traceScale = 0 }, "-trace-scale"},
+		{"negative-trace-scale", func(a *args) { a.traceScale = -2 }, "-trace-scale"},
+		{"nan-trace-scale", func(a *args) { a.traceScale = math.NaN() }, "-trace-scale"},
+		{"inf-trace-scale", func(a *args) { a.traceScale = math.Inf(1) }, "-trace-scale"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := ok
+			tc.mut(&a)
+			err := validateImpairFlags(a.burstLoss, a.jitter, a.reorder, a.reorderDelay, a.traceScale)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("want error naming %q, got nil", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not name the offending flag %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestBuildLinkTrace(t *testing.T) {
+	if tl, err := buildLinkTrace("", 1); tl != nil || err != nil {
+		t.Fatalf("empty spec: %v, %v", tl, err)
+	}
+	tl, err := buildLinkTrace("lte", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Name() != "synthetic:lte" {
+		t.Fatalf("name = %q", tl.Name())
+	}
+	half, err := buildLinkTrace("lte", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := half.MeanBps(), tl.MeanBps()/2; math.Abs(got-want) > 1 {
+		t.Fatalf("scaled mean %v, want %v", got, want)
+	}
+
+	// Mahimahi file path.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cell.trace")
+	if err := os.WriteFile(path, []byte("0\n10\n20\n30\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ftl, err := buildLinkTrace(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ftl.Name() != "cell.trace" || ftl.MeanBps() <= 0 {
+		t.Fatalf("file trace: name %q mean %v", ftl.Name(), ftl.MeanBps())
+	}
+
+	if _, err := buildLinkTrace(filepath.Join(dir, "missing.trace"), 1); err == nil {
+		t.Fatal("missing file: want error")
+	}
+	bad := filepath.Join(dir, "bad.trace")
+	if err := os.WriteFile(bad, []byte("not-a-timestamp\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buildLinkTrace(bad, 1); err == nil {
+		t.Fatal("malformed file: want parse error")
+	}
+}

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	h3cdn-report [-exp all|t1|t2|t3|f2|f3|f4|f5|f6a|f6b|f7|f8|f9|phases|lossprofile] [flags]
+//	h3cdn-report [-exp all|t1|t2|t3|f2|f3|f4|f5|f6a|f6b|f7|f8|f9|phases|lossprofile|celltrace] [flags]
 //
 // Most experiments run their own campaigns at the configured scale;
 // alternatively point -dataset / -consecutive-dataset at files written by
@@ -12,7 +12,11 @@
 // matched average — and is excluded from -exp all to bound runtime. The
 // phases experiment folds live event traces into per-mode phase
 // breakdowns; phase attributions are never serialized, so it always runs
-// its own traced campaign and is likewise excluded from -exp all.
+// its own traced campaign and is likewise excluded from -exp all. The
+// celltrace experiment replays campaigns over synthetic cellular
+// capacity traces (simnet.TraceLink) in modes H1/H2/H3, with and
+// without bursty loss — two campaigns per trace profile (-traces
+// selects which), also excluded from -exp all.
 package main
 
 import (
@@ -36,6 +40,7 @@ type reporter struct {
 	dsPath   string
 	consPath string
 	burstLen float64
+	profiles []string
 
 	std    *core.Dataset
 	cons   *core.Dataset
@@ -45,11 +50,12 @@ type reporter struct {
 
 func run() int {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (t1,t2,t3,f2,f3,f4,f5,f6a,f6b,f7,f8,f9,phases,lossprofile,all)")
+		exp      = flag.String("exp", "all", "experiment id (t1,t2,t3,f2,f3,f4,f5,f6a,f6b,f7,f8,f9,phases,lossprofile,celltrace,all)")
 		seed     = flag.Uint64("seed", 2022, "campaign seed")
 		pages    = flag.Int("pages", 325, "number of websites")
 		probes   = flag.Int("probes", 1, "probes per vantage point")
 		burstLen = flag.Float64("burstlen", 4, "lossprofile: Gilbert–Elliott mean burst length in packets")
+		profiles = flag.String("traces", "", "celltrace: comma-separated synthetic profiles (empty = all; see h3cdn-measure -link-trace)")
 		dsPath   = flag.String("dataset", "", "standard-protocol dataset JSON (from h3cdn-measure)")
 		consPath = flag.String("consecutive-dataset", "", "consecutive-protocol dataset JSON")
 		plotDir  = flag.String("plot", "", "also export raw figure series as TSV into this directory")
@@ -58,6 +64,7 @@ func run() int {
 
 	r := &reporter{
 		burstLen: *burstLen,
+		profiles: splitList(*profiles),
 		cfg: core.CampaignConfig{
 			Seed:             *seed,
 			CorpusConfig:     webgen.Config{NumPages: *pages},
@@ -257,8 +264,26 @@ func (r *reporter) report(id string) error {
 			return err
 		}
 		fmt.Println(core.RenderLossProfile(rows))
+	case "celltrace":
+		fmt.Fprintln(os.Stderr, "h3cdn-report: running cellular-trace replay (2 campaigns per profile, modes H1/H2/H3)...")
+		rows, err := core.RunCellTrace(r.cfg, r.profiles)
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.RenderCellTrace(rows))
 	default:
 		return fmt.Errorf("unknown experiment %q", id)
 	}
 	return nil
+}
+
+// splitList splits a comma-separated flag value, dropping empty fields.
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
 }

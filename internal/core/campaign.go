@@ -55,6 +55,13 @@ type CampaignConfig struct {
 	// its own impairment randomness from the shard seed, so datasets
 	// stay byte-identical across worker counts.
 	Impairment *simnet.Impairment
+	// LinkTrace, when non-nil, drives every shard's download access link
+	// from a capacity trace (simnet.TraceLink replay) instead of the
+	// fixed access rate — the Mahimahi-style variable-link condition.
+	// The TraceLink is immutable and shared read-only across worker
+	// goroutines; replay position is a pure function of virtual time, so
+	// datasets stay byte-identical across worker counts.
+	LinkTrace *simnet.TraceLink
 	// FetchRetries bounds the browser's transparent re-fetches after a
 	// transport error. 0 keeps the browser default (2); negative
 	// disables retries.
@@ -87,6 +94,12 @@ type CampaignConfig struct {
 	// TracePhases enables event tracing and folds each measured visit's
 	// trace into a phase breakdown, collected in Dataset.Phases.
 	TracePhases bool
+	// TraceRing overrides the tracer's event-ring capacity per shard
+	// (0 keeps the trace package default). When a visit overflows the
+	// ring, its sweep-based attribution is replaced by HAR-derived
+	// buckets and marked Truncated — mainly a test knob, but also a
+	// memory bound for very large traced campaigns.
+	TraceRing int
 }
 
 // DefaultBaselineLoss is the ambient packet-loss rate of the simulated
@@ -410,7 +423,7 @@ func runShard(cfg CampaignConfig, topo *Topology, job shardJob) ([]har.PageLog, 
 			qpath = filepath.Join(cfg.QlogDir, name)
 			qw = trace.NewQlogWriter(&qbuf, name)
 		}
-		tracer = trace.New(0, func(v *trace.VisitRecord) {
+		tracer = trace.New(cfg.TraceRing, func(v *trace.VisitRecord) {
 			if qw != nil {
 				qw.WriteVisit(v)
 			}
@@ -427,6 +440,7 @@ func runShard(cfg CampaignConfig, topo *Topology, job shardJob) ([]har.PageLog, 
 		Vantage:        job.point,
 		LossRate:       cfg.LossRate,
 		Impair:         cfg.Impairment,
+		LinkTrace:      cfg.LinkTrace,
 		H3WaitOverhead: cfg.H3WaitOverhead,
 		MissPenalty:    cfg.MissPenalty,
 		MaxEvents:      cfg.MaxEvents,
@@ -478,6 +492,15 @@ func runShard(cfg CampaignConfig, topo *Topology, job shardJob) ([]har.PageLog, 
 		}
 		log.Probe = probeName
 		logs = append(logs, *log)
+		// Ring overflow degrades AttributeVisit to a suffix sweep whose
+		// spans may be missing their openings. Fall back to the visit's
+		// HAR timings — coarser buckets, but complete — and keep the
+		// Truncated mark so consumers can tell the two apart.
+		if cfg.TracePhases && len(sPhases) > 0 {
+			if pb := &sPhases[len(sPhases)-1]; pb.Truncated {
+				*pb = harPhases(log)
+			}
+		}
 		if !cfg.Consecutive {
 			b.ClearSessions()
 		}

@@ -49,6 +49,7 @@ func TestCampaignGoldenDataset(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			checkHARInvariants(t, ds)
 			sum := sha256.Sum256(harJSON(t, ds))
 			if got := hex.EncodeToString(sum[:]); got != goldenDatasetSHA256 {
 				t.Fatalf("dataset hash %s, want golden %s", got, goldenDatasetSHA256)

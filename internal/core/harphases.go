@@ -1,0 +1,50 @@
+package core
+
+import (
+	"time"
+
+	"h3cdn/internal/har"
+	"h3cdn/internal/trace"
+)
+
+// harPhases derives a phase breakdown from a visit's HAR timings — the
+// fallback when the tracer's event ring overflowed and the sweep-based
+// attribution (trace.AttributeVisit) saw only a suffix of the visit.
+// HAR buckets are per-entry, not a timeline partition: Connect−SSL maps
+// to Connect, SSL to Handshake (H3's integrated handshake is all SSL by
+// HAR convention), Wait+Receive to Transfer; HOL stalls are invisible to
+// HAR and land inside Transfer. Entries overlap in real loads, so when
+// the bucket sum exceeds PLT the buckets are scaled proportionally down
+// to the window — the result always partitions PLT exactly, like the
+// sweep's output, with the remainder in Other. The breakdown keeps
+// Truncated=true so consumers can tell fallback attributions from exact
+// ones.
+func harPhases(log *har.PageLog) trace.PhaseBreakdown {
+	pb := trace.PhaseBreakdown{Truncated: true}
+	if log.PLT <= 0 {
+		return pb
+	}
+	for i := range log.Entries {
+		e := &log.Entries[i]
+		transport := e.Connect - e.SSL
+		if transport < 0 { // defensive: HAR invariant is SSL ⊆ Connect
+			transport = 0
+		}
+		pb.Connect += transport
+		pb.Handshake += e.SSL
+		pb.Transfer += e.Wait + e.Receive
+	}
+	total := pb.Connect + pb.Handshake + pb.Transfer
+	if total > log.PLT {
+		// Overlapping entries oversubscribe the window; rescale so the
+		// buckets sum to PLT (integer division rounds down, the slack
+		// lands in Other).
+		f := float64(log.PLT) / float64(total)
+		pb.Connect = time.Duration(float64(pb.Connect) * f)
+		pb.Handshake = time.Duration(float64(pb.Handshake) * f)
+		pb.Transfer = time.Duration(float64(pb.Transfer) * f)
+		total = pb.Connect + pb.Handshake + pb.Transfer
+	}
+	pb.Other = log.PLT - total
+	return pb
+}

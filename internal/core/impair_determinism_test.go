@@ -22,8 +22,14 @@ import (
 // peer's PTO backoff, which re-times the handful of deep-blackout visits
 // in this campaign. (Verified: with the watchdog disabled the dataset
 // still matches the previous pin byte-for-byte, so the accompanying QUIC
-// connection-identity hardening is trajectory-neutral.)
-const goldenImpairedSHA256 = "ee55cdedf67ca1d571d8b4e06778fb06e4a161b5fc81c91e8d996477214b5106"
+// connection-identity hardening is trajectory-neutral.) Re-pinned a
+// third time for the jitter FIFO fix: per-packet jitter used to let
+// later sends overtake earlier ones on the same path (unintended
+// reordering); arrivals are now clamped to the path's delivery frontier,
+// so every jittered delivery in this campaign lands at a ≥ time.
+// Unimpaired campaigns are arrival-monotone already, so the plain
+// golden (goldenDatasetSHA256) is unaffected — verified byte-identical.
+const goldenImpairedSHA256 = "a54513c1a47a11d18b1387b664b7bd1596414231ab67ed9b3752d266ab5ed826"
 
 // TestImpairedCampaignGoldenDataset mirrors TestCampaignGoldenDataset
 // under bursty loss + jitter, across Sequential / Workers 1 / Workers 4.
@@ -56,6 +62,7 @@ func TestImpairedCampaignGoldenDataset(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			checkHARInvariants(t, ds)
 			sum := sha256.Sum256(harJSON(t, ds))
 			if got := hex.EncodeToString(sum[:]); got != goldenImpairedSHA256 {
 				t.Fatalf("impaired dataset hash %s, want golden %s", got, goldenImpairedSHA256)

@@ -184,5 +184,53 @@ func TestPhaseBucketsMatchHARTotals(t *testing.T) {
 		if sum == 0 {
 			t.Fatalf("mode %s: connect/handshake/transfer buckets all empty", mode)
 		}
+		for i := range phases {
+			if phases[i].Truncated {
+				t.Fatalf("mode %s page %d: Truncated with the default ring — overflow at this scale is a regression", mode, i)
+			}
+		}
+	}
+}
+
+// TestPhaseFallbackOnRingOverflow pins the degraded path: with a ring
+// far too small for a visit's event volume, AttributeVisit sees only a
+// suffix of the trace. The campaign must detect the overflow, swap in
+// HAR-derived buckets, and mark the breakdown Truncated — the buckets
+// still partition PLT exactly, so downstream aggregation keeps working.
+func TestPhaseFallbackOnRingOverflow(t *testing.T) {
+	cfg := CampaignConfig{
+		Seed:             2022,
+		CorpusConfig:     webgen.Config{NumPages: 8},
+		Vantages:         vantage.Points()[:1],
+		ProbesPerVantage: 1,
+		TracePhases:      true,
+		TraceRing:        32, // a measured visit emits orders of magnitude more
+		Sequential:       true,
+	}
+	ds, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mode, log := range ds.Logs {
+		phases := ds.Phases[mode]
+		if len(phases) != len(log.Pages) {
+			t.Fatalf("mode %s: %d phase records for %d pages", mode, len(phases), len(log.Pages))
+		}
+		var buckets time.Duration
+		for i := range phases {
+			if !phases[i].Truncated {
+				t.Fatalf("mode %s page %d: ring of 32 did not overflow — fallback never engaged", mode, i)
+			}
+			total := phases[i].Total()
+			plt := log.Pages[i].PLT
+			if diff := total - plt; diff < -time.Microsecond || diff > time.Microsecond {
+				t.Fatalf("mode %s page %d (%s): fallback phase total %v != PLT %v",
+					mode, i, log.Pages[i].Site, total, plt)
+			}
+			buckets += phases[i].Connect + phases[i].Handshake + phases[i].Transfer
+		}
+		if buckets == 0 {
+			t.Fatalf("mode %s: HAR fallback produced empty connect/handshake/transfer buckets", mode)
+		}
 	}
 }

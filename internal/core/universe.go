@@ -53,6 +53,14 @@ type UniverseConfig struct {
 	// Defaults 200 / 50 Mbit/s.
 	AccessDownBps float64
 	AccessUpBps   float64
+	// LinkTrace, when non-nil, replaces the download access link's fixed
+	// rate with trace-driven variable capacity (simnet.TraceLink replay).
+	// The upload direction keeps AccessUpBps: cellular recordings capture
+	// the downlink, and the paper's bottleneck is the last-mile download
+	// path. Composes with Impair — capacity first, then the fault dice.
+	// The TraceLink must be immutable; it is shared across paths and
+	// worker goroutines.
+	LinkTrace *simnet.TraceLink
 	// H3WaitOverhead is the extra per-request server compute under H3.
 	// Default 2ms (see cdn.EdgeConfig).
 	H3WaitOverhead time.Duration
@@ -185,6 +193,7 @@ func NewUniverse(cfg UniverseConfig) (*Universe, error) {
 				LossRate:     cfg.LossRate,
 				LinkID:       "access-down",
 				Impair:       cfg.Impair,
+				Trace:        cfg.LinkTrace,
 			}
 		case srcA == probeAddr: // upload direction
 			nc := u.nodes[dst]

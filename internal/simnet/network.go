@@ -59,6 +59,13 @@ type PathProps struct {
 	// loss, jitter, reordering, outages) on top of LossRate. The struct
 	// must be read-only; per-path mutable state lives in the network.
 	Impair *Impairment
+	// Trace, when non-nil, replaces BandwidthBps with trace-driven
+	// time-varying capacity (see TraceLink). Serialization integrates
+	// the capacity profile; zero-capacity epochs stall the queue rather
+	// than dropping. Composes with Impair: capacity first, then the
+	// fault dice. The TraceLink must be read-only (shareable across
+	// paths and workers).
+	Trace *TraceLink
 }
 
 // PathFunc resolves the directed path properties between two hosts.
@@ -160,6 +167,11 @@ type pathState struct {
 	// the fast path identical to a network without the fault layer.
 	impairRng *rand.Rand
 	geBad     bool // Gilbert–Elliott chain position
+
+	// epoch is the last trace-link epoch a send on this path observed
+	// (see TraceLink.Epoch); transitions emit a trace event. -1 until
+	// the first trace-driven send.
+	epoch int64
 }
 
 // queueKey identifies one directed (src, dst) pair's delivery queues.
@@ -177,6 +189,14 @@ type queueKey struct {
 type pathQueues struct {
 	arrive EventQueue
 	drop   EventQueue
+	// frontier is the latest scheduled arrival among FIFO deliveries on
+	// this (src,dst) pair: the link preserves order, so a jittered
+	// packet is delayed, never overtaken past — every delivery clamps
+	// to at least the frontier, and only packets explicitly held back
+	// by the reordering impairment leave it unadvanced (they alone may
+	// be overtaken by later sends). On unimpaired paths arrivals are
+	// already monotone and the clamp is a no-op.
+	frontier time.Duration
 }
 
 func (n *Network) pathQueues(src, dst Addr) *pathQueues {
@@ -241,7 +261,7 @@ func (n *Network) pairState(src, dst Addr, link string) *pathState {
 		if label == "" {
 			label = string(src) + "|" + string(dst)
 		}
-		ps = &pathState{lossRng: n.rng.Stream("loss", label), label: label}
+		ps = &pathState{lossRng: n.rng.Stream("loss", label), label: label, epoch: -1}
 		n.pairs[k] = ps
 	}
 	return ps
@@ -276,7 +296,18 @@ func (n *Network) send(pkt Packet) {
 		start = ps.busyUntil
 	}
 	var tx time.Duration
-	if props.BandwidthBps > 0 {
+	if props.Trace != nil {
+		// Trace-driven capacity: serialization integrates the replayed
+		// profile from start; zero-capacity epochs stall (tx stretches)
+		// instead of dropping. Epoch transitions are observable in the
+		// trace — with the queue depth at the transition — so phase
+		// attribution can tell capacity stalls from loss stalls.
+		if e := props.Trace.Epoch(start); e != ps.epoch {
+			ps.epoch = e
+			n.trace.LinkEpoch(now, string(pkt.Src), string(pkt.Dst), e, props.Trace.EpochBps(e), ps.inFlight)
+		}
+		tx = props.Trace.Serialize(start, int64(pkt.Size)*8) - start
+	} else if props.BandwidthBps > 0 {
 		tx = time.Duration(float64(pkt.Size*8) / props.BandwidthBps * float64(time.Second))
 	}
 	ps.busyUntil = start + tx
@@ -298,16 +329,19 @@ func (n *Network) send(pkt Packet) {
 	// comes from a separate stream, so unimpaired paths — and the whole
 	// network when no Impairment is configured — draw the exact loss
 	// sequence they always did.
-	var extra time.Duration
+	var (
+		extra time.Duration
+		held  bool
+	)
 	if props.Impair != nil {
-		cause, delta := n.impair(ps, props.Impair, start)
+		cause, delta, h := n.impair(ps, props.Impair, start)
 		if cause != 0 {
 			n.trace.PacketDropped(now, string(pkt.Src), string(pkt.Dst), pkt.SrcPort, pkt.DstPort, pkt.Size, cause)
 			d.drop = true
 			n.sched.QueueAtArg(&q.drop, start+tx, runDelivery, d)
 			return
 		}
-		extra = delta
+		extra, held = delta, h
 		if extra > 0 {
 			n.trace.PacketDelayed(now, string(pkt.Src), string(pkt.Dst), extra)
 		}
@@ -323,20 +357,36 @@ func (n *Network) send(pkt Packet) {
 		return
 	}
 
-	n.sched.QueueAtArg(&q.arrive, start+tx+props.Delay+extra, runDelivery, d)
+	// FIFO discipline: a link delays jittered packets, it does not let
+	// them overtake earlier deliveries on the same (src,dst) pair — so
+	// every arrival clamps to at least the pair's frontier. Only a
+	// packet the reordering impairment explicitly held back leaves the
+	// frontier unadvanced: later sends may overtake it, which is the
+	// one sanctioned source of out-of-order delivery.
+	at := start + tx + props.Delay + extra
+	if at < q.frontier {
+		at = q.frontier
+	}
+	if !held {
+		q.frontier = at
+	}
+	n.sched.QueueAtArg(&q.arrive, at, runDelivery, d)
 }
 
 // impair applies the fault-injection layer to one transmission attempt
 // starting serialization at start. A non-zero cause (trace.Drop*) means
 // the packet is dropped (outage or Gilbert–Elliott loss); otherwise the
 // returned duration is the extra delivery delay from jitter and
-// reordering. Dropped packets are scheduled by the caller on the same
-// drop queue as ambient loss, so they consume their serialization slot
-// and release pooled payloads exactly once via runDelivery.
-func (n *Network) impair(ps *pathState, im *Impairment, start time.Duration) (int64, time.Duration) {
+// reordering, and held reports whether the reordering impairment held
+// the packet back (the caller then leaves the FIFO frontier unadvanced
+// so later sends may overtake it). Dropped packets are scheduled by the
+// caller on the same drop queue as ambient loss, so they consume their
+// serialization slot and release pooled payloads exactly once via
+// runDelivery.
+func (n *Network) impair(ps *pathState, im *Impairment, start time.Duration) (cause int64, extra time.Duration, held bool) {
 	if len(im.Outages) > 0 && im.down(start) {
 		n.stats.OutageDrops++
-		return trace.DropOutage, 0
+		return trace.DropOutage, 0, false
 	}
 	if ps.impairRng == nil {
 		ps.impairRng = n.rng.Stream("impair", ps.label)
@@ -357,18 +407,18 @@ func (n *Network) impair(ps *pathState, im *Impairment, start time.Duration) (in
 		}
 		if drop {
 			n.stats.BurstDrops++
-			return trace.DropBurst, 0
+			return trace.DropBurst, 0, false
 		}
 	}
-	var extra time.Duration
 	if im.JitterMax > 0 {
 		extra = time.Duration(ps.impairRng.Int63n(int64(im.JitterMax)))
 	}
 	if im.ReorderRate > 0 && ps.impairRng.Float64() < im.ReorderRate {
 		n.stats.Reordered++
 		extra += im.ReorderDelay
+		held = true
 	}
-	return 0, extra
+	return 0, extra, held
 }
 
 func (n *Network) deliver(pkt Packet) {

@@ -1,0 +1,56 @@
+package traces
+
+import (
+	"testing"
+)
+
+func TestProfilesBuildAndPin(t *testing.T) {
+	names := Names()
+	if len(names) < 4 {
+		t.Fatalf("Names() = %v, want ≥4 profiles", names)
+	}
+	for _, name := range names {
+		if Describe(name) == "" {
+			t.Errorf("%s: empty description", name)
+		}
+		a, err := Profile(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, err := Profile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Same name must pin the exact same trace — epoch by epoch.
+		if a.Epochs() != b.Epochs() || a.Period() != b.Period() {
+			t.Fatalf("%s: rebuild changed shape", name)
+		}
+		for e := int64(0); e < int64(a.Epochs()); e++ {
+			if a.EpochBps(e) != b.EpochBps(e) {
+				t.Fatalf("%s: epoch %d differs across builds", name, e)
+			}
+		}
+		if a.MeanBps() <= 0 {
+			t.Fatalf("%s: non-positive mean capacity", name)
+		}
+	}
+	if _, err := Profile("nope"); err == nil {
+		t.Fatal("unknown profile: want error")
+	}
+}
+
+func TestDeadzoneHasZeroCapacityEpochs(t *testing.T) {
+	tl, err := Profile("deadzone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeros := 0
+	for e := int64(0); e < int64(tl.Epochs()); e++ {
+		if tl.EpochBps(e) == 0 {
+			zeros++
+		}
+	}
+	if zeros == 0 {
+		t.Fatal("deadzone profile has no zero-capacity epochs")
+	}
+}

@@ -15,6 +15,7 @@ var kindNames = [kindCount]string{
 	KindPacketArrived: "sim:packet_arrived",
 	KindPacketDropped: "sim:packet_dropped",
 	KindPacketDelayed: "sim:packet_delayed",
+	KindLinkEpoch:     "sim:link_epoch",
 
 	KindTCPSynSent:        "tcp:syn_sent",
 	KindTCPEstablished:    "tcp:connection_established",
@@ -156,6 +157,12 @@ func (q *QlogWriter) appendEvent(e *Event, start time.Duration) {
 		b = appendKVStr(b, "src", e.S1)
 		b = appendKVStr(b, "dst", e.S2)
 		b = appendKVDurMS(b, "extra_ms", time.Duration(e.C))
+	case KindLinkEpoch:
+		b = appendKVStr(b, "src", e.S1)
+		b = appendKVStr(b, "dst", e.S2)
+		b = appendKVInt(b, "epoch", e.A)
+		b = appendKVInt(b, "bps", e.B)
+		b = appendKVInt(b, "queued", e.C)
 	case KindTCPSynSent:
 		// conn only
 	case KindTCPEstablished:

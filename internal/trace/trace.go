@@ -41,6 +41,7 @@ const (
 	KindPacketArrived
 	KindPacketDropped // C = drop cause (Drop* constants)
 	KindPacketDelayed // C = extra delay ns (jitter and/or reordering)
+	KindLinkEpoch     // A=epoch, B=capacity bps, C=queued packets (trace-driven link transition)
 
 	// tcpsim. Conn is the connection's trace id.
 	KindTCPSynSent
@@ -276,6 +277,15 @@ func (t *Tracer) PacketDropped(at time.Duration, src, dst string, srcPort, dstPo
 // delivered packet.
 func (t *Tracer) PacketDelayed(at time.Duration, src, dst string, extra time.Duration) {
 	t.emit(at, KindPacketDelayed, 0, 0, 0, int64(extra), src, dst)
+}
+
+// LinkEpoch records a trace-driven link crossing into capacity epoch
+// with the given rate, observed at a send with queued packets already
+// in flight on the path. A zero-bps epoch is a capacity outage: the
+// queue stalls without dropping, which is how phase attribution can
+// separate capacity stalls from loss stalls.
+func (t *Tracer) LinkEpoch(at time.Duration, src, dst string, epoch int64, bps float64, queued int) {
+	t.emit(at, KindLinkEpoch, 0, epoch, int64(bps), int64(queued), src, dst)
 }
 
 // --- tcpsim ---
