@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check vet race bench bench-alloc bench-smoke bench-scaling benchgate trace-smoke trace-replay-smoke fmt
+.PHONY: all build test check vet race bench bench-alloc bench-smoke bench-scaling bench-memory benchgate trace-smoke trace-replay-smoke fmt
 
 all: check
 
@@ -25,7 +25,7 @@ race:
 # race-enabled suite, the benchmark regression gate, and the multi-core
 # scaling gate. The smoke passes run before the (slow) race suite so
 # allocation and trace-pipeline regressions fail fast.
-check: vet bench-smoke trace-smoke trace-replay-smoke race benchgate bench-scaling
+check: vet bench-smoke trace-smoke trace-replay-smoke race benchgate bench-scaling bench-memory
 
 # Analysis/figure regeneration benchmarks (shares one campaign per run).
 bench:
@@ -52,7 +52,16 @@ bench-smoke:
 # the gates array of BENCH_scaling.json. The benchmark skips itself on
 # single-core machines and benchgate skips the efficiency gate with it.
 bench-scaling:
-	$(GO) run ./cmd/benchgate -baseline BENCH_scaling.json -benchtime 1x -smoke
+	$(GO) run ./cmd/benchgate -baseline BENCH_scaling.json -benchtime 1x -smoke -only CampaignScaling
+
+# Bounded-memory gate: one short run of BenchmarkCampaignMemory (a
+# RetainNone campaign at two corpus scales), gated on peak-RSS growth
+# across the page spread via the max_rss_growth gate of
+# BENCH_scaling.json. The ratio gate is scale-agnostic, so the smoke
+# scales (96/768 pages) enforce the same ceiling the recorded
+# 1k/10k-page runs document.
+bench-memory:
+	$(GO) run ./cmd/benchgate -baseline BENCH_scaling.json -benchtime 1x -smoke -only CampaignMemory
 
 # Trace-replay smoke pass: run the same variable-link campaign (synthetic
 # cellular trace + bursty loss) sequentially and with 2 workers, and

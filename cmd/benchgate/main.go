@@ -88,14 +88,21 @@ type baselineEntry struct {
 }
 
 // gateSpec is a derived gate computed over measured results rather than
-// a per-benchmark band. The only type so far is "min_efficiency":
-// parallel efficiency of benchmark/workers=N vs benchmark/workers=1,
-// normalized by min(N, NumCPU), must be at least Min.
+// a per-benchmark band. Two types exist:
+//
+//   - "min_efficiency": parallel efficiency of benchmark/workers=N vs
+//     benchmark/workers=1, normalized by min(N, NumCPU), must be at
+//     least Min.
+//   - "max_rss_growth": the peak-RSS-MB ratio between the largest and
+//     smallest measured benchmark/pages=N sub-benchmarks must be at
+//     most Max — the bounded-memory claim, scale-agnostic so smoke and
+//     record runs gate the same way.
 type gateSpec struct {
 	Type      string  `json:"type"`
 	Benchmark string  `json:"benchmark"`
 	Workers   int     `json:"workers"`
 	Min       float64 `json:"min"`
+	Max       float64 `json:"max"`
 }
 
 type baselineFile struct {
@@ -119,11 +126,17 @@ func (b *baselineFile) validate() error {
 		}
 	}
 	for _, g := range b.Gates {
-		if g.Type != "min_efficiency" {
+		switch g.Type {
+		case "min_efficiency":
+			if g.Benchmark == "" || g.Min <= 0 {
+				return fmt.Errorf("gates: %s gate needs a benchmark and a positive floor", g.Type)
+			}
+		case "max_rss_growth":
+			if g.Benchmark == "" || g.Max <= 0 {
+				return fmt.Errorf("gates: %s gate needs a benchmark and a positive ceiling", g.Type)
+			}
+		default:
 			return fmt.Errorf("gates: unknown type %q", g.Type)
-		}
-		if g.Benchmark == "" || g.Min <= 0 {
-			return fmt.Errorf("gates: %s gate needs a benchmark and a positive floor", g.Type)
 		}
 	}
 	return nil
@@ -249,6 +262,7 @@ func run() int {
 		tolerance = flag.Float64("tolerance", 0.40, "relative ns/op regression band")
 		benchtime = flag.String("benchtime", "2s", "go test -benchtime value")
 		smoke     = flag.Bool("smoke", false, "gate allocs/op only (short-benchtime smoke pass: ns/op and B/op are too noisy to judge)")
+		only      = flag.String("only", "", "run only benchmarks whose name contains this substring; gates on other benchmarks are skipped")
 	)
 	flag.Parse()
 
@@ -259,6 +273,9 @@ func run() int {
 	}
 
 	names, byPkg, missingPrior := selectGated(&base)
+	if *only != "" {
+		names, byPkg, missingPrior = filterOnly(names, byPkg, missingPrior, *only)
+	}
 	if len(names) == 0 {
 		fmt.Fprintf(os.Stderr, "benchgate: no gated benchmarks in %s\n", *baseline)
 		return 1
@@ -333,6 +350,10 @@ func run() int {
 		}
 	}
 	for _, g := range base.Gates {
+		if *only != "" && !strings.Contains(g.Benchmark, *only) {
+			fmt.Printf("benchgate: skip %s %s gate: filtered by -only %s\n", g.Benchmark, g.Type, *only)
+			continue
+		}
 		if !checkGate(g, measured) {
 			failed = true
 		}
@@ -345,10 +366,49 @@ func run() int {
 	return 0
 }
 
+// filterOnly restricts a selectGated result to benchmarks whose name
+// contains the -only substring, dropping packages left with no roots.
+func filterOnly(names []string, byPkg map[string]map[string]bool, missingPrior []string, only string) ([]string, map[string]map[string]bool, []string) {
+	keep := func(in []string) []string {
+		var out []string
+		for _, n := range in {
+			if strings.Contains(n, only) {
+				out = append(out, n)
+			}
+		}
+		return out
+	}
+	names = keep(names)
+	missingPrior = keep(missingPrior)
+	roots := make(map[string]bool)
+	for _, n := range names {
+		root, _, _ := strings.Cut(n, "/")
+		roots[root] = true
+	}
+	outPkg := make(map[string]map[string]bool)
+	for pkg, rootSet := range byPkg {
+		for root := range rootSet {
+			if !roots[root] {
+				continue
+			}
+			if outPkg[pkg] == nil {
+				outPkg[pkg] = make(map[string]bool)
+			}
+			outPkg[pkg][root] = true
+		}
+	}
+	return names, outPkg, missingPrior
+}
+
 // checkGate evaluates one derived gate against the measured results,
 // printing its verdict; it reports false on failure.
 func checkGate(g gateSpec, measured map[string]metrics) bool {
-	if g.Type != "min_efficiency" {
+	switch g.Type {
+	case "min_efficiency":
+		// handled below
+	case "max_rss_growth":
+		return checkRSSGrowthGate(g, measured)
+	default:
 		fmt.Fprintf(os.Stderr, "benchgate: FAIL gate: unknown type %q\n", g.Type)
 		return false
 	}
@@ -412,5 +472,45 @@ func checkGate(g gateSpec, measured map[string]metrics) bool {
 		fmt.Printf("; not enforced below %d cores", g.Workers)
 	}
 	fmt.Println(")")
+	return ok
+}
+
+// checkRSSGrowthGate enforces a "max_rss_growth" gate: among the
+// measured benchmark/pages=N sub-benchmarks, the peak-RSS-MB of the
+// largest N must be within Max times that of the smallest N. The gate is
+// deliberately scale-agnostic — it binds whichever page scales actually
+// ran (smoke defaults or record-scale env overrides), so the sub-linear
+// memory claim is checked on every pass, not just record runs.
+func checkRSSGrowthGate(g gateSpec, measured map[string]metrics) bool {
+	minPages, maxPages := 0, 0
+	var minRSS, maxRSS float64
+	for name, m := range measured {
+		rest, found := strings.CutPrefix(name, g.Benchmark+"/pages=")
+		if !found {
+			continue
+		}
+		n, err := strconv.Atoi(rest)
+		if err != nil || m.PeakRSSMB <= 0 {
+			continue
+		}
+		if minPages == 0 || n < minPages {
+			minPages, minRSS = n, m.PeakRSSMB
+		}
+		if n > maxPages {
+			maxPages, maxRSS = n, m.PeakRSSMB
+		}
+	}
+	if minPages == 0 || maxPages == minPages {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL %s rss-growth gate: need at least two pages=N measurements with peak-RSS-MB\n", g.Benchmark)
+		return false
+	}
+	ratio := maxRSS / minRSS
+	ok := ratio <= g.Max
+	status := "ok  "
+	if !ok {
+		status = "FAIL"
+	}
+	fmt.Printf("benchgate: %s %s peak-RSS growth: %.2fx over a %dx page spread (%.1f MB @ %d → %.1f MB @ %d, ceiling %.2fx)\n",
+		status, g.Benchmark, ratio, maxPages/minPages, minRSS, minPages, maxRSS, maxPages, g.Max)
 	return ok
 }

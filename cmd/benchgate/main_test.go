@@ -157,3 +157,72 @@ func TestRepoBaselinesValidate(t *testing.T) {
 		}
 	}
 }
+
+func TestRSSGrowthGate(t *testing.T) {
+	g := gateSpec{Type: "max_rss_growth", Benchmark: "BenchmarkCampaignMemory", Max: 2.0}
+	measured := map[string]metrics{
+		"BenchmarkCampaignMemory/pages=96":  {NsOp: 1e9, PeakRSSMB: 200},
+		"BenchmarkCampaignMemory/pages=768": {NsOp: 8e9, PeakRSSMB: 350},
+		"BenchmarkOther/pages=5000":         {NsOp: 1e9, PeakRSSMB: 9000}, // ignored
+	}
+	if !checkGate(g, measured) {
+		t.Fatal("1.75x growth under a 2.0x ceiling must pass")
+	}
+	measured["BenchmarkCampaignMemory/pages=768"] = metrics{NsOp: 8e9, PeakRSSMB: 500}
+	if checkGate(g, measured) {
+		t.Fatal("2.5x growth over a 2.0x ceiling must fail")
+	}
+	// Scale-agnostic: the same gate binds whatever pages=N pair ran.
+	record := map[string]metrics{
+		"BenchmarkCampaignMemory/pages=1000":  {NsOp: 1e9, PeakRSSMB: 300},
+		"BenchmarkCampaignMemory/pages=10000": {NsOp: 9e9, PeakRSSMB: 450},
+	}
+	if !checkGate(g, record) {
+		t.Fatal("record-scale pair within ceiling must pass")
+	}
+	// A single measured scale cannot prove sub-linearity: fail loudly.
+	if checkGate(g, map[string]metrics{
+		"BenchmarkCampaignMemory/pages=96": {NsOp: 1e9, PeakRSSMB: 200},
+	}) {
+		t.Fatal("one measurement must fail the growth gate")
+	}
+}
+
+func TestGateSpecValidation(t *testing.T) {
+	bad := baselineFile{Gates: []gateSpec{{Type: "max_rss_growth", Benchmark: "BenchmarkX"}}}
+	if bad.validate() == nil {
+		t.Fatal("max_rss_growth without a ceiling must not validate")
+	}
+	good := baselineFile{Gates: []gateSpec{{Type: "max_rss_growth", Benchmark: "BenchmarkX", Max: 2}}}
+	if err := good.validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFilterOnly(t *testing.T) {
+	base, err := loadBaseline(filepath.Join("testdata", "rotate.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, byPkg, missingPrior := selectGated(&base)
+	names, byPkg, missingPrior = filterOnly(names, byPkg, missingPrior, "Alpha")
+	if len(names) != 1 || names[0] != "BenchmarkAlpha" {
+		t.Fatalf("filtered names = %v", names)
+	}
+	if len(missingPrior) != 0 {
+		t.Fatalf("missingPrior = %v", missingPrior)
+	}
+	if len(byPkg) != 1 || !byPkg["."]["BenchmarkAlpha"] {
+		t.Fatalf("byPkg = %v (packages without surviving roots must drop)", byPkg)
+	}
+	// Sub-benchmark names keep their root in byPkg.
+	subNames := []string{"BenchmarkMem/pages=96", "BenchmarkMem/pages=768", "BenchmarkScale/workers=1"}
+	subPkg := map[string]map[string]bool{"./internal/core": {"BenchmarkMem": true, "BenchmarkScale": true}}
+	gotNames, gotPkg, _ := filterOnly(subNames, subPkg, nil, "Mem")
+	if len(gotNames) != 2 {
+		t.Fatalf("sub-benchmark filter names = %v", gotNames)
+	}
+	if len(gotPkg["./internal/core"]) != 1 || !gotPkg["./internal/core"]["BenchmarkMem"] {
+		t.Fatalf("sub-benchmark filter byPkg = %v", gotPkg)
+	}
+}

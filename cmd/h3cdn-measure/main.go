@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"h3cdn/internal/core"
+	"h3cdn/internal/har"
 	"h3cdn/internal/simnet"
 	"h3cdn/internal/simnet/traces"
 	"h3cdn/internal/vantage"
@@ -56,6 +57,7 @@ func run() int {
 		linkTrace  = flag.String("link-trace", "", "drive the download link from a capacity trace: a synthetic profile ("+strings.Join(traces.Names(), ", ")+") or a Mahimahi trace file")
 		traceScale = flag.Float64("trace-scale", 1, "multiply the link trace's capacity samples by this factor")
 
+		retention  = flag.String("har-retention", "all", "HAR retention policy: all, none, or sample:N (N PageLogs per shard); metrics always cover every page")
 		qlogDir    = flag.String("qlog", "", "write per-shard qlog JSONL trace files into this directory (created if missing)")
 		out        = flag.String("o", "", "output file (default stdout)")
 		cpuprofile = flag.String("cpuprofile", "", "write CPU profile to file")
@@ -68,6 +70,11 @@ func run() int {
 	// flags), before any file creation or simulation work.
 	if err := validateImpairFlags(*burstLoss, *jitter, *reorder, *reorderDelay, *traceScale); err != nil {
 		fmt.Fprintf(os.Stderr, "h3cdn-measure: %v\n", err)
+		return 2
+	}
+	ret, err := har.ParseRetention(*retention)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "h3cdn-measure: -har-retention: %v\n", err)
 		return 2
 	}
 
@@ -145,6 +152,7 @@ func run() int {
 		LinkTrace:        tl,
 		FetchRetries:     *retries,
 		QlogDir:          *qlogDir,
+		Retention:        ret,
 	}
 	if tl != nil {
 		fmt.Fprintf(os.Stderr, "h3cdn-measure: link trace %s: %d epochs over %v, mean %.1f Mbit/s\n",
@@ -202,6 +210,8 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "h3cdn-measure: memstats peak-heap=%.1fMB total-alloc=%.1fMB gc-cycles=%d\n",
 			float64(peakHeap)/(1<<20), float64(ms.TotalAlloc)/(1<<20), ms.NumGC)
 	}
+	fmt.Fprintf(os.Stderr, "h3cdn-measure: retention=%s pages folded=%d retained=%d\n",
+		ret, ds.Stats.PagesFolded, ds.Stats.PagesRetained)
 	fmt.Fprintf(os.Stderr, "h3cdn-measure: done in %v\n", elapsed.Round(time.Second))
 	fmt.Fprintf(os.Stderr, "h3cdn-measure: %d events executed (%.0f events/sec)\n",
 		ds.Stats.Events, float64(ds.Stats.Events)/elapsed.Seconds())

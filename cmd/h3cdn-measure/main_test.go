@@ -7,6 +7,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"h3cdn/internal/har"
 )
 
 func TestValidateImpairFlags(t *testing.T) {
@@ -101,5 +103,43 @@ func TestBuildLinkTrace(t *testing.T) {
 	}
 	if _, err := buildLinkTrace(bad, 1); err == nil {
 		t.Fatal("malformed file: want parse error")
+	}
+}
+
+// TestHARRetentionFlag covers the -har-retention values main validates
+// via har.ParseRetention before any simulation work; malformed values
+// are usage errors (exit 2), same as the impair-flag table above.
+func TestHARRetentionFlag(t *testing.T) {
+	cases := []struct {
+		name  string
+		value string
+		want  string // String() round-trip of the parsed policy, "" = error
+	}{
+		{"all", "all", "all"},
+		{"none", "none", "none"},
+		{"sample", "sample:64", "sample:64"},
+		{"sample-one", "sample:1", "sample:1"},
+		{"sample-zero", "sample:0", ""},
+		{"sample-negative", "sample:-1", ""},
+		{"sample-garbage", "sample:lots", ""},
+		{"unknown", "keep", ""},
+		{"empty", "", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ret, err := har.ParseRetention(tc.value)
+			if tc.want == "" {
+				if err == nil {
+					t.Fatalf("-har-retention %q: want usage error, got %v", tc.value, ret)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("-har-retention %q: %v", tc.value, err)
+			}
+			if got := ret.String(); got != tc.want {
+				t.Fatalf("-har-retention %q parsed to %q, want %q", tc.value, got, tc.want)
+			}
+		})
 	}
 }

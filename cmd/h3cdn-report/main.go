@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"h3cdn/internal/core"
+	"h3cdn/internal/har"
 	"h3cdn/internal/vantage"
 	"h3cdn/internal/webgen"
 )
@@ -50,17 +51,24 @@ type reporter struct {
 
 func run() int {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (t1,t2,t3,f2,f3,f4,f5,f6a,f6b,f7,f8,f9,phases,lossprofile,celltrace,all)")
-		seed     = flag.Uint64("seed", 2022, "campaign seed")
-		pages    = flag.Int("pages", 325, "number of websites")
-		probes   = flag.Int("probes", 1, "probes per vantage point")
-		burstLen = flag.Float64("burstlen", 4, "lossprofile: Gilbert–Elliott mean burst length in packets")
-		profiles = flag.String("traces", "", "celltrace: comma-separated synthetic profiles (empty = all; see h3cdn-measure -link-trace)")
-		dsPath   = flag.String("dataset", "", "standard-protocol dataset JSON (from h3cdn-measure)")
-		consPath = flag.String("consecutive-dataset", "", "consecutive-protocol dataset JSON")
-		plotDir  = flag.String("plot", "", "also export raw figure series as TSV into this directory")
+		exp       = flag.String("exp", "all", "experiment id (t1,t2,t3,f2,f3,f4,f5,f6a,f6b,f7,f8,f9,phases,lossprofile,celltrace,all)")
+		seed      = flag.Uint64("seed", 2022, "campaign seed")
+		pages     = flag.Int("pages", 325, "number of websites")
+		probes    = flag.Int("probes", 1, "probes per vantage point")
+		burstLen  = flag.Float64("burstlen", 4, "lossprofile: Gilbert–Elliott mean burst length in packets")
+		profiles  = flag.String("traces", "", "celltrace: comma-separated synthetic profiles (empty = all; see h3cdn-measure -link-trace)")
+		dsPath    = flag.String("dataset", "", "standard-protocol dataset JSON (from h3cdn-measure)")
+		consPath  = flag.String("consecutive-dataset", "", "consecutive-protocol dataset JSON")
+		plotDir   = flag.String("plot", "", "also export raw figure series as TSV into this directory")
+		retention = flag.String("har-retention", "all", "HAR retention policy for campaigns this command runs: all, none, or sample:N; with none/sample, experiments needing per-page data fall back to sketch-derived (approximate) statistics")
 	)
 	flag.Parse()
+
+	ret, err := har.ParseRetention(*retention)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "h3cdn-report: -har-retention: %v\n", err)
+		return 2
+	}
 
 	r := &reporter{
 		burstLen: *burstLen,
@@ -70,6 +78,7 @@ func run() int {
 			CorpusConfig:     webgen.Config{NumPages: *pages},
 			Vantages:         vantage.Points(),
 			ProbesPerVantage: *probes,
+			Retention:        ret,
 		},
 		dsPath:   *dsPath,
 		consPath: *consPath,

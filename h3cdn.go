@@ -52,6 +52,9 @@ type (
 	Entry = har.Entry
 	// HARLog is a collection of page visits.
 	HARLog = har.Log
+	// Retention selects which per-page HAR logs a campaign keeps in
+	// memory; streamed metric sketches cover every page regardless.
+	Retention = har.Retention
 	// SiteMetrics aggregates one site's measurements across probes.
 	SiteMetrics = core.SiteMetrics
 	// VantagePoint is one probe site.
@@ -83,6 +86,18 @@ const (
 	ModeH1       = browser.ModeH1
 	ModeAdaptive = browser.ModeAdaptive
 )
+
+// HAR retention policies (CampaignConfig.Retention.Kind); the zero
+// value RetainAll keeps every page log, matching historical behavior.
+const (
+	RetainAll    = har.RetainAll
+	RetainSample = har.RetainSample
+	RetainNone   = har.RetainNone
+)
+
+// ParseRetention parses a retention policy flag value: "all", "none",
+// or "sample:N".
+func ParseRetention(s string) (Retention, error) { return har.ParseRetention(s) }
 
 // Adaptive protocol selection (§VII extension).
 type (

@@ -29,26 +29,10 @@ func Mean(xs []float64) float64 {
 func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
 
 // Quantile returns the q-th quantile (linear interpolation), q in [0,1].
+// Each call copies and sorts xs; callers querying several quantiles of
+// the same sample should build a Sorted view instead.
 func Quantile(xs []float64, q float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
-	if q <= 0 {
-		return s[0]
-	}
-	if q >= 1 {
-		return s[len(s)-1]
-	}
-	pos := q * float64(len(s)-1)
-	lo := int(math.Floor(pos))
-	hi := int(math.Ceil(pos))
-	if lo == hi {
-		return s[lo]
-	}
-	frac := pos - float64(lo)
-	return s[lo]*(1-frac) + s[hi]*frac
+	return NewSorted(xs).Quantile(q)
 }
 
 // Stddev returns the population standard deviation.
@@ -73,33 +57,10 @@ type Point struct {
 
 // CDF returns the empirical cumulative distribution as sorted points
 // (x = value, y = P(X ≤ x)).
-func CDF(xs []float64) []Point {
-	if len(xs) == 0 {
-		return nil
-	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
-	out := make([]Point, 0, len(s))
-	n := float64(len(s))
-	for i, x := range s {
-		// Collapse duplicates to the last occurrence.
-		if i+1 < len(s) && s[i+1] == x {
-			continue
-		}
-		out = append(out, Point{X: x, Y: float64(i+1) / n})
-	}
-	return out
-}
+func CDF(xs []float64) []Point { return NewSorted(xs).CDF() }
 
 // CCDF returns the complementary CDF (y = P(X > x)).
-func CCDF(xs []float64) []Point {
-	cdf := CDF(xs)
-	out := make([]Point, len(cdf))
-	for i, p := range cdf {
-		out[i] = Point{X: p.X, Y: 1 - p.Y}
-	}
-	return out
-}
+func CCDF(xs []float64) []Point { return NewSorted(xs).CCDF() }
 
 // InterpolateY evaluates a CDF/CCDF curve at x (step interpolation,
 // returning the y of the greatest point with X ≤ x; defaults to the

@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestSortedMatchesPackageFunctions pins the Sorted view to the
+// package-level routines it replaces: identical results, sort once.
+func TestSortedMatchesPackageFunctions(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	samples := [][]float64{
+		nil,
+		{42},
+		{3, 1, 2},
+		{5, 5, 5, 5},
+		func() []float64 {
+			xs := make([]float64, 501)
+			for i := range xs {
+				xs[i] = rng.NormFloat64() * 100
+			}
+			return xs
+		}(),
+	}
+	for _, xs := range samples {
+		s := NewSorted(xs)
+		if s.Len() != len(xs) {
+			t.Fatalf("Len %d, want %d", s.Len(), len(xs))
+		}
+		for _, q := range []float64{-1, 0, 0.25, 0.5, 0.731, 0.95, 1, 2} {
+			if got, want := s.Quantile(q), Quantile(xs, q); got != want {
+				t.Fatalf("Quantile(%v): Sorted %v vs package %v (n=%d)", q, got, want, len(xs))
+			}
+		}
+		if got, want := s.Median(), Median(xs); got != want {
+			t.Fatalf("Median: Sorted %v vs package %v", got, want)
+		}
+		if !reflect.DeepEqual(s.CDF(), CDF(xs)) {
+			t.Fatalf("CDF mismatch (n=%d)", len(xs))
+		}
+		if !reflect.DeepEqual(s.CCDF(), CCDF(xs)) {
+			t.Fatalf("CCDF mismatch (n=%d)", len(xs))
+		}
+	}
+}
+
+func TestSortedDoesNotAliasInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	s := NewSorted(xs)
+	if !reflect.DeepEqual(xs, []float64{3, 1, 2}) {
+		t.Fatal("NewSorted mutated its input")
+	}
+	xs[0] = 99
+	if s.Max() == 99 {
+		t.Fatal("Sorted aliases the caller's slice")
+	}
+	if s.Min() != 1 || s.Max() != 3 {
+		t.Fatalf("min/max %v/%v", s.Min(), s.Max())
+	}
+}

@@ -453,14 +453,14 @@ func discoveryWaves(page *webgen.Page) [4][]int {
 // fetch issues one resource request and fills the HAR entry.
 func (b *Browser) fetch(res *webgen.Resource, entry *har.Entry, done func()) {
 	entry.URL = res.URL()
-	entry.Host = res.Host
-	entry.Path = res.Path
+	entry.Host = res.Host()
+	entry.Path = res.Path()
 	entry.Started = b.sched.Now()
 	b.stats.Requests++
 	b.fetchSeq++
-	b.cfg.Trace.FetchStart(entry.Started, b.fetchSeq, res.Host, res.Path)
+	b.cfg.Trace.FetchStart(entry.Started, b.fetchSeq, res.Host(), res.Path())
 
-	ep, ok := b.cfg.Resolver(res.Host)
+	ep, ok := b.cfg.Resolver(res.Host())
 	if !ok {
 		entry.Failed = true
 		entry.Error = "no route to host"
@@ -496,7 +496,7 @@ func (st *fetchState) finish() {
 // is marked failed only once the budget is exhausted.
 func (st *fetchState) run() {
 	b := st.b
-	pc, creator := b.connFor(st.res.Host, st.ep, st.res.H3Eligible)
+	pc, creator := b.connFor(st.res.Host(), st.ep, st.res.H3Eligible)
 	creator = creator || pc.used == 0 // first user of a preconnected conn
 	pc.used++
 	st.pc = pc
@@ -505,8 +505,8 @@ func (st *fetchState) run() {
 	st.entry.ReusedConn = !creator
 	st.h3Discoverable = b.wantsH3() && st.ep.SupportsH3 && !st.ep.H1Only
 
-	st.req.Host = st.res.Host
-	st.req.Path = st.res.Path
+	st.req.Host = st.res.Host()
+	st.req.Path = st.res.Path()
 	pc.conn.Do(&st.req, st.events)
 }
 
@@ -527,16 +527,16 @@ func (st *fetchState) onHeaders(m httpsim.ResponseMeta) {
 			proto = adaptive.H3
 		}
 		if entry.Protocol != "http/1.1" {
-			b.cfg.Selector.Record(st.res.Host, proto, st.firstByte-entry.Started)
+			b.cfg.Selector.Record(st.res.Host(), proto, st.firstByte-entry.Started)
 		}
 	}
-	if st.h3Discoverable && !b.altSvc[st.res.Host] {
+	if st.h3Discoverable && !b.altSvc[st.res.Host()] {
 		// Alt-Svc: the response advertises H3. Chrome establishes the
 		// QUIC connection in the background so later requests use it
 		// without paying the handshake inline.
-		b.altSvc[st.res.Host] = true
-		b.cfg.Trace.AltSvcLearned(b.sched.Now(), st.res.Host)
-		b.preconnectH3(st.res.Host, st.ep)
+		b.altSvc[st.res.Host()] = true
+		b.cfg.Trace.AltSvcLearned(b.sched.Now(), st.res.Host())
+		b.preconnectH3(st.res.Host(), st.ep)
 	}
 }
 

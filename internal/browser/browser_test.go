@@ -69,19 +69,24 @@ func (w *testWorld) resolver(h3 map[string]bool, h1Only map[string]bool) Resolve
 	}
 }
 
+func testResource(host, path string, r webgen.Resource) webgen.Resource {
+	r.SetLocation(host, path)
+	return r
+}
+
 func testPage(hosts []string, eligible bool) *webgen.Page {
 	p := &webgen.Page{Site: "site.sim"}
-	p.Resources = append(p.Resources, webgen.Resource{
-		Host: "site.sim", Path: "/", Size: 2000, Type: webgen.Document, H3Eligible: eligible,
-	})
+	p.Resources = append(p.Resources, testResource("site.sim", "/", webgen.Resource{
+		Size: 2000, Type: webgen.Document, H3Eligible: eligible,
+	}))
 	for i, h := range hosts {
 		typ := webgen.Script
 		if i%2 == 1 {
 			typ = webgen.Image
 		}
-		p.Resources = append(p.Resources, webgen.Resource{
-			Host: h, Path: "/r", Size: 2000, Type: typ, H3Eligible: eligible,
-		})
+		p.Resources = append(p.Resources, testResource(h, "/r", webgen.Resource{
+			Size: 2000, Type: typ, H3Eligible: eligible,
+		}))
 	}
 	return p
 }
@@ -193,9 +198,9 @@ func TestPerResourceEligibilitySplitsConnections(t *testing.T) {
 
 	page := &webgen.Page{Site: "site.sim"}
 	page.Resources = append(page.Resources,
-		webgen.Resource{Host: "site.sim", Path: "/", Size: 1000, Type: webgen.Document},
-		webgen.Resource{Host: "a.cdn", Path: "/h3", Size: 1000, Type: webgen.Script, H3Eligible: true},
-		webgen.Resource{Host: "a.cdn", Path: "/h2", Size: 1000, Type: webgen.Script, H3Eligible: false},
+		testResource("site.sim", "/", webgen.Resource{Size: 1000, Type: webgen.Document}),
+		testResource("a.cdn", "/h3", webgen.Resource{Size: 1000, Type: webgen.Script, H3Eligible: true}),
+		testResource("a.cdn", "/h2", webgen.Resource{Size: 1000, Type: webgen.Script, H3Eligible: false}),
 	)
 	w.visit(t, b, page) // warm-up: discovery
 	b.ClearSessions()

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"h3cdn/internal/har"
+	"h3cdn/internal/vantage"
+	"h3cdn/internal/webgen"
+)
+
+// BenchmarkCampaignMemory measures the peak-heap proxy of a RetainNone
+// campaign at two corpus scales, proving campaign memory is bounded by
+// shards × sketch size rather than pages: the streamed aggregates absorb
+// every visit and PageLogs are freed immediately, so peak heap should
+// stay nearly flat as pages grow (the residual growth is the corpus and
+// topology, which are O(pages) but small). `make bench-memory` runs this
+// through benchgate's max_rss_growth gate, which caps the large-run /
+// small-run peak ratio; BENCH_scaling.json records the numbers.
+//
+// Scales default to smoke size (96 and 768 pages, an 8× spread); set
+// H3CDN_MEMORY_PAGES="1000,10000" to reproduce the recorded runs, and
+// H3CDN_MEMORY_RETENTION=all to measure the unbounded before-column of
+// the README table (the gate only ever runs the default, none).
+func BenchmarkCampaignMemory(b *testing.B) {
+	retention := har.Retention{Kind: har.RetainNone}
+	if s := os.Getenv("H3CDN_MEMORY_RETENTION"); s != "" {
+		var err error
+		if retention, err = har.ParseRetention(s); err != nil {
+			b.Fatalf("H3CDN_MEMORY_RETENTION: %v", err)
+		}
+	}
+	scales := []int{96, 768}
+	if s := os.Getenv("H3CDN_MEMORY_PAGES"); s != "" {
+		scales = scales[:0]
+		for _, f := range strings.Split(s, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n <= 0 {
+				b.Fatalf("H3CDN_MEMORY_PAGES=%q: want comma-separated positive integers", s)
+			}
+			scales = append(scales, n)
+		}
+	}
+	for _, pages := range scales {
+		b.Run(fmt.Sprintf("pages=%d", pages), func(b *testing.B) {
+			corpus := webgen.Generate(webgen.Config{Seed: 2022, NumPages: pages})
+			// Settle the previous scale's garbage so the sampler sees
+			// this run's high-water mark, not a leftover heap.
+			runtime.GC()
+			sampler := startPeakSampler()
+			var visits int64
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				ds, err := RunCampaign(CampaignConfig{
+					Seed:             2022,
+					Corpus:           corpus,
+					Vantages:         vantage.Points()[:1],
+					ProbesPerVantage: 1,
+					Workers:          2,
+					Retention:        retention,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if retention.Kind == har.RetainNone && ds.Stats.PagesRetained != 0 {
+					b.Fatalf("RetainNone retained %d pages", ds.Stats.PagesRetained)
+				}
+				visits += ds.Stats.PagesFolded
+			}
+			elapsed := time.Since(start)
+			b.ReportMetric(float64(visits)/elapsed.Seconds(), "pages/sec")
+			b.ReportMetric(sampler.peakMB(), "peak-RSS-MB")
+		})
+	}
+}

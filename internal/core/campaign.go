@@ -13,7 +13,9 @@ import (
 
 	"h3cdn/internal/browser"
 	"h3cdn/internal/har"
+	"h3cdn/internal/seqrand"
 	"h3cdn/internal/simnet"
+	"h3cdn/internal/sketch"
 	"h3cdn/internal/trace"
 	"h3cdn/internal/vantage"
 	"h3cdn/internal/webgen"
@@ -100,6 +102,13 @@ type CampaignConfig struct {
 	// buckets and marked Truncated — mainly a test knob, but also a
 	// memory bound for very large traced campaigns.
 	TraceRing int
+	// Retention selects what happens to finished PageLogs after they
+	// are folded into Dataset.Metrics: keep them all (the zero value —
+	// the historical exact-analysis behavior), keep a deterministic
+	// per-shard sample, or free them immediately so campaign memory is
+	// O(shards × sketch size) instead of O(pages). Retention never
+	// affects Metrics, which always covers every page.
+	Retention har.Retention
 }
 
 // DefaultBaselineLoss is the ambient packet-loss rate of the simulated
@@ -136,6 +145,13 @@ type Dataset struct {
 	// serialized dataset (fixed-seed datasets stay byte-identical across
 	// engine changes) and is zero on loaded datasets.
 	Stats CampaignStats `json:"-"`
+	// Metrics holds the campaign's streamed aggregates: mergeable
+	// per-(mode, vantage) sketches covering every measured page,
+	// regardless of HAR retention. Shard accumulators are merged in
+	// shard-index order, so Metrics is byte-identical across worker
+	// counts. Like Stats it never serializes and is nil on loaded
+	// datasets.
+	Metrics *sketch.MetricAccumulator `json:"-"`
 }
 
 // CampaignStats aggregates execution counters across a campaign's
@@ -154,6 +170,11 @@ type CampaignStats struct {
 	OutageDrops int64 // scheduled-outage drops
 	QueueDrops  int64 // tail drops at path queue limits
 	Reordered   int64 // packets held back by the reordering impairment
+	// PagesFolded counts measured pages folded into the streaming
+	// metric accumulators; PagesRetained counts the subset whose
+	// PageLogs the retention policy kept in the dataset.
+	PagesFolded   int64
+	PagesRetained int64
 }
 
 // add accumulates one shard's counters.
@@ -165,6 +186,8 @@ func (s *CampaignStats) add(o CampaignStats) {
 	s.OutageDrops += o.OutageDrops
 	s.QueueDrops += o.QueueDrops
 	s.Reordered += o.Reordered
+	s.PagesFolded += o.PagesFolded
+	s.PagesRetained += o.PagesRetained
 }
 
 // defaultPagesPerShard is the page-range granularity of one shard when
@@ -242,6 +265,9 @@ func shardCampaign(cfg CampaignConfig, corpus *webgen.Corpus) []shardJob {
 // result is independent of worker count and of Sequential.
 func RunCampaign(cfg CampaignConfig) (*Dataset, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.Retention.Validate(); err != nil {
+		return nil, fmt.Errorf("core: RunCampaign: %w", err)
+	}
 	corpus := cfg.Corpus
 	if corpus == nil {
 		cc := cfg.CorpusConfig
@@ -263,6 +289,20 @@ func RunCampaign(cfg CampaignConfig) (*Dataset, error) {
 	offsets, perMode := stitchOffsets(jobs)
 	ds := newStitchDataset(cfg, corpus, perMode)
 	errs := make([]error, len(jobs))
+	accs := make([]*sketch.MetricAccumulator, len(jobs))
+	retainAll := cfg.Retention.Kind == har.RetainAll
+	// Under sampled or disabled retention a shard contributes an unknown
+	// (possibly zero) number of retained PageLogs, so the fixed-offset
+	// copy cannot apply; buffer per-shard retained slices and stitch
+	// them in job order once every shard has finished.
+	var retPages [][]har.PageLog
+	var retPhases [][]trace.PhaseBreakdown
+	if !retainAll {
+		retPages = make([][]har.PageLog, len(jobs))
+		if cfg.TracePhases {
+			retPhases = make([][]trace.PhaseBreakdown, len(jobs))
+		}
+	}
 
 	// consume stitches one finished shard into its final dataset position
 	// and drops the shard's slices, so the campaign retains the dataset
@@ -274,16 +314,24 @@ func RunCampaign(cfg CampaignConfig) (*Dataset, error) {
 		if r.err != nil {
 			return
 		}
+		accs[r.job] = r.acc
 		job := jobs[r.job]
-		copy(ds.Logs[job.mode].Pages[offsets[r.job]:], r.pages)
-		if cfg.TracePhases {
-			copy(ds.Phases[job.mode][offsets[r.job]:], r.phases)
+		if retainAll {
+			copy(ds.Logs[job.mode].Pages[offsets[r.job]:], r.pages)
+			if cfg.TracePhases {
+				copy(ds.Phases[job.mode][offsets[r.job]:], r.phases)
+			}
+		} else {
+			retPages[r.job] = r.pages
+			if cfg.TracePhases {
+				retPhases[r.job] = r.phases
+			}
 		}
 		ds.Stats.add(r.stats)
 	}
 	run := func(i int) shardResult {
-		pages, phases, stats, err := runShard(cfg, topo, jobs[i])
-		return shardResult{job: i, pages: pages, phases: phases, stats: stats, err: err}
+		pages, phases, stats, acc, err := runShard(cfg, topo, jobs[i])
+		return shardResult{job: i, pages: pages, phases: phases, stats: stats, acc: acc, err: err}
 	}
 	if cfg.Sequential {
 		for i := range jobs {
@@ -334,7 +382,33 @@ func RunCampaign(cfg CampaignConfig) (*Dataset, error) {
 				jobs[i].point.Name, jobs[i].probe, jobs[i].mode, jobs[i].lo, jobs[i].hi, err)
 		}
 	}
+	if !retainAll {
+		stitchRetained(ds, jobs, retPages, retPhases)
+	}
+	// Merge shard accumulators in job-index order. Sketch merging is
+	// associative and commutative, so any order would yield identical
+	// state; the fixed order makes that property incidental rather than
+	// load-bearing.
+	ds.Metrics = sketch.NewAccumulator(sketch.DefaultAlpha)
+	for _, acc := range accs {
+		ds.Metrics.Merge(acc)
+	}
 	return ds, nil
+}
+
+// stitchRetained appends each shard's retained PageLogs (and phase
+// breakdowns) to the dataset in job order. Shards whose retention kept
+// nothing contribute nil slices — RetainNone shards always, RetainSample
+// shards possibly — and are skipped rather than assumed to hold pages.
+func stitchRetained(ds *Dataset, jobs []shardJob, pages [][]har.PageLog, phases [][]trace.PhaseBreakdown) {
+	for i, job := range jobs {
+		if len(pages[i]) > 0 {
+			ds.Logs[job.mode].Pages = append(ds.Logs[job.mode].Pages, pages[i]...)
+		}
+		if phases != nil && len(phases[i]) > 0 {
+			ds.Phases[job.mode] = append(ds.Phases[job.mode], phases[i]...)
+		}
+	}
 }
 
 // shardResult carries one finished shard's output to the stitcher.
@@ -343,6 +417,7 @@ type shardResult struct {
 	pages  []har.PageLog
 	phases []trace.PhaseBreakdown
 	stats  CampaignStats
+	acc    *sketch.MetricAccumulator
 	err    error
 }
 
@@ -366,6 +441,10 @@ func stitchOffsets(jobs []shardJob) ([]int, map[browser.Mode]int) {
 // newStitchDataset preallocates the dataset shard results stream into:
 // full-length per-mode page (and phase) slices, filled in place by offset
 // as shards complete — one allocation per mode regardless of shard count.
+// Under sampled or disabled retention the retained page count is unknown
+// up front (and the full-length preallocation would itself be the
+// O(pages) memory the policy exists to avoid), so slices start nil and
+// stitchRetained appends to them.
 func newStitchDataset(cfg CampaignConfig, corpus *webgen.Corpus, perMode map[browser.Mode]int) *Dataset {
 	ds := &Dataset{
 		Seed:        cfg.Seed,
@@ -376,10 +455,17 @@ func newStitchDataset(cfg CampaignConfig, corpus *webgen.Corpus, perMode map[bro
 	if cfg.TracePhases {
 		ds.Phases = make(map[browser.Mode][]trace.PhaseBreakdown, len(cfg.Modes))
 	}
+	prealloc := cfg.Retention.Kind == har.RetainAll
 	for _, mode := range cfg.Modes {
-		ds.Logs[mode] = &har.Log{Seed: cfg.Seed, Pages: make([]har.PageLog, perMode[mode])}
+		ds.Logs[mode] = &har.Log{Seed: cfg.Seed}
+		if prealloc {
+			ds.Logs[mode].Pages = make([]har.PageLog, perMode[mode])
+		}
 		if cfg.TracePhases {
-			ds.Phases[mode] = make([]trace.PhaseBreakdown, perMode[mode])
+			ds.Phases[mode] = nil
+			if prealloc {
+				ds.Phases[mode] = make([]trace.PhaseBreakdown, perMode[mode])
+			}
 		}
 	}
 	return ds
@@ -393,8 +479,10 @@ func newStitchDataset(cfg CampaignConfig, corpus *webgen.Corpus, perMode map[bro
 // campaign topology supplies the content catalog and resolver tables, so
 // each shard instantiates only the servers its pages contact.
 // It also returns the shard's execution counters (events, recovery
-// activity, network drops).
-func runShard(cfg CampaignConfig, topo *Topology, job shardJob) ([]har.PageLog, []trace.PhaseBreakdown, CampaignStats, error) {
+// activity, network drops) and its streaming metric accumulator, into
+// which every measured visit is folded the moment it finishes —
+// regardless of whether the retention policy keeps its PageLog.
+func runShard(cfg CampaignConfig, topo *Topology, job shardJob) ([]har.PageLog, []trace.PhaseBreakdown, CampaignStats, *sketch.MetricAccumulator, error) {
 	corpus := topo.Corpus()
 	view := corpus
 	if job.lo != 0 || job.hi != len(corpus.Pages) {
@@ -447,7 +535,7 @@ func runShard(cfg CampaignConfig, topo *Topology, job shardJob) ([]har.PageLog, 
 		Trace:          tracer,
 	})
 	if err != nil {
-		return nil, nil, CampaignStats{}, err
+		return nil, nil, CampaignStats{}, nil, err
 	}
 	defer u.Close()
 	shardStats := func() CampaignStats {
@@ -478,43 +566,101 @@ func runShard(cfg CampaignConfig, topo *Topology, job shardJob) ([]har.PageLog, 
 	// Warm pass (discarded): fills edge caches, as in §III-B.
 	for i := range view.Pages {
 		if err := u.RunVisitDiscard(b, &view.Pages[i]); err != nil {
-			return nil, nil, shardStats(), fmt.Errorf("warm visit: %w", err)
+			return nil, nil, shardStats(), nil, fmt.Errorf("warm visit: %w", err)
 		}
 		b.ClearSessions()
 	}
 
+	// Streaming aggregation state: every measured visit folds into the
+	// shard accumulator; the retention policy then decides whether its
+	// PageLog survives. The sample reservoir draws from a private
+	// seqrand stream off the shard seed, so which pages are retained is
+	// a pure function of the shard — independent of worker count,
+	// completion order, and every other consumer of shard randomness.
+	acc := sketch.NewAccumulator(sketch.DefaultAlpha)
+	group := acc.Group(sketch.Key{Mode: job.mode.String(), Vantage: job.point.Name})
+	var reservoir *sketch.Reservoir[retainedVisit]
+	if cfg.Retention.Kind == har.RetainSample {
+		seed := seqrand.New(shardSeed(cfg, job)).StreamSeed("retain")
+		reservoir = sketch.NewReservoir[retainedVisit](cfg.Retention.Sample, seed)
+	}
+
 	// Measured pass.
-	logs := make([]har.PageLog, 0, len(view.Pages))
+	var logs []har.PageLog
+	if cfg.Retention.Kind == har.RetainAll {
+		logs = make([]har.PageLog, 0, len(view.Pages))
+	}
 	for i := range view.Pages {
 		log, err := u.RunVisit(b, &view.Pages[i])
 		if err != nil {
-			return nil, nil, shardStats(), fmt.Errorf("measured visit: %w", err)
+			return nil, nil, shardStats(), nil, fmt.Errorf("measured visit: %w", err)
 		}
 		log.Probe = probeName
-		logs = append(logs, *log)
 		// Ring overflow degrades AttributeVisit to a suffix sweep whose
 		// spans may be missing their openings. Fall back to the visit's
 		// HAR timings — coarser buckets, but complete — and keep the
 		// Truncated mark so consumers can tell the two apart.
+		var pb *trace.PhaseBreakdown
 		if cfg.TracePhases && len(sPhases) > 0 {
-			if pb := &sPhases[len(sPhases)-1]; pb.Truncated {
+			pb = &sPhases[len(sPhases)-1]
+			if pb.Truncated {
 				*pb = harPhases(log)
 			}
+		}
+		group.Fold(visitSample(log, pb))
+		switch cfg.Retention.Kind {
+		case har.RetainAll:
+			logs = append(logs, *log)
+		case har.RetainSample:
+			rv := retainedVisit{page: *log}
+			if pb != nil {
+				rv.phase = *pb
+			}
+			reservoir.Offer(rv)
+		case har.RetainNone:
+			// PageLog is dropped here; the fold above already captured it.
 		}
 		if !cfg.Consecutive {
 			b.ClearSessions()
 		}
 	}
+	folded := int64(len(view.Pages))
+	switch cfg.Retention.Kind {
+	case har.RetainSample:
+		items := reservoir.Items()
+		logs = make([]har.PageLog, len(items))
+		if cfg.TracePhases {
+			sPhases = make([]trace.PhaseBreakdown, len(items))
+		}
+		for i, it := range items {
+			logs[i] = it.page
+			if cfg.TracePhases {
+				sPhases[i] = it.phase
+			}
+		}
+	case har.RetainNone:
+		sPhases = nil
+	}
 
 	if qw != nil {
 		if err := qw.Err(); err != nil {
-			return nil, nil, shardStats(), fmt.Errorf("qlog: %w", err)
+			return nil, nil, shardStats(), nil, fmt.Errorf("qlog: %w", err)
 		}
 		if err := os.WriteFile(qpath, qbuf.Bytes(), 0o644); err != nil {
-			return nil, nil, shardStats(), fmt.Errorf("qlog: %w", err)
+			return nil, nil, shardStats(), nil, fmt.Errorf("qlog: %w", err)
 		}
 	}
-	return logs, sPhases, shardStats(), nil
+	stats := shardStats()
+	stats.PagesFolded = folded
+	stats.PagesRetained = int64(len(logs))
+	return logs, sPhases, stats, acc, nil
+}
+
+// retainedVisit pairs a retained PageLog with its phase breakdown so a
+// sampled shard keeps Pages and Phases aligned.
+type retainedVisit struct {
+	page  har.PageLog
+	phase trace.PhaseBreakdown
 }
 
 // modeSlug flattens a browsing-mode name into a filename-safe token

@@ -291,7 +291,8 @@ func ComputeFigure5(ds *Dataset) []Fig5Series {
 				over10++
 			}
 		}
-		s := Fig5Series{Provider: prov, CCDF: analysis.CCDF(xs), MedianCount: analysis.Median(xs)}
+		sorted := analysis.NewSorted(xs)
+		s := Fig5Series{Provider: prov, CCDF: sorted.CCDF(), MedianCount: sorted.Median()}
 		if len(xs) > 0 {
 			s.FracOver10 = float64(over10) / float64(len(xs))
 		}
@@ -356,13 +357,15 @@ func ComputeFigure6b(ds *Dataset) Fig6b {
 		wait = append(wait, msOf(sms[i].WaitReduction()))
 		recv = append(recv, msOf(sms[i].ReceiveReduction()))
 	}
+	// One sorted view per phase serves both its CDF and its median.
+	sConn, sWait, sRecv := analysis.NewSorted(conn), analysis.NewSorted(wait), analysis.NewSorted(recv)
 	return Fig6b{
-		ConnectCDF:      analysis.CDF(conn),
-		WaitCDF:         analysis.CDF(wait),
-		ReceiveCDF:      analysis.CDF(recv),
-		MedianConnectMs: analysis.Median(conn),
-		MedianWaitMs:    analysis.Median(wait),
-		MedianReceiveMs: analysis.Median(recv),
+		ConnectCDF:      sConn.CDF(),
+		WaitCDF:         sWait.CDF(),
+		ReceiveCDF:      sRecv.CDF(),
+		MedianConnectMs: sConn.Median(),
+		MedianWaitMs:    sWait.Median(),
+		MedianReceiveMs: sRecv.Median(),
 	}
 }
 
@@ -608,15 +611,34 @@ type Fig9Series struct {
 	// MedianReductionMs is the robust per-site level — the primary
 	// loss-dimension readout (grows strongly with loss).
 	MedianReductionMs float64
+	// Approx marks series computed from the streamed sketches because no
+	// PageLogs were retained. MedianReductionMs is then the difference
+	// of the per-mode median PLTs (each within the sketch's relative-
+	// error bound) rather than the median of per-site differences —
+	// pairing sites requires retained HARs — and Points/Slope/Intercept
+	// are empty.
+	Approx bool
 }
 
 // ComputeFigure9Series extracts per-site (CDN resources, PLT reduction)
 // points from one dataset and fits a line robustly: sites are binned into
 // resource-count quartiles and the fit runs over per-bin medians, so
-// heavy-tailed loss stalls do not swamp the trend.
+// heavy-tailed loss stalls do not swamp the trend. A dataset without
+// retained PageLogs (RetainNone) falls back to the sketch estimator (see
+// Fig9Series.Approx).
 func ComputeFigure9Series(ds *Dataset, lossRate float64) (Fig9Series, error) {
 	sms := ComputeSiteMetrics(ds)
 	s := Fig9Series{LossRate: lossRate}
+	if len(sms) == 0 && ds.Metrics != nil {
+		h2 := ds.Metrics.ModeGroup(browser.ModeH2.String())
+		h3 := ds.Metrics.ModeGroup(browser.ModeH3.String())
+		if h2 == nil || h3 == nil || h2.Pages == 0 || h3.Pages == 0 {
+			return s, fmt.Errorf("core: Figure9: no retained pages and no sketch coverage for both modes")
+		}
+		s.Approx = true
+		s.MedianReductionMs = h2.MedianPLTMs() - h3.MedianPLTMs()
+		return s, nil
+	}
 	for i := range sms {
 		s.Points = append(s.Points, analysis.Point{
 			X: float64(sms[i].CDNEntries),
@@ -660,8 +682,10 @@ func binnedMedians(points []analysis.Point, bins int) (xs, ys []float64) {
 			bx = append(bx, p.X)
 			by = append(by, p.Y)
 		}
-		xs = append(xs, analysis.Median(bx))
-		ys = append(ys, analysis.Median(by))
+		// bx is already ascending (points are sorted by X), so the
+		// sorted view costs one copy, not a re-sort.
+		xs = append(xs, analysis.NewSorted(bx).Median())
+		ys = append(ys, analysis.NewSorted(by).Median())
 	}
 	return xs, ys
 }

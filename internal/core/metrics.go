@@ -8,6 +8,7 @@ import (
 	"h3cdn/internal/browser"
 	"h3cdn/internal/har"
 	"h3cdn/internal/locedge"
+	"h3cdn/internal/sketch"
 )
 
 // ModeStats aggregates one site's measurements for one browsing mode,
@@ -195,6 +196,38 @@ func ComputeSiteMetrics(ds *Dataset) []SiteMetrics {
 
 // msOf converts to float milliseconds for analysis routines.
 func msOf(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// PLTMedianMs returns a mode's campaign-wide median page load time in
+// milliseconds. It prefers the exact computation over retained PageLogs;
+// when the retention policy kept only a subset (or none) of them, it
+// answers from the streamed quantile sketch instead — approx is then
+// true and the value carries the sketch's relative-error bound
+// (Metrics.Alpha). ok is false when the mode has neither retained pages
+// nor sketch state.
+func (ds *Dataset) PLTMedianMs(mode browser.Mode) (ms float64, approx, ok bool) {
+	log := ds.Logs[mode]
+	retained := 0
+	if log != nil {
+		retained = len(log.Pages)
+	}
+	var g *sketch.GroupMetrics
+	if ds.Metrics != nil {
+		g = ds.Metrics.ModeGroup(mode.String())
+	}
+	// Exact path: every folded page is still in the dataset (or no
+	// sketch exists to prove otherwise, e.g. a loaded dataset).
+	if retained > 0 && (g == nil || uint64(retained) == g.Pages) {
+		plts := make([]float64, retained)
+		for i := range log.Pages {
+			plts[i] = msOf(log.Pages[i].PLT)
+		}
+		return analysis.Median(plts), false, true
+	}
+	if g != nil && g.Pages > 0 {
+		return g.MedianPLTMs(), true, true
+	}
+	return 0, false, false
+}
 
 // pltReductions extracts per-site PLT reductions in milliseconds.
 func pltReductions(sms []SiteMetrics) []float64 {

@@ -3,9 +3,11 @@ package core
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"h3cdn/internal/analysis"
 	"h3cdn/internal/browser"
+	"h3cdn/internal/sketch"
 	"h3cdn/internal/trace"
 )
 
@@ -23,40 +25,87 @@ type PhaseRow struct {
 	// MedianPLT and MeanPLT summarize the bucket totals, which equal
 	// each visit's PLT by construction.
 	MeanPLT, MedianPLT float64
+	// Approx marks rows answered from the streamed sketches rather than
+	// retained per-visit attributions: the means stay exact (integer
+	// nanosecond sums), but MedianPLT carries the sketch's relative-
+	// error bound.
+	Approx bool
 }
 
-// ComputePhaseReport folds Dataset.Phases into one row per mode.
-// It returns an error when the dataset carries no phase attributions
-// (they only exist on campaigns run with TracePhases; they are not
-// serialized, so loaded datasets never have them).
+// ComputePhaseReport folds Dataset.Phases into one row per mode. When
+// the retention policy dropped (some of) the per-visit attributions, it
+// answers from the campaign's streamed phase sketches instead, which
+// always cover every traced visit. It returns an error when the dataset
+// carries neither (phase data only exists on campaigns run with
+// TracePhases; it is not serialized, so loaded datasets never have it).
 func ComputePhaseReport(ds *Dataset) ([]PhaseRow, error) {
-	if len(ds.Phases) == 0 {
+	// Count retained attributions across modes: under RetainNone the
+	// Phases map has entries but every slice is empty.
+	retained := 0
+	for _, phases := range ds.Phases {
+		retained += len(phases)
+	}
+	exact := retained > 0
+	if exact && ds.Metrics != nil && uint64(retained) < tracedPages(ds.Metrics) {
+		// Partial retention (sampled): the sketches cover every visit,
+		// the retained subset does not — prefer full coverage.
+		exact = false
+	}
+	if exact {
+		var rows []PhaseRow
+		for _, mode := range []browser.Mode{browser.ModeH1, browser.ModeH2, browser.ModeH3} {
+			phases := ds.Phases[mode]
+			if len(phases) == 0 {
+				continue
+			}
+			var sum trace.PhaseBreakdown
+			totals := make([]float64, len(phases))
+			for i := range phases {
+				sum.Add(phases[i])
+				totals[i] = msOf(phases[i].Total())
+			}
+			n := float64(len(phases))
+			rows = append(rows, PhaseRow{
+				Mode:      mode,
+				Visits:    len(phases),
+				Resolve:   msOf(sum.Resolve) / n,
+				Connect:   msOf(sum.Connect) / n,
+				Handshake: msOf(sum.Handshake) / n,
+				Stall:     msOf(sum.Stall) / n,
+				Transfer:  msOf(sum.Transfer) / n,
+				Other:     msOf(sum.Other) / n,
+				MeanPLT:   analysis.Mean(totals),
+				MedianPLT: analysis.Median(totals),
+			})
+		}
+		if len(rows) == 0 {
+			return nil, fmt.Errorf("dataset has phase attributions for no known mode")
+		}
+		return rows, nil
+	}
+	if ds.Metrics == nil || tracedPages(ds.Metrics) == 0 {
 		return nil, fmt.Errorf("dataset has no phase attributions: run the campaign with TracePhases enabled (phases are not serialized)")
 	}
 	var rows []PhaseRow
 	for _, mode := range []browser.Mode{browser.ModeH1, browser.ModeH2, browser.ModeH3} {
-		phases := ds.Phases[mode]
-		if len(phases) == 0 {
+		g := ds.Metrics.ModeGroup(mode.String())
+		if g == nil || g.PhasePages == 0 {
 			continue
 		}
-		var sum trace.PhaseBreakdown
-		totals := make([]float64, len(phases))
-		for i := range phases {
-			sum.Add(phases[i])
-			totals[i] = msOf(phases[i].Total())
-		}
-		n := float64(len(phases))
+		n := float64(g.PhasePages)
+		const nsPerMs = float64(time.Millisecond)
 		rows = append(rows, PhaseRow{
 			Mode:      mode,
-			Visits:    len(phases),
-			Resolve:   msOf(sum.Resolve) / n,
-			Connect:   msOf(sum.Connect) / n,
-			Handshake: msOf(sum.Handshake) / n,
-			Stall:     msOf(sum.Stall) / n,
-			Transfer:  msOf(sum.Transfer) / n,
-			Other:     msOf(sum.Other) / n,
-			MeanPLT:   analysis.Mean(totals),
-			MedianPLT: analysis.Median(totals),
+			Visits:    int(g.PhasePages),
+			Resolve:   float64(g.PhaseSumNs[0]) / nsPerMs / n,
+			Connect:   float64(g.PhaseSumNs[1]) / nsPerMs / n,
+			Handshake: float64(g.PhaseSumNs[2]) / nsPerMs / n,
+			Stall:     float64(g.PhaseSumNs[3]) / nsPerMs / n,
+			Transfer:  float64(g.PhaseSumNs[4]) / nsPerMs / n,
+			Other:     float64(g.PhaseSumNs[5]) / nsPerMs / n,
+			MeanPLT:   g.MeanPLTMs(),
+			MedianPLT: g.MedianPLTMs(),
+			Approx:    true,
 		})
 	}
 	if len(rows) == 0 {
@@ -65,18 +114,36 @@ func ComputePhaseReport(ds *Dataset) ([]PhaseRow, error) {
 	return rows, nil
 }
 
+// tracedPages sums phase-bearing page counts across every group of an
+// accumulator.
+func tracedPages(m *sketch.MetricAccumulator) uint64 {
+	var n uint64
+	for _, k := range m.Keys() {
+		n += m.Lookup(k).PhasePages
+	}
+	return n
+}
+
 // RenderPhaseReport prints the per-mode phase breakdown table.
 func RenderPhaseReport(rows []PhaseRow) string {
 	var sb strings.Builder
 	sb.WriteString("Phase attribution (trace-derived, mean ms per visit)\n")
 	w := newTable(&sb)
 	fmt.Fprintln(w, "Mode\tvisits\tresolve\tconnect\thandshake\tstall\ttransfer\tother\tmean PLT\tmedian PLT")
+	approx := false
 	for _, r := range rows {
-		fmt.Fprintf(w, "%s\t%d\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\n",
+		mark := ""
+		if r.Approx {
+			approx, mark = true, "~"
+		}
+		fmt.Fprintf(w, "%s\t%d\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%s%.2f\n",
 			r.Mode, r.Visits, r.Resolve, r.Connect, r.Handshake,
-			r.Stall, r.Transfer, r.Other, r.MeanPLT, r.MedianPLT)
+			r.Stall, r.Transfer, r.Other, r.MeanPLT, mark, r.MedianPLT)
 	}
 	_ = w.Flush()
 	sb.WriteString("buckets partition each visit's PLT; stall = receive-side HOL blocking observed in the event trace\n")
+	if approx {
+		sb.WriteString(fmt.Sprintf("~ sketch-derived median (relative error ≤ %.0f%%); means remain exact\n", 100*sketch.DefaultAlpha))
+	}
 	return sb.String()
 }

@@ -1,16 +1,22 @@
 package core
 
 import (
+	"sort"
+
 	"h3cdn/internal/browser"
 	"h3cdn/internal/cdn"
 	"h3cdn/internal/simnet"
 	"h3cdn/internal/webgen"
 )
 
-// contentKey identifies one resource body. Keyed by struct, not by
-// host+path concatenation: the lookup runs once per simulated request,
-// and a struct key hashes both strings without allocating.
-type contentKey struct{ host, path string }
+// The content catalog is a slice of resource pointers sorted by
+// (host, path), binary-searched per request, rather than a map: the
+// corpus already stores every host, path, and size, so the catalog
+// needs only 8 bytes per resource — a string-keyed map costs an order
+// of magnitude more, and at 100k-page scale it was a dominant live
+// allocation. The lookup runs once per simulated request; ~20 string
+// comparisons against pre-resolved resource fields allocate nothing
+// and are noise next to the simulated exchange they answer.
 
 // Topology is the campaign-wide, shard-independent slice of universe
 // construction: everything computable from the immutable corpus and the
@@ -24,8 +30,8 @@ type contentKey struct{ host, path string }
 type Topology struct {
 	corpus *webgen.Corpus
 
-	// content is the (host, path) → size catalog over the full corpus.
-	content map[contentKey]int
+	// content is every corpus resource, sorted by (host, path).
+	content []*webgen.Resource
 
 	// providers snapshots the CDN registry by name; edgeAddr and
 	// preloaded are the resolver's provider-level lookups.
@@ -37,14 +43,14 @@ type Topology struct {
 // NewTopology builds the shared topology for a corpus. The corpus must
 // not be mutated afterwards.
 func NewTopology(corpus *webgen.Corpus) *Topology {
+	reg := cdn.Registry()
 	nRes := 0
 	for i := range corpus.Pages {
 		nRes += len(corpus.Pages[i].Resources)
 	}
-	reg := cdn.Registry()
 	t := &Topology{
 		corpus:    corpus,
-		content:   make(map[contentKey]int, nRes),
+		content:   make([]*webgen.Resource, 0, nRes),
 		providers: make(map[string]cdn.Provider, len(reg)),
 		edgeAddr:  make(map[string]simnet.Addr, len(reg)),
 		preloaded: make(map[string]bool, len(reg)),
@@ -52,10 +58,16 @@ func NewTopology(corpus *webgen.Corpus) *Topology {
 	for i := range corpus.Pages {
 		p := &corpus.Pages[i]
 		for j := range p.Resources {
-			r := &p.Resources[j]
-			t.content[contentKey{r.Host, r.Path}] = r.Size
+			t.content = append(t.content, &p.Resources[j])
 		}
 	}
+	sort.Slice(t.content, func(i, j int) bool {
+		a, b := t.content[i], t.content[j]
+		if ah, bh := a.Host(), b.Host(); ah != bh {
+			return ah < bh
+		}
+		return a.Path() < b.Path()
+	})
 	for _, p := range reg {
 		t.providers[p.Name] = p
 		t.edgeAddr[p.Name] = simnet.Addr("edge." + slug(p.Name))
@@ -70,8 +82,19 @@ func (t *Topology) Corpus() *webgen.Corpus { return t.corpus }
 // ContentSize resolves a resource's body size (the cdn.ContentFunc shared
 // by every edge and origin server built from this topology).
 func (t *Topology) ContentSize(host, path string) (int, bool) {
-	n, ok := t.content[contentKey{host, path}]
-	return n, ok
+	i := sort.Search(len(t.content), func(i int) bool {
+		r := t.content[i]
+		if rh := r.Host(); rh != host {
+			return rh >= host
+		}
+		return r.Path() >= path
+	})
+	if i < len(t.content) {
+		if r := t.content[i]; r.Host() == host && r.Path() == path {
+			return r.Size, true
+		}
+	}
+	return 0, false
 }
 
 // Endpoint resolves a hostname to its serving endpoint. The answer is

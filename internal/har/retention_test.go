@@ -1,0 +1,58 @@
+package har
+
+import "testing"
+
+func TestParseRetention(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Retention
+		wantErr bool
+	}{
+		{in: "all", want: Retention{Kind: RetainAll}},
+		{in: "none", want: Retention{Kind: RetainNone}},
+		{in: "sample:16", want: Retention{Kind: RetainSample, Sample: 16}},
+		{in: "sample:1", want: Retention{Kind: RetainSample, Sample: 1}},
+		{in: "sample:0", wantErr: true},
+		{in: "sample:-3", wantErr: true},
+		{in: "sample:", wantErr: true},
+		{in: "sample:x", wantErr: true},
+		{in: "some", wantErr: true},
+		{in: "", wantErr: true},
+		{in: "ALL", wantErr: true},
+	}
+	for _, c := range cases {
+		got, err := ParseRetention(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseRetention(%q): want error, got %+v", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseRetention(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseRetention(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+		if got.Validate() != nil {
+			t.Errorf("ParseRetention(%q).Validate() failed", c.in)
+		}
+		back, err := ParseRetention(got.String())
+		if err != nil || back != got {
+			t.Errorf("round-trip of %q via String() = %q failed", c.in, got.String())
+		}
+	}
+}
+
+func TestRetentionValidate(t *testing.T) {
+	if (Retention{}).Validate() != nil {
+		t.Error("zero-value retention (RetainAll) must validate")
+	}
+	if (Retention{Kind: RetainSample}).Validate() == nil {
+		t.Error("RetainSample without a size must not validate")
+	}
+	if (Retention{Kind: RetentionKind(42)}).Validate() == nil {
+		t.Error("unknown kind must not validate")
+	}
+}

@@ -8,6 +8,7 @@
 package webgen
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"math/rand"
@@ -64,33 +65,86 @@ func (t ResourceType) ext() string {
 }
 
 // Resource is one fetchable object on a page.
+//
+// The host, path, and URL are three views of one backing string
+// ("https://" + host + path): at corpus scale the per-resource strings
+// are the dominant live allocation of a whole campaign, and storing
+// host and path as separate fields would roughly double the bytes
+// (extra string data, allocator rounding, and two more 16-byte headers
+// per resource). Host/Path are therefore accessor methods slicing the
+// url field. JSON round-trips still speak {host, path, ...} via the
+// custom marshalers below.
 type Resource struct {
-	Host     string       `json:"host"`
-	Path     string       `json:"path"`
-	Size     int          `json:"size"`
-	Type     ResourceType `json:"type"`
-	Provider string       `json:"provider,omitempty"` // "" = origin (non-CDN)
+	Size     int
+	Type     ResourceType
+	Provider string // "" = origin (non-CDN)
 	// H3Eligible marks resources actually servable over H3: the host
 	// must have H3 enabled and the resource's serving path covered by
 	// the provider's partial rollout (§VI-C's deployment density).
-	H3Eligible bool `json:"h3Eligible,omitempty"`
+	H3Eligible bool
 
-	// url caches URL(), filled eagerly by Generate — never lazily, since
-	// a corpus is shared read-only across campaign shards. Unexported,
-	// so JSON round-trips skip it.
-	url string
+	url     string // "https://" + host + path
+	hostLen uint16
 }
 
-// URL returns the resource's synthetic URL, precomputed per resource
-// (visits re-fetch the same corpus objects repeatedly). Resources not
-// built by Generate (e.g. decoded from JSON) fall back to concatenation
-// rather than memoizing: filling the cache here would race when the
-// corpus is shared across shard goroutines.
-func (r *Resource) URL() string {
-	if r.url != "" {
-		return r.url
+// SetLocation records the resource's host and path (stored packed; see
+// the type comment).
+func (r *Resource) SetLocation(host, path string) {
+	r.url = "https://" + host + path
+	r.hostLen = uint16(len(host))
+}
+
+// Host returns the resource's hostname.
+func (r *Resource) Host() string {
+	return r.url[len("https://") : len("https://")+int(r.hostLen)]
+}
+
+// Path returns the resource's URL path.
+func (r *Resource) Path() string {
+	return r.url[len("https://")+int(r.hostLen):]
+}
+
+// URL returns the resource's synthetic URL. Precomputed: visits
+// re-fetch the same corpus objects repeatedly, and the corpus is
+// shared read-only across campaign shards, so nothing may memoize
+// lazily.
+func (r *Resource) URL() string { return r.url }
+
+// resourceJSON is the wire form of Resource; the packed url/hostLen
+// representation stays an implementation detail.
+type resourceJSON struct {
+	Host       string       `json:"host"`
+	Path       string       `json:"path"`
+	Size       int          `json:"size"`
+	Type       ResourceType `json:"type"`
+	Provider   string       `json:"provider,omitempty"`
+	H3Eligible bool         `json:"h3Eligible,omitempty"`
+}
+
+// MarshalJSON emits the {host, path, ...} wire form.
+func (r Resource) MarshalJSON() ([]byte, error) {
+	return json.Marshal(resourceJSON{
+		Host:       r.Host(),
+		Path:       r.Path(),
+		Size:       r.Size,
+		Type:       r.Type,
+		Provider:   r.Provider,
+		H3Eligible: r.H3Eligible,
+	})
+}
+
+// UnmarshalJSON parses the {host, path, ...} wire form.
+func (r *Resource) UnmarshalJSON(b []byte) error {
+	var w resourceJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
 	}
-	return "https://" + r.Host + r.Path
+	r.Size = w.Size
+	r.Type = w.Type
+	r.Provider = w.Provider
+	r.H3Eligible = w.H3Eligible
+	r.SetLocation(w.Host, w.Path)
+	return nil
 }
 
 // Page is one website's landing page.
@@ -232,12 +286,24 @@ func Generate(cfg Config) *Corpus {
 		return ok
 	}
 
+	var urlBuf []byte
 	for i := 0; i < cfg.NumPages; i++ {
 		rng := src.Stream(seqrand.Label("page", i))
 		page := generatePage(cfg, i, rng, ensureHost)
+		// Re-pack the page's URLs into one backing string: one
+		// allocation per page instead of one per resource, and no
+		// per-string allocator rounding.
+		urlBuf = urlBuf[:0]
+		for j := range page.Resources {
+			urlBuf = append(urlBuf, page.Resources[j].url...)
+		}
+		urls := string(urlBuf)
+		off := 0
 		for j := range page.Resources {
 			r := &page.Resources[j]
-			r.url = "https://" + r.Host + r.Path
+			n := len(r.url)
+			r.url = urls[off : off+n]
+			off += n
 		}
 		corpus.Pages = append(corpus.Pages, page)
 	}
@@ -259,24 +325,24 @@ func generatePage(cfg Config, rank int, rng *rand.Rand, ensureHost func(string, 
 	page := Page{Site: site, Rank: rank, Resources: make([]Resource, 0, total)}
 
 	// Document first.
-	page.Resources = append(page.Resources, Resource{
-		Host:       site,
-		Path:       "/",
+	doc := Resource{
 		Size:       30_000 + rng.Intn(60_000),
 		Type:       Document,
 		H3Eligible: originH3 && rng.Float64() < cfg.OriginH3PathFraction,
-	})
+	}
+	doc.SetLocation(site, "/")
+	page.Resources = append(page.Resources, doc)
 
 	// Origin-hosted subresources.
 	for j := 1; j < nOrigin; j++ {
 		typ := drawType(rng)
-		page.Resources = append(page.Resources, Resource{
-			Host:       site,
-			Path:       "/static/r" + strconv.Itoa(j) + "." + typ.ext(),
+		r := Resource{
 			Size:       drawSize(rng, typ),
 			Type:       typ,
 			H3Eligible: originH3 && rng.Float64() < cfg.OriginH3PathFraction,
-		})
+		}
+		r.SetLocation(site, "/static/r"+strconv.Itoa(j)+"."+typ.ext())
+		page.Resources = append(page.Resources, r)
 	}
 
 	// Which providers appear on this page (Fig. 4a presence rates).
@@ -300,14 +366,14 @@ func generatePage(cfg Config, rank int, rng *rand.Rand, ensureHost func(string, 
 		typ := drawType(rng)
 		host := cdnHostname(rng, cfg, prov, site)
 		hostH3 := ensureHost(host, prov.Name, prov.H3Adoption)
-		page.Resources = append(page.Resources, Resource{
-			Host:       host,
-			Path:       "/assets/" + site + "/r" + strconv.Itoa(j) + "." + typ.ext(),
+		r := Resource{
 			Size:       drawSize(rng, typ),
 			Type:       typ,
 			Provider:   prov.Name,
 			H3Eligible: hostH3 && rng.Float64() < prov.H3PathFraction,
-		})
+		}
+		r.SetLocation(host, "/assets/"+site+"/r"+strconv.Itoa(j)+"."+typ.ext())
+		page.Resources = append(page.Resources, r)
 	}
 	return page
 }

@@ -1,6 +1,7 @@
 package webgen
 
 import (
+	"encoding/json"
 	"math/rand"
 	"strings"
 	"testing"
@@ -119,8 +120,8 @@ func TestDocumentIsFirstAndOriginHosted(t *testing.T) {
 		if doc.Type != Document {
 			t.Fatalf("page %d: first resource is %v", i, doc.Type)
 		}
-		if doc.Provider != "" || doc.Host != c.Pages[i].Site {
-			t.Fatalf("page %d: document hosted at %q (provider %q)", i, doc.Host, doc.Provider)
+		if doc.Provider != "" || doc.Host() != c.Pages[i].Site {
+			t.Fatalf("page %d: document hosted at %q (provider %q)", i, doc.Host(), doc.Provider)
 		}
 	}
 }
@@ -130,11 +131,11 @@ func TestHostProviderConsistency(t *testing.T) {
 	for i := range c.Pages {
 		for j := range c.Pages[i].Resources {
 			r := &c.Pages[i].Resources[j]
-			if got := c.HostProvider[r.Host]; got != r.Provider {
-				t.Fatalf("host %q mapped to %q but resource says %q", r.Host, got, r.Provider)
+			if got := c.HostProvider[r.Host()]; got != r.Provider {
+				t.Fatalf("host %q mapped to %q but resource says %q", r.Host(), got, r.Provider)
 			}
-			if _, ok := c.H3Support[r.Host]; !ok {
-				t.Fatalf("host %q missing H3 support entry", r.Host)
+			if _, ok := c.H3Support[r.Host()]; !ok {
+				t.Fatalf("host %q missing H3 support entry", r.Host())
 			}
 		}
 	}
@@ -145,7 +146,7 @@ func TestSharedHostnamesRecurAcrossPages(t *testing.T) {
 	usage := make(map[string]map[int]bool)
 	for i := range c.Pages {
 		for j := range c.Pages[i].Resources {
-			h := c.Pages[i].Resources[j].Host
+			h := c.Pages[i].Resources[j].Host()
 			if !strings.Contains(h, "-cdn.sim") {
 				continue // only shared hostnames
 			}
@@ -228,10 +229,10 @@ func TestResourceTypeStrings(t *testing.T) {
 
 func TestPageHelpers(t *testing.T) {
 	p := Page{Resources: []Resource{
-		{Host: "a", Provider: ""},
-		{Host: "b", Provider: "Google"},
-		{Host: "c", Provider: "Google"},
-		{Host: "d", Provider: "Fastly"},
+		{Provider: ""},
+		{Provider: "Google"},
+		{Provider: "Google"},
+		{Provider: "Fastly"},
 	}}
 	if got := p.CDNResourceCount(); got != 3 {
 		t.Fatalf("CDNResourceCount = %d", got)
@@ -248,5 +249,27 @@ func TestProviderSlug(t *testing.T) {
 	}
 	if providerSlug("Google") != "google" {
 		t.Fatal("Google slug")
+	}
+}
+
+func TestResourceJSONRoundTrip(t *testing.T) {
+	c := testCorpus(t, 2)
+	blob, err := json.Marshal(c.Pages[0].Resources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []Resource
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(c.Pages[0].Resources) {
+		t.Fatalf("round-trip length %d != %d", len(back), len(c.Pages[0].Resources))
+	}
+	for i := range back {
+		a, b := &c.Pages[0].Resources[i], &back[i]
+		if a.Host() != b.Host() || a.Path() != b.Path() || a.URL() != b.URL() ||
+			a.Size != b.Size || a.Type != b.Type || a.Provider != b.Provider || a.H3Eligible != b.H3Eligible {
+			t.Fatalf("resource %d changed across JSON round-trip:\n  %+v\n  %+v", i, a, b)
+		}
 	}
 }
