@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check vet race bench bench-alloc bench-smoke bench-scaling bench-memory benchgate trace-smoke trace-replay-smoke fmt
+.PHONY: all build test check vet race bench bench-alloc bench-smoke bench-scaling bench-memory benchgate trace-smoke trace-replay-smoke traffic-smoke fmt
 
 all: check
 
@@ -25,7 +25,7 @@ race:
 # race-enabled suite, the benchmark regression gate, and the multi-core
 # scaling gate. The smoke passes run before the (slow) race suite so
 # allocation and trace-pipeline regressions fail fast.
-check: vet bench-smoke trace-smoke trace-replay-smoke race benchgate bench-scaling bench-memory
+check: vet bench-smoke trace-smoke trace-replay-smoke traffic-smoke race benchgate bench-scaling bench-memory
 
 # Analysis/figure regeneration benchmarks (shares one campaign per run).
 bench:
@@ -59,9 +59,13 @@ bench-scaling:
 # across the page spread via the max_rss_growth gate of
 # BENCH_scaling.json. The ratio gate is scale-agnostic, so the smoke
 # scales (96/768 pages) enforce the same ceiling the recorded
-# 1k/10k-page runs document.
+# 1k/10k-page runs document. The second pass applies the same gate to
+# the open-loop population traffic engine across a visit-count spread
+# (BenchmarkPopulationCampaign; the recorded 100k-visit run documents
+# the claim at scale).
 bench-memory:
 	$(GO) run ./cmd/benchgate -baseline BENCH_scaling.json -benchtime 1x -smoke -only CampaignMemory
+	H3CDN_TRAFFIC_VISITS=1200,9600 $(GO) run ./cmd/benchgate -baseline BENCH_scaling.json -benchtime 1x -smoke -only PopulationCampaign
 
 # Trace-replay smoke pass: run the same variable-link campaign (synthetic
 # cellular trace + bursty loss) sequentially and with 2 workers, and
@@ -74,6 +78,25 @@ trace-replay-smoke:
 	$(GO) run ./cmd/h3cdn-measure -pages 6 -link-trace lte -burst-loss 0.01 -workers 2 -o .trace-replay-smoke/par.json
 	cmp .trace-replay-smoke/seq.json .trace-replay-smoke/par.json
 	rm -rf .trace-replay-smoke
+
+# Population-traffic smoke pass: the same open-loop traffic campaign run
+# sequentially and with 2 workers must produce byte-identical datasets
+# (user partitioning is worker-count independent), and a checkpointed
+# run driven epoch by epoch through kill/resume cycles must reproduce
+# the uninterrupted dataset byte for byte.
+TRAFFIC_SMOKE_FLAGS = -pages 8 -traffic -traffic-users 24 -traffic-users-per-shard 10 \
+	-traffic-rate 2 -traffic-duration 30s -traffic-epoch 10s -traffic-ttl 15s \
+	-traffic-think 2s
+traffic-smoke:
+	rm -rf .traffic-smoke && mkdir -p .traffic-smoke/ckpt
+	$(GO) run ./cmd/h3cdn-measure $(TRAFFIC_SMOKE_FLAGS) -sequential -o .traffic-smoke/seq.json
+	$(GO) run ./cmd/h3cdn-measure $(TRAFFIC_SMOKE_FLAGS) -workers 2 -o .traffic-smoke/par.json
+	cmp .traffic-smoke/seq.json .traffic-smoke/par.json
+	$(GO) run ./cmd/h3cdn-measure $(TRAFFIC_SMOKE_FLAGS) -traffic-checkpoint .traffic-smoke/ckpt -traffic-halt-epochs 1 -o /dev/null
+	$(GO) run ./cmd/h3cdn-measure $(TRAFFIC_SMOKE_FLAGS) -traffic-checkpoint .traffic-smoke/ckpt -traffic-halt-epochs 1 -o /dev/null
+	$(GO) run ./cmd/h3cdn-measure $(TRAFFIC_SMOKE_FLAGS) -traffic-checkpoint .traffic-smoke/ckpt -o .traffic-smoke/resumed.json
+	cmp .traffic-smoke/seq.json .traffic-smoke/resumed.json
+	rm -rf .traffic-smoke
 
 # Tracing smoke pass: run a small traced campaign through h3cdn-measure
 # -qlog and validate every emitted qlog line with qlogcheck.

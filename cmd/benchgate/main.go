@@ -94,12 +94,15 @@ type baselineEntry struct {
 //     benchmark/workers=1, normalized by min(N, NumCPU), must be at
 //     least Min.
 //   - "max_rss_growth": the peak-RSS-MB ratio between the largest and
-//     smallest measured benchmark/pages=N sub-benchmarks must be at
+//     smallest measured benchmark/<param>=N sub-benchmarks must be at
 //     most Max — the bounded-memory claim, scale-agnostic so smoke and
-//     record runs gate the same way.
+//     record runs gate the same way. Param names the sub-benchmark
+//     scale key ("pages" when omitted; the population-traffic memory
+//     gate scales by "visits").
 type gateSpec struct {
 	Type      string  `json:"type"`
 	Benchmark string  `json:"benchmark"`
+	Param     string  `json:"param"`
 	Workers   int     `json:"workers"`
 	Min       float64 `json:"min"`
 	Max       float64 `json:"max"`
@@ -476,16 +479,20 @@ func checkGate(g gateSpec, measured map[string]metrics) bool {
 }
 
 // checkRSSGrowthGate enforces a "max_rss_growth" gate: among the
-// measured benchmark/pages=N sub-benchmarks, the peak-RSS-MB of the
+// measured benchmark/<param>=N sub-benchmarks, the peak-RSS-MB of the
 // largest N must be within Max times that of the smallest N. The gate is
-// deliberately scale-agnostic — it binds whichever page scales actually
+// deliberately scale-agnostic — it binds whichever scales actually
 // ran (smoke defaults or record-scale env overrides), so the sub-linear
 // memory claim is checked on every pass, not just record runs.
 func checkRSSGrowthGate(g gateSpec, measured map[string]metrics) bool {
+	param := g.Param
+	if param == "" {
+		param = "pages"
+	}
 	minPages, maxPages := 0, 0
 	var minRSS, maxRSS float64
 	for name, m := range measured {
-		rest, found := strings.CutPrefix(name, g.Benchmark+"/pages=")
+		rest, found := strings.CutPrefix(name, g.Benchmark+"/"+param+"=")
 		if !found {
 			continue
 		}
@@ -501,7 +508,7 @@ func checkRSSGrowthGate(g gateSpec, measured map[string]metrics) bool {
 		}
 	}
 	if minPages == 0 || maxPages == minPages {
-		fmt.Fprintf(os.Stderr, "benchgate: FAIL %s rss-growth gate: need at least two pages=N measurements with peak-RSS-MB\n", g.Benchmark)
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL %s rss-growth gate: need at least two %s=N measurements with peak-RSS-MB\n", g.Benchmark, param)
 		return false
 	}
 	ratio := maxRSS / minRSS
@@ -510,7 +517,7 @@ func checkRSSGrowthGate(g gateSpec, measured map[string]metrics) bool {
 	if !ok {
 		status = "FAIL"
 	}
-	fmt.Printf("benchgate: %s %s peak-RSS growth: %.2fx over a %dx page spread (%.1f MB @ %d → %.1f MB @ %d, ceiling %.2fx)\n",
-		status, g.Benchmark, ratio, maxPages/minPages, minRSS, minPages, maxRSS, maxPages, g.Max)
+	fmt.Printf("benchgate: %s %s peak-RSS growth: %.2fx over a %dx %s spread (%.1f MB @ %d → %.1f MB @ %d, ceiling %.2fx)\n",
+		status, g.Benchmark, ratio, maxPages/minPages, param, minRSS, minPages, maxRSS, maxPages, g.Max)
 	return ok
 }

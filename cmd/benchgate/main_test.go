@@ -186,6 +186,25 @@ func TestRSSGrowthGate(t *testing.T) {
 	}) {
 		t.Fatal("one measurement must fail the growth gate")
 	}
+
+	// A custom scale param selects <param>=N sub-benchmarks instead of
+	// pages=N (the population-traffic gate scales by visit count).
+	pop := gateSpec{Type: "max_rss_growth", Benchmark: "BenchmarkPopulationCampaign", Param: "visits", Max: 2.0}
+	byVisits := map[string]metrics{
+		"BenchmarkPopulationCampaign/visits=1200": {NsOp: 1e9, PeakRSSMB: 150},
+		"BenchmarkPopulationCampaign/visits=9600": {NsOp: 8e9, PeakRSSMB: 220},
+	}
+	if !checkGate(pop, byVisits) {
+		t.Fatal("visits-keyed growth under the ceiling must pass")
+	}
+	byVisits["BenchmarkPopulationCampaign/visits=9600"] = metrics{NsOp: 8e9, PeakRSSMB: 500}
+	if checkGate(pop, byVisits) {
+		t.Fatal("visits-keyed growth over the ceiling must fail")
+	}
+	// The param must not silently fall back to pages=N rows.
+	if checkGate(pop, measured) {
+		t.Fatal("visits param must ignore pages=N measurements")
+	}
 }
 
 func TestGateSpecValidation(t *testing.T) {

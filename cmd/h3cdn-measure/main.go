@@ -28,6 +28,7 @@ import (
 	"h3cdn/internal/har"
 	"h3cdn/internal/simnet"
 	"h3cdn/internal/simnet/traces"
+	"h3cdn/internal/traffic"
 	"h3cdn/internal/vantage"
 	"h3cdn/internal/webgen"
 )
@@ -57,6 +58,22 @@ func run() int {
 		linkTrace  = flag.String("link-trace", "", "drive the download link from a capacity trace: a synthetic profile ("+strings.Join(traces.Names(), ", ")+") or a Mahimahi trace file")
 		traceScale = flag.Float64("trace-scale", 1, "multiply the link trace's capacity samples by this factor")
 
+		trafficOn      = flag.Bool("traffic", false, "run an open-loop population traffic campaign (seeded users contending on shared TTL edge caches) instead of the one-visit-per-page census")
+		trafficUsers   = flag.Int("traffic-users", 256, "population size per mode and vantage")
+		trafficShard   = flag.Int("traffic-users-per-shard", 0, "user-partition granularity: users simulated per shard (0 = default)")
+		trafficRate    = flag.Float64("traffic-rate", 4, "population mean session-arrival rate, sessions per second of virtual time")
+		trafficDiurnal = flag.Float64("traffic-diurnal", 0, "diurnal arrival-rate modulation amplitude in [0, 1) (0 = flat rate)")
+		trafficPeriod  = flag.Duration("traffic-diurnal-period", 0, "diurnal modulation period (0 = 1h)")
+		trafficDur     = flag.Duration("traffic-duration", 2*time.Minute, "virtual-time horizon of the traffic campaign")
+		trafficEpoch   = flag.Duration("traffic-epoch", 0, "checkpoint epoch interval (0 = one epoch spanning the horizon)")
+		trafficVisits  = flag.Float64("traffic-session-visits", 0, "mean visits per session, geometric with minimum 1 (0 = default 3)")
+		trafficThink   = flag.Duration("traffic-think", 0, "mean think time between a session's visits (0 = default 5s)")
+		trafficZipf    = flag.Float64("traffic-zipf", 0, "page-popularity Zipf exponent, must be > 1 (0 = default 1.2)")
+		trafficTTL     = flag.Duration("traffic-ttl", 0, "edge-cache entry lifetime (0 = default 60s)")
+		trafficFlight  = flag.Int("traffic-max-inflight", 0, "per-shard bound on concurrently loading visits; arrivals at the bound are shed (0 = default 64)")
+		trafficCkpt    = flag.String("traffic-checkpoint", "", "checkpoint directory: each shard saves state per epoch and resumes from it on the next run (created if missing)")
+		trafficHalt    = flag.Int("traffic-halt-epochs", 0, "stop each shard after this many epochs this process, checkpoints intact — exercises kill/resume (0 = run to completion)")
+
 		retention  = flag.String("har-retention", "all", "HAR retention policy: all, none, or sample:N (N PageLogs per shard); metrics always cover every page")
 		qlogDir    = flag.String("qlog", "", "write per-shard qlog JSONL trace files into this directory (created if missing)")
 		out        = flag.String("o", "", "output file (default stdout)")
@@ -75,6 +92,27 @@ func run() int {
 	ret, err := har.ParseRetention(*retention)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "h3cdn-measure: -har-retention: %v\n", err)
+		return 2
+	}
+	tcfg, err := buildTrafficConfig(trafficFlags{
+		enabled:       *trafficOn,
+		users:         *trafficUsers,
+		usersPerShard: *trafficShard,
+		rate:          *trafficRate,
+		diurnal:       *trafficDiurnal,
+		diurnalPeriod: *trafficPeriod,
+		duration:      *trafficDur,
+		epoch:         *trafficEpoch,
+		sessionVisits: *trafficVisits,
+		think:         *trafficThink,
+		zipf:          *trafficZipf,
+		ttl:           *trafficTTL,
+		maxInFlight:   *trafficFlight,
+		checkpoint:    *trafficCkpt,
+		haltEpochs:    *trafficHalt,
+	}, *consecutive, *qlogDir, ret)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "h3cdn-measure: %v\n", err)
 		return 2
 	}
 
@@ -131,9 +169,16 @@ func run() int {
 	}
 
 	// The campaign expects the qlog directory to exist; create it before
-	// the run so a bad path fails fast.
+	// the run so a bad path fails fast. Same for the traffic checkpoint
+	// directory.
 	if *qlogDir != "" {
 		if err := os.MkdirAll(*qlogDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "h3cdn-measure: %v\n", err)
+			return 1
+		}
+	}
+	if tcfg != nil && tcfg.CheckpointDir != "" {
+		if err := os.MkdirAll(tcfg.CheckpointDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "h3cdn-measure: %v\n", err)
 			return 1
 		}
@@ -153,6 +198,7 @@ func run() int {
 		FetchRetries:     *retries,
 		QlogDir:          *qlogDir,
 		Retention:        ret,
+		Traffic:          tcfg,
 	}
 	if tl != nil {
 		fmt.Fprintf(os.Stderr, "h3cdn-measure: link trace %s: %d epochs over %v, mean %.1f Mbit/s\n",
@@ -195,6 +241,10 @@ func run() int {
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "h3cdn-measure: %d pages x %d vantages x %d probes, consecutive=%v\n",
 		*pages, len(cfg.Vantages), *probes, *consecutive)
+	if tcfg != nil {
+		fmt.Fprintf(os.Stderr, "h3cdn-measure: traffic: %d users, %.2f sessions/s over %v (epoch %v, TTL %v)\n",
+			tcfg.Users, tcfg.ArrivalRate, tcfg.Duration, tcfg.EpochInterval, tcfg.CacheTTL)
+	}
 	ds, err := core.RunCampaign(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "h3cdn-measure: %v\n", err)
@@ -212,6 +262,17 @@ func run() int {
 	}
 	fmt.Fprintf(os.Stderr, "h3cdn-measure: retention=%s pages folded=%d retained=%d\n",
 		ret, ds.Stats.PagesFolded, ds.Stats.PagesRetained)
+	if tr := ds.Traffic; tr != nil {
+		c := tr.Counters
+		hitRate := 0.0
+		if total := c.CacheHits + c.CacheMisses; total > 0 {
+			hitRate = float64(c.CacheHits) / float64(total)
+		}
+		fmt.Fprintf(os.Stderr, "h3cdn-measure: traffic sessions=%d visits=%d completed=%d shed=%d\n",
+			c.SessionsStarted, c.VisitsGenerated, c.VisitsCompleted, c.VisitsShed)
+		fmt.Fprintf(os.Stderr, "h3cdn-measure: traffic edge hit-rate=%.1f%% expired=%d stampedes=%d 0-rtt=%.2f\n",
+			100*hitRate, c.CacheExpired, c.Stampedes, tr.ResumptionFraction())
+	}
 	fmt.Fprintf(os.Stderr, "h3cdn-measure: done in %v\n", elapsed.Round(time.Second))
 	fmt.Fprintf(os.Stderr, "h3cdn-measure: %d events executed (%.0f events/sec)\n",
 		ds.Stats.Events, float64(ds.Stats.Events)/elapsed.Seconds())
@@ -264,6 +325,73 @@ func validateImpairFlags(burstLoss float64, jitter time.Duration, reorder float6
 		return fmt.Errorf("-trace-scale %v: must be a positive finite factor", traceScale)
 	}
 	return nil
+}
+
+// trafficFlags holds the parsed -traffic-* knobs.
+type trafficFlags struct {
+	enabled       bool
+	users         int
+	usersPerShard int
+	rate          float64
+	diurnal       float64
+	diurnalPeriod time.Duration
+	duration      time.Duration
+	epoch         time.Duration
+	sessionVisits float64
+	think         time.Duration
+	zipf          float64
+	ttl           time.Duration
+	maxInFlight   int
+	checkpoint    string
+	haltEpochs    int
+}
+
+// buildTrafficConfig validates the -traffic-* knobs and assembles the
+// campaign's population-traffic config, or returns nil when -traffic is
+// off. Like validateImpairFlags these are usage errors (exit 2) caught
+// before any simulation work: zero users or a NaN arrival rate in a
+// sweep script should fail the first invocation loudly, as should
+// combining -traffic with per-page census machinery it cannot honor
+// (-consecutive, -qlog, sampled HAR retention).
+func buildTrafficConfig(tf trafficFlags, consecutive bool, qlogDir string, ret har.Retention) (*traffic.Config, error) {
+	if !tf.enabled {
+		return nil, nil
+	}
+	if consecutive {
+		return nil, fmt.Errorf("-traffic: incompatible with -consecutive (sessions already revisit pages)")
+	}
+	if qlogDir != "" {
+		return nil, fmt.Errorf("-traffic: incompatible with -qlog")
+	}
+	if ret.Kind == har.RetainSample {
+		return nil, fmt.Errorf("-traffic: incompatible with -har-retention sample:N (use all or none)")
+	}
+	if tf.haltEpochs < 0 {
+		return nil, fmt.Errorf("-traffic-halt-epochs %d: must be non-negative", tf.haltEpochs)
+	}
+	tc := &traffic.Config{
+		Users:            tf.users,
+		UsersPerShard:    tf.usersPerShard,
+		ArrivalRate:      tf.rate,
+		DiurnalAmplitude: tf.diurnal,
+		DiurnalPeriod:    tf.diurnalPeriod,
+		Duration:         tf.duration,
+		EpochInterval:    tf.epoch,
+		SessionVisits:    tf.sessionVisits,
+		ThinkTime:        tf.think,
+		ZipfS:            tf.zipf,
+		CacheTTL:         tf.ttl,
+		MaxInFlight:      tf.maxInFlight,
+		CheckpointDir:    tf.checkpoint,
+		HaltAfterEpochs:  tf.haltEpochs,
+	}
+	if err := tc.Validate(); err != nil {
+		return nil, err
+	}
+	// Fill defaults here so the pre-run summary prints the effective
+	// values (the campaign would default them anyway).
+	*tc = tc.WithDefaults()
+	return tc, nil
 }
 
 // buildLinkTrace resolves the -link-trace spec: a synthetic profile name

@@ -61,6 +61,97 @@ func TestValidateImpairFlags(t *testing.T) {
 	}
 }
 
+// TestBuildTrafficConfig covers the -traffic-* usage validation: bad
+// knob values and incompatible flag combinations are rejected before
+// any simulation work (exit 2), same contract as the impair-flag table
+// above. Mutate-one-knob cases start from a valid baseline.
+func TestBuildTrafficConfig(t *testing.T) {
+	type args struct {
+		tf          trafficFlags
+		consecutive bool
+		qlogDir     string
+		ret         har.Retention
+	}
+	ok := args{
+		tf: trafficFlags{
+			enabled:  true,
+			users:    256,
+			rate:     4,
+			duration: 2 * time.Minute,
+		},
+		ret: har.Retention{Kind: har.RetainAll},
+	}
+	cases := []struct {
+		name    string
+		mut     func(*args)
+		wantErr string // substring of the error, "" = valid
+	}{
+		{"defaults", func(a *args) {}, ""},
+		{"all-knobs-on", func(a *args) {
+			a.tf.usersPerShard = 32
+			a.tf.diurnal, a.tf.diurnalPeriod = 0.5, time.Hour
+			a.tf.epoch = 30 * time.Second
+			a.tf.sessionVisits, a.tf.think = 4, 2*time.Second
+			a.tf.zipf, a.tf.ttl, a.tf.maxInFlight = 1.3, 45*time.Second, 128
+			a.tf.checkpoint = "ckpt"
+		}, ""},
+		{"zero-users", func(a *args) { a.tf.users = 0 }, "users"},
+		{"negative-users", func(a *args) { a.tf.users = -5 }, "users"},
+		{"negative-users-per-shard", func(a *args) { a.tf.usersPerShard = -1 }, "users per shard"},
+		{"zero-rate", func(a *args) { a.tf.rate = 0 }, "arrival rate"},
+		{"negative-rate", func(a *args) { a.tf.rate = -1 }, "arrival rate"},
+		{"nan-rate", func(a *args) { a.tf.rate = math.NaN() }, "arrival rate"},
+		{"inf-rate", func(a *args) { a.tf.rate = math.Inf(1) }, "arrival rate"},
+		{"zero-duration", func(a *args) { a.tf.duration = 0 }, "duration"},
+		{"diurnal-too-big", func(a *args) { a.tf.diurnal = 1 }, "amplitude"},
+		{"nan-diurnal", func(a *args) { a.tf.diurnal = math.NaN() }, "amplitude"},
+		{"negative-diurnal-period", func(a *args) { a.tf.diurnalPeriod = -time.Hour }, "period"},
+		{"negative-epoch", func(a *args) { a.tf.epoch = -time.Second }, "epoch"},
+		{"fractional-session-visits", func(a *args) { a.tf.sessionVisits = 0.5 }, "session visits"},
+		{"negative-think", func(a *args) { a.tf.think = -time.Second }, "think"},
+		{"zipf-at-one", func(a *args) { a.tf.zipf = 1 }, "zipf"},
+		{"nan-zipf", func(a *args) { a.tf.zipf = math.NaN() }, "zipf"},
+		{"negative-ttl", func(a *args) { a.tf.ttl = -time.Second }, "TTL"},
+		{"negative-max-inflight", func(a *args) { a.tf.maxInFlight = -1 }, "in-flight"},
+		{"negative-halt-epochs", func(a *args) { a.tf.haltEpochs = -1 }, "-traffic-halt-epochs"},
+		{"with-consecutive", func(a *args) { a.consecutive = true }, "-consecutive"},
+		{"with-qlog", func(a *args) { a.qlogDir = "qlogs" }, "-qlog"},
+		{"with-sampled-retention", func(a *args) {
+			a.ret = har.Retention{Kind: har.RetainSample, Sample: 8}
+		}, "sample"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := ok
+			tc.mut(&a)
+			cfg, err := buildTrafficConfig(a.tf, a.consecutive, a.qlogDir, a.ret)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				if cfg == nil {
+					t.Fatal("valid -traffic flags: want a config, got nil")
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("want error naming %q, got nil", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not name the offending knob %q", err, tc.wantErr)
+			}
+		})
+	}
+
+	// -traffic off: every other knob is ignored, no config, no error.
+	off := ok
+	off.tf.enabled = false
+	off.tf.users = -1
+	if cfg, err := buildTrafficConfig(off.tf, off.consecutive, off.qlogDir, off.ret); cfg != nil || err != nil {
+		t.Fatalf("disabled traffic: got (%v, %v), want (nil, nil)", cfg, err)
+	}
+}
+
 func TestBuildLinkTrace(t *testing.T) {
 	if tl, err := buildLinkTrace("", 1); tl != nil || err != nil {
 		t.Fatalf("empty spec: %v, %v", tl, err)

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	h3cdn-report [-exp all|t1|t2|t3|f2|f3|f4|f5|f6a|f6b|f7|f8|f9|phases|lossprofile|celltrace] [flags]
+//	h3cdn-report [-exp all|t1|t2|t3|f2|f3|f4|f5|f6a|f6b|f7|f8|f9|phases|lossprofile|celltrace|popcache] [flags]
 //
 // Most experiments run their own campaigns at the configured scale;
 // alternatively point -dataset / -consecutive-dataset at files written by
@@ -16,18 +16,23 @@
 // celltrace experiment replays campaigns over synthetic cellular
 // capacity traces (simnet.TraceLink) in modes H1/H2/H3, with and
 // without bursty loss — two campaigns per trace profile (-traces
-// selects which), also excluded from -exp all.
+// selects which), also excluded from -exp all. The popcache experiment
+// sweeps open-loop user populations (-pop-sizes, per-user offered load
+// held fixed) through shared TTL edge caches in modes H1/H2/H3 — one
+// traffic campaign per (size, mode), likewise excluded from -exp all.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"h3cdn/internal/core"
 	"h3cdn/internal/har"
+	"h3cdn/internal/traffic"
 	"h3cdn/internal/vantage"
 	"h3cdn/internal/webgen"
 )
@@ -42,6 +47,8 @@ type reporter struct {
 	consPath string
 	burstLen float64
 	profiles []string
+	popTc    traffic.Config
+	popSizes []int
 
 	std    *core.Dataset
 	cons   *core.Dataset
@@ -51,12 +58,18 @@ type reporter struct {
 
 func run() int {
 	var (
-		exp       = flag.String("exp", "all", "experiment id (t1,t2,t3,f2,f3,f4,f5,f6a,f6b,f7,f8,f9,phases,lossprofile,celltrace,all)")
+		exp       = flag.String("exp", "all", "experiment id (t1,t2,t3,f2,f3,f4,f5,f6a,f6b,f7,f8,f9,phases,lossprofile,celltrace,popcache,all)")
 		seed      = flag.Uint64("seed", 2022, "campaign seed")
 		pages     = flag.Int("pages", 325, "number of websites")
 		probes    = flag.Int("probes", 1, "probes per vantage point")
 		burstLen  = flag.Float64("burstlen", 4, "lossprofile: Gilbert–Elliott mean burst length in packets")
 		profiles  = flag.String("traces", "", "celltrace: comma-separated synthetic profiles (empty = all; see h3cdn-measure -link-trace)")
+		popSizes  = flag.String("pop-sizes", "", "popcache: comma-separated population sizes to sweep (empty = ¼×, 1×, 4× of -pop-users)")
+		popUsers  = flag.Int("pop-users", 64, "popcache: baseline population size anchoring the per-user offered load")
+		popRate   = flag.Float64("pop-rate", 2, "popcache: session-arrival rate at the baseline population, sessions/s of virtual time")
+		popDur    = flag.Duration("pop-duration", time.Minute, "popcache: virtual-time horizon per campaign")
+		popEpoch  = flag.Duration("pop-epoch", 10*time.Second, "popcache: epoch interval for the hit-rate warming trajectory")
+		popTTL    = flag.Duration("pop-ttl", 0, "popcache: edge-cache entry TTL (0 = default 60s)")
 		dsPath    = flag.String("dataset", "", "standard-protocol dataset JSON (from h3cdn-measure)")
 		consPath  = flag.String("consecutive-dataset", "", "consecutive-protocol dataset JSON")
 		plotDir   = flag.String("plot", "", "also export raw figure series as TSV into this directory")
@@ -70,9 +83,23 @@ func run() int {
 		return 2
 	}
 
+	sizes, err := parseSizes(*popSizes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "h3cdn-report: -pop-sizes: %v\n", err)
+		return 2
+	}
+
 	r := &reporter{
 		burstLen: *burstLen,
 		profiles: splitList(*profiles),
+		popSizes: sizes,
+		popTc: traffic.Config{
+			Users:         *popUsers,
+			ArrivalRate:   *popRate,
+			Duration:      *popDur,
+			EpochInterval: *popEpoch,
+			CacheTTL:      *popTTL,
+		},
 		cfg: core.CampaignConfig{
 			Seed:             *seed,
 			CorpusConfig:     webgen.Config{NumPages: *pages},
@@ -280,10 +307,30 @@ func (r *reporter) report(id string) error {
 			return err
 		}
 		fmt.Println(core.RenderCellTrace(rows))
+	case "popcache":
+		fmt.Fprintln(os.Stderr, "h3cdn-report: running population cache-contention sweep (one traffic campaign per size and mode)...")
+		rows, err := core.RunPopCache(r.cfg, r.popTc, r.popSizes)
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.RenderPopCache(rows))
 	default:
 		return fmt.Errorf("unknown experiment %q", id)
 	}
 	return nil
+}
+
+// parseSizes parses the comma-separated -pop-sizes population list.
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, f := range splitList(s) {
+		n, err := strconv.Atoi(f)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("population size %q: want a positive integer", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 // splitList splits a comma-separated flag value, dropping empty fields.

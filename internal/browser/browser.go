@@ -291,6 +291,33 @@ func (b *Browser) ClearAltSvc() {
 	b.altSvc = make(map[string]bool)
 }
 
+// ExportAltSvc returns the hosts whose H3 support this browser has
+// learned, sorted — the serializable per-user session memory a traffic
+// engine carries between sessions (and across checkpoints) while the
+// browser object itself is rebuilt.
+func (b *Browser) ExportAltSvc() []string {
+	if len(b.altSvc) == 0 {
+		return nil
+	}
+	hosts := make([]string, 0, len(b.altSvc))
+	for h, known := range b.altSvc {
+		if known {
+			hosts = append(hosts, h)
+		}
+	}
+	sort.Strings(hosts)
+	return hosts
+}
+
+// ImportAltSvc seeds learned H3 support from a prior ExportAltSvc dump.
+// It only records knowledge — no preconnects fire until a fetch touches
+// the host, matching a browser restart with a persisted properties file.
+func (b *Browser) ImportAltSvc(hosts []string) {
+	for _, h := range hosts {
+		b.altSvc[h] = true
+	}
+}
+
 // CloseAll terminates all pooled connections (end of a page visit) in
 // deterministic key order so packet emission is reproducible. The maps,
 // key scratch, and pooledConn records are all reused across visits.

@@ -176,6 +176,30 @@ func TestH3RequiresDiscovery(t *testing.T) {
 	}
 }
 
+func TestAltSvcExportImport(t *testing.T) {
+	w := newTestWorld(t)
+	h3 := map[string]bool{"a.cdn": true}
+	b := New(w.probe, Config{Mode: ModeH3, Resolver: w.resolver(h3, nil)})
+
+	if got := b.ExportAltSvc(); got != nil {
+		t.Fatalf("fresh browser exported %v, want nil", got)
+	}
+	w.visit(t, b, testPage([]string{"a.cdn"}, true)) // learns a.cdn via Alt-Svc
+	dump := b.ExportAltSvc()
+	if len(dump) != 1 || dump[0] != "a.cdn" {
+		t.Fatalf("export = %v, want [a.cdn]", dump)
+	}
+
+	// A rebuilt browser seeded with the dump speaks H3 on its very first
+	// visit — no rediscovery round trip (the checkpoint-resume path).
+	b2 := New(w.probe, Config{Mode: ModeH3, Resolver: w.resolver(h3, nil)})
+	b2.ImportAltSvc(dump)
+	log := w.visit(t, b2, testPage([]string{"a.cdn"}, true))
+	if log.Entries[1].Protocol != "h3" {
+		t.Fatalf("imported Alt-Svc: first visit used %s, want h3", log.Entries[1].Protocol)
+	}
+}
+
 func TestH3PreloadSkipsDiscovery(t *testing.T) {
 	w := newTestWorld(t)
 	h3 := map[string]bool{"g.cdn": true}

@@ -85,10 +85,10 @@ func TestLRUCache(t *testing.T) {
 	if c.Len() != 2 {
 		t.Fatalf("len = %d", c.Len())
 	}
-	if c.Contains("a") {
+	if c.Peek("a") {
 		t.Fatal("LRU entry not evicted")
 	}
-	if !c.Contains("c") {
+	if !c.Peek("c") {
 		t.Fatal("new entry missing")
 	}
 	if c.HitRate() <= 0 || c.HitRate() >= 1 {
@@ -102,7 +102,7 @@ func TestLRUCacheRecencyUpdate(t *testing.T) {
 	c.Add("b")
 	c.Contains("a") // refresh a
 	c.Add("c")      // should evict b
-	if !c.Contains("a") || c.Contains("b") {
+	if !c.Peek("a") || c.Peek("b") {
 		t.Fatal("recency not respected")
 	}
 }
@@ -199,6 +199,82 @@ func TestLRUCacheSequentialScanChurn(t *testing.T) {
 	}
 	if got := c.Misses() - base; got != 3*(capacity+1) {
 		t.Fatalf("scan misses = %d, want %d", got, 3*(capacity+1))
+	}
+}
+
+func TestLRUCacheTTL(t *testing.T) {
+	c := NewLRUCache[string](4)
+	c.AddAt("a", 100)
+	if !c.ContainsAt("a", 50) {
+		t.Fatal("entry expired before its time")
+	}
+	if c.PeekAt("a", 150) {
+		t.Fatal("PeekAt reported a stale entry live")
+	}
+	if c.Len() != 1 {
+		t.Fatal("PeekAt evicted")
+	}
+	if c.ContainsAt("a", 150) {
+		t.Fatal("entry outlived its expiry")
+	}
+	if c.Len() != 0 || c.Expired() != 1 {
+		t.Fatalf("len=%d expired=%d, want 0/1", c.Len(), c.Expired())
+	}
+	// Re-adding a resident key re-stamps its expiry.
+	c.AddAt("b", 100)
+	c.AddAt("b", 200)
+	if !c.ContainsAt("b", 150) {
+		t.Fatal("re-stamped expiry not honored")
+	}
+	// Zero expiry never lapses.
+	c.Add("z")
+	if !c.ContainsAt("z", time.Hour) {
+		t.Fatal("zero-expiry entry lapsed")
+	}
+}
+
+func TestLRUCachePeekNoPerturb(t *testing.T) {
+	c := NewLRUCache[string](2)
+	c.Add("a")
+	c.Add("b")
+	c.Peek("a") // must NOT refresh recency
+	c.Peek("x") // must NOT count a miss
+	c.Add("c")  // evicts a: Peek left it least recent
+	if c.Peek("a") || !c.Peek("b") || !c.Peek("c") {
+		t.Fatal("Peek perturbed recency")
+	}
+	if c.Hits() != 0 || c.Misses() != 0 {
+		t.Fatalf("Peek mutated counters: %d hits, %d misses", c.Hits(), c.Misses())
+	}
+}
+
+func TestLRUCacheEntriesRestore(t *testing.T) {
+	c := NewLRUCache[string](4)
+	c.AddAt("a", 100)
+	c.AddAt("b", 0)
+	c.AddAt("c", 300)
+	c.Contains("a") // recency now (least→most): b, c, a
+	dump := c.Entries()
+	want := []Entry[string]{{"b", 0}, {"c", 300}, {"a", 100}}
+	if len(dump) != len(want) {
+		t.Fatalf("dump len %d, want %d", len(dump), len(want))
+	}
+	for i := range want {
+		if dump[i] != want[i] {
+			t.Fatalf("dump[%d] = %+v, want %+v", i, dump[i], want[i])
+		}
+	}
+	r := NewLRUCache[string](4)
+	r.Restore(dump)
+	// Contents, expiries, and recency order must all round-trip: the
+	// restored cache evicts the same LRU victim.
+	r.Add("d")
+	r.Add("e") // capacity 4: evicts b (least recent after restore)
+	if r.Peek("b") || !r.Peek("c") || !r.Peek("a") {
+		t.Fatal("restored recency order wrong")
+	}
+	if r.PeekAt("c", 400) || !r.PeekAt("a", 50) {
+		t.Fatal("restored expiries wrong")
 	}
 }
 
@@ -319,6 +395,77 @@ func TestEdgeH3WaitOverhead(t *testing.T) {
 	// median wait reduction below zero).
 	if h3Wait != h2Wait+5*time.Millisecond {
 		t.Fatalf("H3 wait %v vs H2 wait %v, want +5ms", h3Wait, h2Wait)
+	}
+}
+
+// TestEdgeTTLSingleFlight drives two concurrent misses for the same
+// resource through a TTL-mode edge: the second must join the first's
+// origin fetch (one stampede, both MISS), a later request must hit, and
+// a request past the TTL must miss again with the expiry counted.
+func TestEdgeTTLSingleFlight(t *testing.T) {
+	sched := &simnet.Scheduler{MaxEvents: 5_000_000}
+	pf := func(src, dst simnet.Addr) simnet.PathProps {
+		return simnet.PathProps{Delay: 10 * time.Millisecond}
+	}
+	n := simnet.NewNetwork(sched, pf, seqrand.New(1))
+	n.AddHost("client")
+	server := n.AddHost("edge")
+	prov, _ := ProviderByName("Cloudflare")
+	edge := NewEdge(EdgeConfig{
+		Provider: prov,
+		Sched:    sched,
+		Content: func(host, path string) (int, bool) {
+			return 4000, true
+		},
+		HitWait:     2 * time.Millisecond,
+		MissPenalty: 50 * time.Millisecond,
+		WaitJitter:  -1, // disabled
+		TTL:         2 * time.Second,
+	})
+	if _, err := httpsim.StartServer(server, httpsim.ServerConfig{Handler: edge.Handler()}); err != nil {
+		t.Fatal(err)
+	}
+	client := n.Host("client")
+	req := &httpsim.Request{Host: "cdn.site.sim", Path: "/x"}
+	headersOf := make(map[string]string, 4)
+	timeOf := make(map[string]time.Duration, 4)
+	do := func(label string) {
+		conn := httpsim.DialH2(client, "edge", httpsim.TCPPort, "cdn.site.sim", httpsim.DialConfig{})
+		conn.Do(req, httpsim.RequestEvents{
+			OnHeaders: func(m httpsim.ResponseMeta) {
+				headersOf[label] = m.Header["x-cache"]
+				timeOf[label] = sched.Now()
+			},
+		})
+	}
+	do("leader")                                        // both dial at t=0: identical handshakes, so their
+	do("waiter")                                        // requests reach the edge at the same virtual instant
+	sched.After(1*time.Second, func() { do("warm") })   // inside TTL
+	sched.After(10*time.Second, func() { do("stale") }) // past TTL
+	if _, err := sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if headersOf["leader"] != "MISS" || headersOf["waiter"] != "MISS" {
+		t.Fatalf("concurrent misses: leader=%q waiter=%q, want MISS/MISS",
+			headersOf["leader"], headersOf["waiter"])
+	}
+	if headersOf["warm"] != "HIT" {
+		t.Fatalf("in-TTL request = %q, want HIT", headersOf["warm"])
+	}
+	if headersOf["stale"] != "MISS" {
+		t.Fatalf("post-TTL request = %q, want MISS", headersOf["stale"])
+	}
+	// The waiter answers HitWait after the leader's fill lands, not a
+	// full MissPenalty later: it joined the flight instead of fetching.
+	if got := timeOf["waiter"] - timeOf["leader"]; got != 2*time.Millisecond {
+		t.Fatalf("waiter trailed leader by %v, want HitWait (2ms)", got)
+	}
+	if edge.Stampedes() != 1 {
+		t.Fatalf("stampedes = %d, want 1", edge.Stampedes())
+	}
+	if edge.CacheHits() != 1 || edge.CacheMisses() != 3 || edge.CacheExpired() != 1 {
+		t.Fatalf("cache counters hits=%d misses=%d expired=%d, want 1/3/1",
+			edge.CacheHits(), edge.CacheMisses(), edge.CacheExpired())
 	}
 }
 

@@ -35,6 +35,22 @@ type EdgeConfig struct {
 	WaitJitter time.Duration
 	// Rng drives jitter; required when WaitJitter > 0.
 	Rng *rand.Rand
+	// TTL, when positive, turns on expiring-cache semantics: every
+	// cached entry is stamped with an absolute expiry (fill time + TTL)
+	// and a request arriving past it is a miss again. TTL mode also
+	// collapses concurrent misses for the same resource into one origin
+	// fetch (single-flight): the first miss is the leader and pays the
+	// full MissPenalty; overlapping requests join as waiters, answered
+	// the moment the leader's fetch lands, and are counted as stampede
+	// joins. Zero keeps the legacy never-expiring cache (the §III-B
+	// closed-loop protocol, where per-visit scheduler drains make
+	// concurrent misses impossible anyway).
+	TTL time.Duration
+	// NowOffset is added to the scheduler clock when stamping and
+	// checking expiries — the campaign-absolute virtual time of this
+	// edge's epoch start, for engines that rebuild universes (and their
+	// schedulers, which restart at zero) across checkpoint epochs.
+	NowOffset time.Duration
 }
 
 func (c EdgeConfig) withDefaults() EdgeConfig {
@@ -62,11 +78,21 @@ type resourceKey struct {
 	host, path string
 }
 
+// originFlight is one in-progress origin fetch under single-flight
+// collapsing: the leader's completion callback answers every waiter.
+type originFlight struct {
+	waiters []func()
+}
+
 // Edge is a CDN edge server's request-handling state (cache plus
 // counters). One Edge backs one simnet host via httpsim.StartServer.
 type Edge struct {
 	cfg   EdgeConfig
 	cache *LRUCache[resourceKey]
+
+	// inflight tracks origin fetches in progress (TTL mode only), keyed
+	// by resource: concurrent misses join the flight instead of fetching.
+	inflight map[resourceKey]*originFlight
 
 	// hitHeaders/missHeaders are the two canonical response-header maps,
 	// built once: httpsim treats Response.Header as read-only, so every
@@ -74,14 +100,18 @@ type Edge struct {
 	hitHeaders  map[string]string
 	missHeaders map[string]string
 
-	requests int64
-	h3Reqs   int64
+	requests  int64
+	h3Reqs    int64
+	stampedes int64
 }
 
 // NewEdge creates the edge state and returns it with its handler.
 func NewEdge(cfg EdgeConfig) *Edge {
 	cfg = cfg.withDefaults()
 	e := &Edge{cfg: cfg, cache: NewLRUCache[resourceKey](cfg.CacheCapacity)}
+	if cfg.TTL > 0 {
+		e.inflight = make(map[resourceKey]*originFlight)
+	}
 	e.hitHeaders = e.buildHeaders(true)
 	e.missHeaders = e.buildHeaders(false)
 	return e
@@ -95,6 +125,49 @@ func (e *Edge) H3Requests() int64 { return e.h3Reqs }
 
 // CacheHitRate exposes the underlying cache hit rate.
 func (e *Edge) CacheHitRate() float64 { return e.cache.HitRate() }
+
+// CacheHits / CacheMisses / CacheExpired expose the cache counters for
+// per-epoch traffic accounting. Expired evictions are a subset of
+// misses (a TTL lapse is discovered as a miss).
+func (e *Edge) CacheHits() int64    { return e.cache.Hits() }
+func (e *Edge) CacheMisses() int64  { return e.cache.Misses() }
+func (e *Edge) CacheExpired() int64 { return e.cache.Expired() }
+
+// Stampedes reports how many requests joined an in-progress origin
+// fetch instead of launching their own (TTL mode's single-flight
+// collapsing). Each join is one origin fetch the edge did not make.
+func (e *Edge) Stampedes() int64 { return e.stampedes }
+
+// now is the campaign-absolute virtual time (scheduler clock plus the
+// epoch offset), the timebase expiries are stamped in.
+func (e *Edge) now() time.Duration { return e.cfg.Sched.Now() + e.cfg.NowOffset }
+
+// CacheEntry is one cached resource in a checkpoint dump.
+type CacheEntry struct {
+	Host      string        `json:"host"`
+	Path      string        `json:"path"`
+	ExpiresAt time.Duration `json:"expiresAt,omitempty"`
+}
+
+// DumpCache snapshots the cache contents, least recently used first,
+// with absolute expiries — the serializable half of a traffic
+// checkpoint. Counters are per-epoch and intentionally not dumped.
+func (e *Edge) DumpCache() []CacheEntry {
+	entries := e.cache.Entries()
+	out := make([]CacheEntry, len(entries))
+	for i, en := range entries {
+		out[i] = CacheEntry{Host: en.Key.host, Path: en.Key.path, ExpiresAt: en.ExpiresAt}
+	}
+	return out
+}
+
+// RestoreCache replays a DumpCache snapshot (least recent first) into
+// this edge, reconstructing contents, expiries, and recency order.
+func (e *Edge) RestoreCache(entries []CacheEntry) {
+	for _, en := range entries {
+		e.cache.AddAt(resourceKey{en.Host, en.Path}, en.ExpiresAt)
+	}
+}
 
 // Handler returns the httpsim handler serving this edge.
 func (e *Edge) Handler() httpsim.Handler {
@@ -112,14 +185,18 @@ func (e *Edge) Handler() httpsim.Handler {
 			return
 		}
 		key := resourceKey{ctx.Req.Host, ctx.Req.Path}
-		hit := e.cache.Contains(key)
 		wait := e.cfg.HitWait
+		if ctx.Protocol == httpsim.H3 {
+			wait += e.cfg.H3WaitOverhead
+		}
+		if e.cfg.TTL > 0 {
+			e.handleTTL(ctx, respond, key, size, wait)
+			return
+		}
+		hit := e.cache.Contains(key)
 		if !hit {
 			wait += e.cfg.MissPenalty
 			e.cache.Add(key)
-		}
-		if ctx.Protocol == httpsim.H3 {
-			wait += e.cfg.H3WaitOverhead
 		}
 		if e.cfg.WaitJitter > 0 && e.cfg.Rng != nil {
 			wait += time.Duration(e.cfg.Rng.Int63n(int64(e.cfg.WaitJitter)))
@@ -130,6 +207,56 @@ func (e *Edge) Handler() httpsim.Handler {
 			BodySize: size,
 		})
 	}
+}
+
+// handleTTL serves one request under expiring-cache semantics with
+// single-flight miss collapsing. baseWait is the hit-processing cost
+// (HitWait plus any H3 overhead) every answer pays.
+//
+// Hits answer after baseWait (+jitter). The first miss for a resource
+// becomes the flight leader: it pays baseWait + MissPenalty (+jitter),
+// then fills the cache — stamping expiry fill-time + TTL — and answers
+// itself and every waiter. Requests that miss while the leader's fetch
+// is in progress join as waiters: they draw no jitter (their timing is
+// the leader's) and answer baseWait after the fill, with miss headers —
+// a collapsed request still waited on the origin, it just didn't ask it
+// again. Waiter responses carry the leader's completion order, so the
+// whole dance is deterministic in virtual time.
+func (e *Edge) handleTTL(ctx *httpsim.ServerContext, respond func(httpsim.Response), key resourceKey, size int, baseWait time.Duration) {
+	miss := httpsim.Response{Status: 200, Header: e.headers(false), BodySize: size}
+	if e.cache.ContainsAt(key, e.now()) {
+		wait := baseWait
+		if e.cfg.WaitJitter > 0 && e.cfg.Rng != nil {
+			wait += time.Duration(e.cfg.Rng.Int63n(int64(e.cfg.WaitJitter)))
+		}
+		e.respondAfter(wait, respond, httpsim.Response{
+			Status:   200,
+			Header:   e.headers(true),
+			BodySize: size,
+		})
+		return
+	}
+	if fl := e.inflight[key]; fl != nil {
+		e.stampedes++
+		fl.waiters = append(fl.waiters, func() {
+			e.respondAfter(baseWait, respond, miss)
+		})
+		return
+	}
+	fl := &originFlight{}
+	e.inflight[key] = fl
+	wait := baseWait + e.cfg.MissPenalty
+	if e.cfg.WaitJitter > 0 && e.cfg.Rng != nil {
+		wait += time.Duration(e.cfg.Rng.Int63n(int64(e.cfg.WaitJitter)))
+	}
+	e.cfg.Sched.After(wait, func() {
+		e.cache.AddAt(key, e.now()+e.cfg.TTL)
+		delete(e.inflight, key)
+		respond(miss)
+		for _, w := range fl.waiters {
+			w()
+		}
+	})
 }
 
 func (e *Edge) respondAfter(wait time.Duration, respond func(httpsim.Response), resp httpsim.Response) {

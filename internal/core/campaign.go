@@ -17,6 +17,7 @@ import (
 	"h3cdn/internal/simnet"
 	"h3cdn/internal/sketch"
 	"h3cdn/internal/trace"
+	"h3cdn/internal/traffic"
 	"h3cdn/internal/vantage"
 	"h3cdn/internal/webgen"
 )
@@ -109,6 +110,17 @@ type CampaignConfig struct {
 	// O(shards × sketch size) instead of O(pages). Retention never
 	// affects Metrics, which always covers every page.
 	Retention har.Retention
+	// Traffic, when non-nil, replaces the closed-loop visit protocol
+	// (warm pass + measured pass over every page) with the open-loop
+	// population engine: a seeded user population generates Poisson
+	// session arrivals contending on shared TTL edge caches. Shards then
+	// partition users instead of pages — each shard is an independent
+	// PoP serving its population slice — and the dataset's PageLogs are
+	// whatever visits the population made (under Retention), not one
+	// visit per corpus page. Incompatible with Consecutive, TracePhases,
+	// QlogDir, and sampled retention (the reservoir state is not part of
+	// traffic checkpoints).
+	Traffic *traffic.Config
 }
 
 // DefaultBaselineLoss is the ambient packet-loss rate of the simulated
@@ -152,6 +164,11 @@ type Dataset struct {
 	// counts. Like Stats it never serializes and is nil on loaded
 	// datasets.
 	Metrics *sketch.MetricAccumulator `json:"-"`
+	// Traffic holds the population engine's emergent outputs (arrival
+	// counters plus the per-epoch edge-contention series), merged across
+	// shards in job order. Nil on closed-loop campaigns and on loaded
+	// datasets; like Stats it never serializes.
+	Traffic *traffic.Report `json:"-"`
 }
 
 // CampaignStats aggregates execution counters across a campaign's
@@ -175,6 +192,10 @@ type CampaignStats struct {
 	// PageLogs the retention policy kept in the dataset.
 	PagesFolded   int64
 	PagesRetained int64
+	// Traffic carries the population engine's arrival accounting
+	// (sessions started; visits generated vs completed vs shed) on
+	// open-loop campaigns; zero on closed-loop ones.
+	Traffic traffic.Counters
 }
 
 // add accumulates one shard's counters.
@@ -188,6 +209,7 @@ func (s *CampaignStats) add(o CampaignStats) {
 	s.Reordered += o.Reordered
 	s.PagesFolded += o.PagesFolded
 	s.PagesRetained += o.PagesRetained
+	s.Traffic.Add(o.Traffic)
 }
 
 // defaultPagesPerShard is the page-range granularity of one shard when
@@ -219,13 +241,27 @@ func shardSeed(cfg CampaignConfig, job shardJob) uint64 {
 
 // shardCampaign decomposes the campaign into shard jobs, in (mode,
 // vantage, probe, page-range) order — the stitch order of the dataset.
+// Traffic campaigns partition the user population instead of the page
+// range: each job's [lo, hi) is a user slice, every shard sees the full
+// corpus, and the decomposition stays a pure function of the config —
+// which is what keeps open-loop datasets byte-identical across worker
+// counts, exactly as it does for pages.
 func shardCampaign(cfg CampaignConfig, corpus *webgen.Corpus) []shardJob {
+	units := len(corpus.Pages)
 	per := cfg.PagesPerShard
 	if per <= 0 {
 		per = defaultPagesPerShard
 	}
-	if cfg.Consecutive || per > len(corpus.Pages) {
-		per = len(corpus.Pages)
+	if cfg.Consecutive || per > units {
+		per = units
+	}
+	if cfg.Traffic != nil {
+		tc := cfg.Traffic.WithDefaults()
+		units = tc.Users
+		per = tc.UsersPerShard
+		if per > units {
+			per = units
+		}
 	}
 	probesTotal := 0
 	for _, point := range cfg.Vantages {
@@ -235,7 +271,7 @@ func shardCampaign(cfg CampaignConfig, corpus *webgen.Corpus) []shardJob {
 			probesTotal += point.ProbesPerSite
 		}
 	}
-	shardsPerProbe := (len(corpus.Pages) + per - 1) / per
+	shardsPerProbe := (units + per - 1) / per
 	jobs := make([]shardJob, 0, len(cfg.Modes)*probesTotal*shardsPerProbe)
 	for _, mode := range cfg.Modes {
 		for _, point := range cfg.Vantages {
@@ -244,10 +280,10 @@ func shardCampaign(cfg CampaignConfig, corpus *webgen.Corpus) []shardJob {
 				probes = cfg.ProbesPerVantage
 			}
 			for p := 0; p < probes; p++ {
-				for s, lo := 0, 0; lo < len(corpus.Pages); s, lo = s+1, lo+per {
+				for s, lo := 0, 0; lo < units; s, lo = s+1, lo+per {
 					hi := lo + per
-					if hi > len(corpus.Pages) {
-						hi = len(corpus.Pages)
+					if hi > units {
+						hi = units
 					}
 					jobs = append(jobs, shardJob{
 						mode: mode, point: point, probe: p,
@@ -267,6 +303,21 @@ func RunCampaign(cfg CampaignConfig) (*Dataset, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Retention.Validate(); err != nil {
 		return nil, fmt.Errorf("core: RunCampaign: %w", err)
+	}
+	if cfg.Traffic != nil {
+		if err := cfg.Traffic.Validate(); err != nil {
+			return nil, fmt.Errorf("core: RunCampaign: %w", err)
+		}
+		switch {
+		case cfg.Consecutive:
+			return nil, fmt.Errorf("core: RunCampaign: traffic campaigns are open-loop; Consecutive does not apply")
+		case cfg.TracePhases:
+			return nil, fmt.Errorf("core: RunCampaign: traffic campaigns do not support TracePhases")
+		case cfg.QlogDir != "":
+			return nil, fmt.Errorf("core: RunCampaign: traffic campaigns do not support QlogDir")
+		case cfg.Retention.Kind == har.RetainSample:
+			return nil, fmt.Errorf("core: RunCampaign: traffic campaigns do not support sampled retention (reservoir state is not checkpointable)")
+		}
 	}
 	corpus := cfg.Corpus
 	if corpus == nil {
@@ -290,7 +341,14 @@ func RunCampaign(cfg CampaignConfig) (*Dataset, error) {
 	ds := newStitchDataset(cfg, corpus, perMode)
 	errs := make([]error, len(jobs))
 	accs := make([]*sketch.MetricAccumulator, len(jobs))
-	retainAll := cfg.Retention.Kind == har.RetainAll
+	var treps []*traffic.Report
+	if cfg.Traffic != nil {
+		treps = make([]*traffic.Report, len(jobs))
+	}
+	// Traffic shards retain a variable number of visit logs (the
+	// population decides), so even RetainAll campaigns stitch by append
+	// rather than fixed offsets.
+	retainAll := cfg.Retention.Kind == har.RetainAll && cfg.Traffic == nil
 	// Under sampled or disabled retention a shard contributes an unknown
 	// (possibly zero) number of retained PageLogs, so the fixed-offset
 	// copy cannot apply; buffer per-shard retained slices and stitch
@@ -315,6 +373,9 @@ func RunCampaign(cfg CampaignConfig) (*Dataset, error) {
 			return
 		}
 		accs[r.job] = r.acc
+		if treps != nil {
+			treps[r.job] = r.traffic
+		}
 		job := jobs[r.job]
 		if retainAll {
 			copy(ds.Logs[job.mode].Pages[offsets[r.job]:], r.pages)
@@ -330,6 +391,10 @@ func RunCampaign(cfg CampaignConfig) (*Dataset, error) {
 		ds.Stats.add(r.stats)
 	}
 	run := func(i int) shardResult {
+		if cfg.Traffic != nil {
+			pages, stats, acc, rep, err := runTrafficShard(cfg, topo, jobs[i])
+			return shardResult{job: i, pages: pages, stats: stats, acc: acc, traffic: rep, err: err}
+		}
 		pages, phases, stats, acc, err := runShard(cfg, topo, jobs[i])
 		return shardResult{job: i, pages: pages, phases: phases, stats: stats, acc: acc, err: err}
 	}
@@ -393,6 +458,12 @@ func RunCampaign(cfg CampaignConfig) (*Dataset, error) {
 	for _, acc := range accs {
 		ds.Metrics.Merge(acc)
 	}
+	if treps != nil {
+		ds.Traffic = &traffic.Report{}
+		for _, rep := range treps {
+			ds.Traffic.Merge(rep)
+		}
+	}
 	return ds, nil
 }
 
@@ -413,12 +484,13 @@ func stitchRetained(ds *Dataset, jobs []shardJob, pages [][]har.PageLog, phases 
 
 // shardResult carries one finished shard's output to the stitcher.
 type shardResult struct {
-	job    int
-	pages  []har.PageLog
-	phases []trace.PhaseBreakdown
-	stats  CampaignStats
-	acc    *sketch.MetricAccumulator
-	err    error
+	job     int
+	pages   []har.PageLog
+	phases  []trace.PhaseBreakdown
+	stats   CampaignStats
+	acc     *sketch.MetricAccumulator
+	traffic *traffic.Report // population shards only
+	err     error
 }
 
 // stitchOffsets computes each job's destination index within its mode's
@@ -455,7 +527,7 @@ func newStitchDataset(cfg CampaignConfig, corpus *webgen.Corpus, perMode map[bro
 	if cfg.TracePhases {
 		ds.Phases = make(map[browser.Mode][]trace.PhaseBreakdown, len(cfg.Modes))
 	}
-	prealloc := cfg.Retention.Kind == har.RetainAll
+	prealloc := cfg.Retention.Kind == har.RetainAll && cfg.Traffic == nil
 	for _, mode := range cfg.Modes {
 		ds.Logs[mode] = &har.Log{Seed: cfg.Seed}
 		if prealloc {

@@ -30,6 +30,31 @@ func visitSample(log *har.PageLog, pb *trace.PhaseBreakdown) sketch.VisitSample 
 	return v
 }
 
+// trafficVisitSample is visitSample plus the edge-cache warmth split
+// population campaigns feed the cold/warm PLT sketches with.
+func trafficVisitSample(log *har.PageLog) sketch.VisitSample {
+	v := visitSample(log, nil)
+	v.CacheHits, v.CacheMisses, v.Warm = cacheWarmth(log)
+	return v
+}
+
+// cacheWarmth reads the visit's edge-cache interaction off its response
+// headers: HIT/MISS counts across entries, and whether the visit ran
+// fully warm — at least one edge hit and not a single origin fetch, so
+// its PLT never paid a MissPenalty. Entries without an x-cache header
+// (origin-served resources) count neither way.
+func cacheWarmth(log *har.PageLog) (hits, misses int64, warm bool) {
+	for i := range log.Entries {
+		switch log.Entries[i].Header["x-cache"] {
+		case "HIT":
+			hits++
+		case "MISS":
+			misses++
+		}
+	}
+	return hits, misses, hits > 0 && misses == 0
+}
+
 // phaseSample converts a trace phase breakdown to the sketch layer's
 // slot array (slot order matches sketch.PhaseNames).
 func phaseSample(pb *trace.PhaseBreakdown) *sketch.PhaseSample {

@@ -66,6 +66,15 @@ type UniverseConfig struct {
 	H3WaitOverhead time.Duration
 	// MissPenalty is the edge-cache origin-fetch penalty. Default 80ms.
 	MissPenalty time.Duration
+	// EdgeTTL, when positive, gives every edge cache entry a lifetime and
+	// turns on single-flight origin-fetch collapsing (traffic campaigns);
+	// zero keeps the legacy infinite-TTL edge behavior.
+	EdgeTTL time.Duration
+	// ClockOffset shifts the edges' notion of absolute time: entry expiry
+	// stamps read Sched.Now()+ClockOffset. Traffic campaigns run each
+	// checkpoint epoch in a fresh universe and set this to the epoch's
+	// campaign-absolute start, so cache dumps carry across universes.
+	ClockOffset time.Duration
 	// MaxEvents bounds one scheduler run. Default 200M.
 	MaxEvents int
 	// Trace, when non-nil, records per-visit event traces: RunVisit
@@ -255,6 +264,8 @@ func (u *Universe) startEdge(provider string, addr simnet.Addr) error {
 		Content:        u.topo.ContentSize,
 		H3WaitOverhead: u.cfg.H3WaitOverhead,
 		MissPenalty:    u.cfg.MissPenalty,
+		TTL:            u.cfg.EdgeTTL,
+		NowOffset:      u.cfg.ClockOffset,
 		Rng:            u.src.Stream("edgewait", p.Name),
 	})
 	srv, err := httpsim.StartServer(host, httpsim.ServerConfig{
@@ -321,6 +332,25 @@ func (u *Universe) Resolver() browser.Resolver { return u.resolver }
 // Edge returns the edge state for a provider (nil if unknown or not yet
 // contacted — edges instantiate on first resolver hit).
 func (u *Universe) Edge(provider string) *cdn.Edge { return u.edges[provider] }
+
+// WarmEdge returns the provider's edge, instantiating it if no resolver
+// hit has yet — the hook traffic epochs use to restore checkpointed
+// cache contents into a fresh universe before any visit runs.
+// Instantiation draws no randomness (see startServer), so forcing it
+// early cannot perturb the simulation.
+func (u *Universe) WarmEdge(provider string) (*cdn.Edge, error) {
+	if e := u.edges[provider]; e != nil {
+		return e, nil
+	}
+	addr, ok := u.topo.edgeAddr[provider]
+	if !ok {
+		return nil, fmt.Errorf("core: WarmEdge: unknown provider %q", provider)
+	}
+	if err := u.startEdge(provider, addr); err != nil {
+		return nil, err
+	}
+	return u.edges[provider], nil
+}
 
 // Events reports the total scheduler events executed by RunVisit calls
 // on this universe — the simulator's unit of work, cheap to aggregate

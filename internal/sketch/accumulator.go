@@ -40,6 +40,16 @@ type VisitSample struct {
 	Retries int64 // transparent re-fetches across all entries
 	Reused  int64 // entries on a reused connection
 	Resumed int64 // entries on a session-resumed connection
+	// CacheHits/CacheMisses count entries served from / missed at a CDN
+	// edge cache (x-cache response headers); entries without the header
+	// (origin-served) count in neither. Zero both when the campaign does
+	// not classify warmth.
+	CacheHits   int64
+	CacheMisses int64
+	// Warm classifies the whole visit for the cold-vs-warm PLT split: the
+	// document was served from edge cache. Only consulted when the visit
+	// observed at least one cache-classifiable entry.
+	Warm bool
 	// Phase carries the visit's phase attribution when tracing was on.
 	Phase *PhaseSample
 }
@@ -64,6 +74,16 @@ type GroupMetrics struct {
 	Reused  Counter
 	Resumed Counter
 
+	// Cache-warmth aggregates cover only visits whose samples carried
+	// cache classification (population-traffic campaigns): entry-level
+	// edge hit/miss totals plus the visit-level cold/warm PLT split.
+	CacheHits   Counter
+	CacheMisses Counter
+	ColdPages   uint64
+	WarmPages   uint64
+	PLTCold     *Quantile // ms
+	PLTWarm     *Quantile // ms
+
 	// Phase aggregates cover only visits that carried a PhaseSample.
 	PhasePages     uint64
 	PhaseSumNs     [NumPhases]int64
@@ -76,6 +96,8 @@ func newGroupMetrics(alpha float64) *GroupMetrics {
 		alpha:   alpha,
 		PLT:     NewQuantile(alpha),
 		PLTHist: NewHistogram(DefaultPLTBoundsMs),
+		PLTCold: NewQuantile(alpha),
+		PLTWarm: NewQuantile(alpha),
 	}
 	for i := range g.Phase {
 		g.Phase[i] = NewQuantile(alpha)
@@ -98,6 +120,17 @@ func (g *GroupMetrics) Fold(v VisitSample) {
 	g.Retries.Add(v.Retries)
 	g.Reused.Add(v.Reused)
 	g.Resumed.Add(v.Resumed)
+	if v.CacheHits+v.CacheMisses > 0 {
+		g.CacheHits.Add(v.CacheHits)
+		g.CacheMisses.Add(v.CacheMisses)
+		if v.Warm {
+			g.WarmPages++
+			g.PLTWarm.Add(plt)
+		} else {
+			g.ColdPages++
+			g.PLTCold.Add(plt)
+		}
+	}
 	if v.Phase == nil {
 		return
 	}
@@ -126,6 +159,12 @@ func (g *GroupMetrics) Merge(o *GroupMetrics) {
 	g.Retries.Merge(o.Retries)
 	g.Reused.Merge(o.Reused)
 	g.Resumed.Merge(o.Resumed)
+	g.CacheHits.Merge(o.CacheHits)
+	g.CacheMisses.Merge(o.CacheMisses)
+	g.ColdPages += o.ColdPages
+	g.WarmPages += o.WarmPages
+	g.PLTCold.Merge(o.PLTCold)
+	g.PLTWarm.Merge(o.PLTWarm)
 	g.PhasePages += o.PhasePages
 	for i := range g.PhaseSumNs {
 		g.PhaseSumNs[i] += o.PhaseSumNs[i]

@@ -1,6 +1,7 @@
 package sketch
 
 import (
+	"encoding/json"
 	"math"
 	"math/rand"
 	"reflect"
@@ -323,6 +324,110 @@ func TestAccumulatorFoldMergeModeGroup(t *testing.T) {
 	g.Fold(VisitSample{PLTNs: 1})
 	if merged.Pages() != 5 {
 		t.Fatal("ModeGroup leaked shared state")
+	}
+}
+
+func TestWarmthSplitFoldMerge(t *testing.T) {
+	a := NewAccumulator(DefaultAlpha)
+	g := a.Group(Key{Mode: "h3", Vantage: "pop"})
+	// Legacy sample (no cache classification): warmth stays untouched.
+	g.Fold(VisitSample{PLTNs: 500e6, Entries: 5})
+	// Cold visit (document miss) and two warm visits.
+	g.Fold(VisitSample{PLTNs: 900e6, Entries: 5, CacheHits: 1, CacheMisses: 4, Warm: false})
+	g.Fold(VisitSample{PLTNs: 300e6, Entries: 5, CacheHits: 5, Warm: true})
+	g.Fold(VisitSample{PLTNs: 320e6, Entries: 5, CacheHits: 4, CacheMisses: 1, Warm: true})
+	if g.ColdPages != 1 || g.WarmPages != 2 {
+		t.Fatalf("cold=%d warm=%d, want 1/2", g.ColdPages, g.WarmPages)
+	}
+	if g.CacheHits.Value() != 10 || g.CacheMisses.Value() != 5 {
+		t.Fatalf("cache hits=%d misses=%d, want 10/5", g.CacheHits.Value(), g.CacheMisses.Value())
+	}
+	if g.PLTCold.Count() != 1 || g.PLTWarm.Count() != 2 {
+		t.Fatalf("split sketch counts %d/%d, want 1/2", g.PLTCold.Count(), g.PLTWarm.Count())
+	}
+	if cold, warm := g.PLTCold.Query(0.5), g.PLTWarm.Query(0.5); cold <= warm {
+		t.Fatalf("cold median %v not above warm median %v", cold, warm)
+	}
+	// Merge carries the split.
+	b := NewAccumulator(DefaultAlpha)
+	b.Merge(a)
+	bg := b.Lookup(Key{Mode: "h3", Vantage: "pop"})
+	if bg.ColdPages != 1 || bg.WarmPages != 2 || bg.CacheHits.Value() != 10 {
+		t.Fatalf("merged warmth lost: %+v", bg)
+	}
+}
+
+func TestSketchJSONRoundTrip(t *testing.T) {
+	mk := func() *MetricAccumulator {
+		a := NewAccumulator(DefaultAlpha)
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 200; i++ {
+			mode := []string{"h2", "h3"}[i%2]
+			a.Group(Key{Mode: mode, Vantage: "pop"}).Fold(VisitSample{
+				PLTNs: int64(rng.Intn(2e9)), Bytes: int64(rng.Intn(1e6)), Entries: 12,
+				Retries: int64(i % 3), Reused: 4, Resumed: int64(i % 2),
+				CacheHits: int64(i % 5), CacheMisses: int64((i + 1) % 4), Warm: i%3 == 0,
+				Phase: &PhaseSample{Ns: [NumPhases]int64{1e6, 2e6, 3e6, 4e6, 5e6, 6e6}},
+			})
+		}
+		return a
+	}
+	a := mk()
+	blob, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back MetricAccumulator
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	// Determinism: re-encoding the decoded accumulator reproduces the
+	// exact bytes (sorted buckets, sorted groups).
+	blob2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != string(blob2) {
+		t.Fatal("JSON round-trip not byte-stable")
+	}
+	for _, k := range a.Keys() {
+		ag, bg := a.Lookup(k), back.Lookup(k)
+		if bg == nil {
+			t.Fatalf("group %v lost in round-trip", k)
+		}
+		if ag.Pages != bg.Pages || ag.PLTSumNs != bg.PLTSumNs || ag.Bytes != bg.Bytes ||
+			ag.ColdPages != bg.ColdPages || ag.WarmPages != bg.WarmPages ||
+			ag.CacheHits != bg.CacheHits || ag.PhaseTruncated != bg.PhaseTruncated {
+			t.Fatalf("group %v sums differ after round-trip", k)
+		}
+		for p := 0.0; p <= 1.0; p += 0.01 {
+			if ag.PLT.Query(p) != bg.PLT.Query(p) || ag.PLTWarm.Query(p) != bg.PLTWarm.Query(p) {
+				t.Fatalf("group %v quantile %v differs after round-trip", k, p)
+			}
+		}
+		if !reflect.DeepEqual(ag.PLTHist.Counts(), bg.PLTHist.Counts()) {
+			t.Fatalf("group %v histogram differs after round-trip", k)
+		}
+		// The decoded group must keep folding/merging like the original.
+		bg.Fold(VisitSample{PLTNs: 1e6, Entries: 1})
+		bg.Merge(ag)
+		if bg.Pages != 2*ag.Pages+1 {
+			t.Fatalf("decoded group fold/merge broken: %d pages", bg.Pages)
+		}
+	}
+	// Empty sketch round-trip (±Inf min/max sentinels).
+	q := NewQuantile(DefaultAlpha)
+	eb, err := json.Marshal(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qb Quantile
+	if err := json.Unmarshal(eb, &qb); err != nil {
+		t.Fatal(err)
+	}
+	qb.Add(5)
+	if qb.Min() != 5 || qb.Max() != 5 || qb.Count() != 1 {
+		t.Fatalf("decoded empty sketch broken: min=%v max=%v count=%d", qb.Min(), qb.Max(), qb.Count())
 	}
 }
 

@@ -1,0 +1,55 @@
+package traffic
+
+import (
+	"math"
+	"strconv"
+	"time"
+
+	"h3cdn/internal/seqrand"
+)
+
+// Arrival is one session start: a campaign-absolute time and the
+// shard-local index of the user who begins browsing.
+type Arrival struct {
+	At   time.Duration
+	User int
+}
+
+// Rate evaluates the diurnally modulated arrival rate (sessions/sec)
+// at campaign-absolute time t, for a shard whose base rate is base.
+func (c Config) Rate(base float64, t time.Duration) float64 {
+	if c.DiurnalAmplitude == 0 {
+		return base
+	}
+	phase := 2 * math.Pi * float64(t) / float64(c.DiurnalPeriod)
+	return base * (1 + c.DiurnalAmplitude*math.Sin(phase))
+}
+
+// Arrivals generates epoch e's session arrivals for one shard: a
+// non-homogeneous Poisson process over [start, end) at the shard's base
+// rate with diurnal modulation, realized by Lewis–Shedler thinning
+// (candidates at the peak rate λmax = base·(1+A), kept with probability
+// λ(t)/λmax). Every draw comes from the stream ("arrivals", e) under
+// src, so the epoch's workload is a pure function of (seed, epoch) —
+// the property checkpoint resume rides on. Users are drawn uniformly
+// from the shard's population; heavy-browsing skew comes from session
+// length, not user choice.
+func Arrivals(src *seqrand.Source, e int, base float64, users int, c Config, start, end time.Duration) []Arrival {
+	rng := src.Stream("arrivals", strconv.Itoa(e))
+	lambdaMax := base * (1 + c.DiurnalAmplitude) // per second
+	var out []Arrival
+	t := start
+	for {
+		// Exponential gap at the peak rate, in virtual nanoseconds.
+		gap := time.Duration(rng.ExpFloat64() / lambdaMax * float64(time.Second))
+		t += gap
+		if t >= end {
+			return out
+		}
+		keep := rng.Float64()*lambdaMax <= c.Rate(base, t)
+		user := rng.Intn(users) // drawn even when thinned: fixed draw shape
+		if keep {
+			out = append(out, Arrival{At: t, User: user})
+		}
+	}
+}

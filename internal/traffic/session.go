@@ -1,0 +1,54 @@
+package traffic
+
+import (
+	"math/rand"
+	"time"
+)
+
+// maxSessionVisits caps a single session's geometric length draw — the
+// tail bound that keeps one lucky draw from pinning a shard.
+const maxSessionVisits = 64
+
+// Session is one user's browsing session plan: a geometric number of
+// visits, Zipf-popular page choices, and exponential think times, all
+// drawn lazily from the session's private rng stream. The engine asks
+// for the next page before each visit and the think gap after it.
+type Session struct {
+	rng  *rand.Rand
+	zipf *rand.Zipf
+
+	thinkMean time.Duration
+	// VisitsLeft is the number of visits still planned (including the
+	// one about to run).
+	VisitsLeft int
+}
+
+// NewSession draws a session plan from rng for a corpus of pages pages.
+// The config must be defaulted.
+func NewSession(rng *rand.Rand, pages int, c Config) *Session {
+	s := &Session{
+		rng:        rng,
+		zipf:       rand.NewZipf(rng, c.ZipfS, 1, uint64(pages-1)),
+		thinkMean:  c.ThinkTime,
+		VisitsLeft: 1,
+	}
+	// Geometric session length with mean c.SessionVisits, support ≥ 1:
+	// each extra visit happens with probability 1 − 1/mean.
+	pStop := 1 / c.SessionVisits
+	for s.VisitsLeft < maxSessionVisits && s.rng.Float64() >= pStop {
+		s.VisitsLeft++
+	}
+	return s
+}
+
+// NextPage draws the next visit's page index in [0, pages): Zipf-ranked
+// popularity, so a head of hot pages keeps edge caches contended while
+// the tail stays cold.
+func (s *Session) NextPage() int {
+	return int(s.zipf.Uint64())
+}
+
+// Think draws the gap before the session's next visit.
+func (s *Session) Think() time.Duration {
+	return time.Duration(s.rng.ExpFloat64() * float64(s.thinkMean))
+}
